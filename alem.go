@@ -1,0 +1,406 @@
+// Package alem is a unified active-learning benchmark framework for
+// entity matching (EM): a Go reproduction of Meduri, Popa, Sen and
+// Sarwat, "A Comprehensive Benchmark Framework for Active Learning
+// Methods in Entity Matching", SIGMOD 2020.
+//
+// The framework mixes and matches learners (linear SVM, feed-forward
+// neural network, random forest, monotone-DNF rules) with example
+// selectors (learner-agnostic QBC, learner-aware QBC, margin, LFP/LFN),
+// adds the paper's two enhancements (blocking dimensions for margin
+// scoring, incrementally learned active ensembles), and regenerates every
+// table and figure of the paper's evaluation on synthetic stand-ins for
+// its ten datasets.
+//
+// Quick start:
+//
+//	d, _ := alem.LoadDataset("abt-buy", 0.1, 42)
+//	pool := alem.NewPool(d)
+//	res := alem.Run(pool, alem.NewRandomForest(20, 1), alem.ForestQBC{},
+//	    alem.NewPerfectOracle(d), alem.Config{MaxLabels: 500})
+//	fmt.Println(res.Curve.BestF1())
+//
+// The package is a thin facade over the internal packages; everything a
+// downstream user needs is re-exported here.
+package alem
+
+import (
+	"io"
+
+	"github.com/alem/alem/internal/blocking"
+	"github.com/alem/alem/internal/cluster"
+	"github.com/alem/alem/internal/core"
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/diag"
+	"github.com/alem/alem/internal/eval"
+	"github.com/alem/alem/internal/experiments"
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/interp"
+	"github.com/alem/alem/internal/linear"
+	"github.com/alem/alem/internal/match"
+	"github.com/alem/alem/internal/neural"
+	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/rules"
+	"github.com/alem/alem/internal/textsim"
+	"github.com/alem/alem/internal/tree"
+)
+
+// Datasets and blocking.
+type (
+	// Dataset is a two-table EM instance with generator-side ground truth.
+	Dataset = dataset.Dataset
+	// Table is one relation of a Dataset.
+	Table = dataset.Table
+	// Record is one row of a Table.
+	Record = dataset.Record
+	// PairKey identifies a candidate record pair.
+	PairKey = dataset.PairKey
+	// DatasetProfile couples a synthetic generator with the paper's
+	// Table 1 statistics.
+	DatasetProfile = dataset.Profile
+	// BlockingResult holds post-blocking candidate pairs and blocking
+	// recall.
+	BlockingResult = blocking.Result
+)
+
+// LoadDataset generates the named dataset profile at the given scale
+// (1.0 ≈ the paper's post-blocking sizes) and seed. Known names:
+// abt-buy, amazon-google, dblp-acm, dblp-scholar, cora, walmart-amazon,
+// amazon-bestbuy, beer, baby-products, social-media.
+func LoadDataset(name string, scale float64, seed int64) (*Dataset, error) {
+	return dataset.Load(name, scale, seed)
+}
+
+// DatasetProfiles lists the ten built-in dataset profiles.
+func DatasetProfiles() []DatasetProfile { return dataset.Profiles() }
+
+// ImportDataset reads a dataset previously written by (*Dataset).Export
+// (left.csv, right.csv, matches.csv in dir).
+func ImportDataset(name, dir string, blockThreshold float64) (*Dataset, error) {
+	return dataset.Import(name, dir, blockThreshold)
+}
+
+// ReadTableCSV parses a single table in the CSV layout Export writes
+// (id column followed by the schema columns).
+func ReadTableCSV(name string, r io.Reader) (*Table, error) {
+	return dataset.ReadCSV(name, r)
+}
+
+// Block applies the offline token-Jaccard blocking step at the dataset's
+// profile threshold.
+func Block(d *Dataset) *BlockingResult { return blocking.Block(d) }
+
+// BlockThreshold is Block with an explicit Jaccard threshold.
+func BlockThreshold(d *Dataset, threshold float64) *BlockingResult {
+	return blocking.BlockThreshold(d, threshold)
+}
+
+// SortedNeighborhoodBlock is the classic merge/purge alternative to
+// threshold blocking: sort both tables by a key attribute (empty =
+// whole record) and take cross-table pairs within a sliding window.
+func SortedNeighborhoodBlock(d *Dataset, keyAttr string, window int) *BlockingResult {
+	return blocking.SortedNeighborhood(d, keyAttr, window)
+}
+
+// Feature extraction.
+type (
+	// FeatureVector is a dense float feature vector.
+	FeatureVector = feature.Vector
+	// FeatureExtractor computes the 21-similarity-function float vectors.
+	FeatureExtractor = feature.Extractor
+	// BoolFeatureExtractor computes thresholded Boolean atoms for rules.
+	BoolFeatureExtractor = feature.BoolExtractor
+	// Atom is one Boolean rule predicate, sim(attr) >= threshold.
+	Atom = feature.Atom
+	// Metric is a normalized string-similarity function.
+	Metric = textsim.Metric
+	// Corpus carries document-frequency statistics for the TF-IDF style
+	// extended metrics.
+	Corpus = textsim.Corpus
+)
+
+// NewCorpus indexes documents for the corpus-aware extended metrics.
+func NewCorpus(docs []string) *Corpus { return textsim.NewCorpus(docs) }
+
+// ExtendedMetrics returns the corpus-aware and numeric metrics beyond
+// the standard 21 (TF-IDF cosine, SoftTFIDF, numeric, generalized
+// Jaccard).
+func ExtendedMetrics(c *Corpus) []Metric { return textsim.Extended(c) }
+
+// CorpusOf builds the corpus over every record of both tables.
+func CorpusOf(d *Dataset) *Corpus { return feature.CorpusOf(d) }
+
+// NewExtendedExtractor builds a 25-metric extractor (standard 21 plus
+// the extended set weighted over c).
+func NewExtendedExtractor(schema []string, c *Corpus) *FeatureExtractor {
+	return feature.NewExtendedExtractor(schema, c)
+}
+
+// NewExtendedPool is NewPool with the extended 25-metric feature set.
+func NewExtendedPool(d *Dataset) *Pool { return core.NewExtendedPool(d) }
+
+// NewFeatureExtractor builds the standard extractor (21 metrics × attrs).
+func NewFeatureExtractor(schema []string) *FeatureExtractor {
+	return feature.NewExtractor(schema)
+}
+
+// NewBoolFeatureExtractor builds the rule-learner extractor (3 metrics ×
+// thresholds 0.1..1.0 × attrs).
+func NewBoolFeatureExtractor(schema []string) *BoolFeatureExtractor {
+	return feature.NewBoolExtractor(schema)
+}
+
+// SimilarityMetrics returns the 21 similarity functions of the feature
+// extractor.
+func SimilarityMetrics() []Metric { return textsim.All() }
+
+// Framework core.
+type (
+	// Pool is the post-blocking candidate universe of one run.
+	Pool = core.Pool
+	// Learner is the base learner interface (Fig. 2).
+	Learner = core.Learner
+	// MarginLearner exposes a confidence margin (SVMs, neural nets).
+	MarginLearner = core.MarginLearner
+	// VoteLearner is a learner-aware committee (random forests).
+	VoteLearner = core.VoteLearner
+	// Factory creates fresh learners for QBC committees.
+	Factory = core.Factory
+	// Selector is the example-selector interface (Fig. 2).
+	Selector = core.Selector
+	// SelectContext carries a selector invocation's inputs and timings.
+	SelectContext = core.SelectContext
+	// Config is one run's protocol (seed set 30, batch 10, ...).
+	Config = core.Config
+	// Result is one run's outcome.
+	Result = core.Result
+	// EnsembleConfig configures the §5.2 active ensemble.
+	EnsembleConfig = core.EnsembleConfig
+	// EnsembleResult is an ensemble run's outcome.
+	EnsembleResult = core.EnsembleResult
+
+	// QBC is learner-agnostic query-by-committee.
+	QBC = core.QBC
+	// ForestQBC is learner-aware QBC over a forest's own trees.
+	ForestQBC = core.ForestQBC
+	// MarginSelector picks the smallest-margin examples.
+	MarginSelector = core.Margin
+	// BlockedMargin is margin with §5.1 blocking dimensions.
+	BlockedMargin = core.BlockedMargin
+	// LFPLFN is the rule learner's heuristic selector.
+	LFPLFN = core.LFPLFN
+	// RandomSelector picks uniformly (supervised baseline).
+	RandomSelector = core.Random
+	// IWALSelector is the simplified importance-weighted selector the
+	// paper's related work (§2) discusses — an extension included so its
+	// label overhead can be measured.
+	IWALSelector = core.IWAL
+	// BlockedForestQBC is ForestQBC with mined-DNF blocking, the §5
+	// sketch for tree-based selection realized as an extension.
+	BlockedForestQBC = core.BlockedForestQBC
+)
+
+// Evaluation modes.
+const (
+	// Progressive evaluates on all post-blocking pairs (progressive F1).
+	Progressive = core.Progressive
+	// HeldOut evaluates on a held-out 20% split.
+	HeldOut = core.HeldOut
+)
+
+// NewPool blocks and featurizes a dataset with the standard extractor.
+func NewPool(d *Dataset) *Pool { return core.NewPool(d) }
+
+// NewBoolPool blocks and featurizes a dataset with Boolean atoms (rules).
+func NewBoolPool(d *Dataset) *Pool { return core.NewBoolPool(d) }
+
+// NewPoolFromVectors builds a pool from raw vectors and labels.
+func NewPoolFromVectors(X []FeatureVector, truth []bool) *Pool {
+	return core.NewPoolFromVectors(X, truth)
+}
+
+// Run executes one active-learning run (Fig. 1a).
+func Run(pool *Pool, l Learner, s Selector, o Oracle, cfg Config) *Result {
+	return core.Run(pool, l, s, o, cfg)
+}
+
+// RunEnsemble executes active learning with an incrementally grown
+// high-precision ensemble (§5.2).
+func RunEnsemble(pool *Pool, o Oracle, cfg EnsembleConfig) *EnsembleResult {
+	return core.RunEnsemble(pool, o, cfg)
+}
+
+// Learners.
+type (
+	// SVM is the linear classifier (§4.2.1).
+	SVM = linear.SVM
+	// NeuralNet is the non-convex non-linear classifier (§4.2.2).
+	NeuralNet = neural.Net
+	// RandomForest is the tree-based classifier (§4.1.1).
+	RandomForest = tree.Forest
+	// DecisionTree is one CART tree of a forest.
+	DecisionTree = tree.Tree
+	// RuleModel is the monotone-DNF rule learner (§4.3).
+	RuleModel = rules.Model
+	// Rule is one conjunction of a RuleModel's DNF.
+	Rule = rules.Rule
+)
+
+// NewSVM returns a linear SVM with benchmark defaults.
+func NewSVM(seed int64) *SVM { return linear.NewSVM(seed) }
+
+// NewNeuralNet returns the paper's feed-forward network (one hidden
+// layer, batch norm, dropout) with the given hidden width.
+func NewNeuralNet(hidden int, seed int64) *NeuralNet { return neural.NewNet(hidden, seed) }
+
+// NewRandomForest returns a forest with the given committee size
+// (Corleone settings: unlimited depth, log2(Dim+1) features per split).
+func NewRandomForest(trees int, seed int64) *RandomForest { return tree.NewForest(trees, seed) }
+
+// NewRuleModel returns a monotone-DNF rule learner over ext's atoms.
+func NewRuleModel(ext *BoolFeatureExtractor) *RuleModel { return rules.NewModel(ext) }
+
+// SVMFactory builds SVMs for QBC committees.
+func SVMFactory(seed int64) Learner { return linear.NewSVM(seed) }
+
+// NeuralNetFactory builds networks of the given width for QBC committees.
+func NeuralNetFactory(hidden int) Factory {
+	return func(seed int64) Learner { return neural.NewNet(hidden, seed) }
+}
+
+// Model persistence: every learner exposes SaveJSON; these load them
+// back (the "reusable EM model" the paper's §2 motivates).
+
+// LoadSVM reads an SVM written by (*SVM).SaveJSON.
+func LoadSVM(r io.Reader) (*SVM, error) { return linear.LoadJSON(r) }
+
+// LoadNeuralNet reads a network written by (*NeuralNet).SaveJSON.
+func LoadNeuralNet(r io.Reader) (*NeuralNet, error) { return neural.LoadJSON(r) }
+
+// LoadRandomForest reads a forest written by (*RandomForest).SaveJSON.
+func LoadRandomForest(r io.Reader) (*RandomForest, error) { return tree.LoadJSON(r) }
+
+// LoadRuleModel reads a DNF written by (*RuleModel).SaveJSON, re-binding
+// it to ext (same schema and thresholds as at training time).
+func LoadRuleModel(r io.Reader, ext *BoolFeatureExtractor) (*RuleModel, error) {
+	return rules.LoadJSON(r, ext)
+}
+
+// Deployment.
+type (
+	// Matcher applies a trained learner to fresh table pairs, running
+	// the same blocking + featurization pipeline end to end.
+	Matcher = match.Matcher
+	// MatchedPair is one predicted match, by record IDs.
+	MatchedPair = match.Pair
+)
+
+// Oracles.
+type (
+	// Oracle labels pairs on demand and counts queries.
+	Oracle = oracle.Oracle
+	// PerfectOracle answers from ground truth.
+	PerfectOracle = oracle.Perfect
+	// NoisyOracle flips labels with a fixed probability (§6.2).
+	NoisyOracle = oracle.Noisy
+)
+
+// NewPerfectOracle answers every query from ground truth.
+func NewPerfectOracle(d *Dataset) *PerfectOracle { return oracle.NewPerfect(d) }
+
+// NewNoisyOracle flips the true label with the given probability.
+func NewNoisyOracle(d *Dataset, noise float64, seed int64) *NoisyOracle {
+	return oracle.NewNoisy(d, noise, seed)
+}
+
+// NewMajorityVoteOracle wraps an Oracle with k-worker majority voting,
+// the crowd label-correction the paper's noise model deliberately omits.
+func NewMajorityVoteOracle(inner Oracle, k int) Oracle {
+	return oracle.NewMajorityVote(inner, k)
+}
+
+// Evaluation.
+type (
+	// Confusion is a binary confusion matrix.
+	Confusion = eval.Confusion
+	// CurvePoint is one iteration's measurement.
+	CurvePoint = eval.Point
+	// Curve is a per-iteration measurement sequence.
+	Curve = eval.Curve
+)
+
+// EvaluatePredictions compares predictions against truth.
+func EvaluatePredictions(pred, truth []bool) Confusion { return eval.Evaluate(pred, truth) }
+
+// Interpretability (§6.3).
+type (
+	// DNFPredicate is one atom of a tree-derived DNF.
+	DNFPredicate = interp.Predicate
+	// DNFConjunction is one clause of a tree-derived DNF.
+	DNFConjunction = interp.Conjunction
+)
+
+// ForestToDNF converts a trained forest to DNF clauses.
+func ForestToDNF(f *RandomForest) []DNFConjunction { return interp.ForestToDNF(f) }
+
+// ForestAtoms counts the forest's DNF atoms (the Fig. 18a metric).
+func ForestAtoms(f *RandomForest) int { return interp.ForestAtoms(f) }
+
+// DiagnosticReport summarizes a dataset's post-blocking feature
+// geometry: per-attribute class separation and similarity histograms.
+type DiagnosticReport = diag.Report
+
+// Diagnose blocks and featurizes a dataset and reports how separable its
+// matches are from its non-matches — the difficulty view behind the
+// synthetic profile calibration.
+func Diagnose(d *Dataset) *DiagnosticReport { return diag.Analyze(d) }
+
+// Clustering: dedup post-processing (predicted matches -> entities).
+type (
+	// Clusters groups records into resolved entities.
+	Clusters = cluster.Clusters
+	// ClusterNode identifies a record (side 0 = left table, 1 = right).
+	ClusterNode = cluster.Node
+	// MatchEdge is one predicted match between left and right records.
+	MatchEdge = cluster.Edge
+)
+
+// ClusterMatches builds entity clusters as connected components over
+// predicted match edges.
+func ClusterMatches(nLeft, nRight int, edges []MatchEdge) *Clusters {
+	return cluster.Connected(nLeft, nRight, edges)
+}
+
+// Experiments: the paper's tables and figures.
+type (
+	// ExperimentOptions size an experiment run.
+	ExperimentOptions = experiments.Options
+	// ExperimentReport is a reproduced table or figure.
+	ExperimentReport = experiments.Report
+)
+
+// ExperimentIDs lists every reproducible table/figure id.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// AblationIDs lists the extension experiments: design-choice sweeps and
+// the plug-in learner demonstration.
+func AblationIDs() []string { return experiments.AblationIDs() }
+
+// DefaultExperimentOptions returns defaults with ALEM_* env overrides.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// RunExperiment runs one experiment by id (e.g. "table2", "fig12") and
+// writes its report to w.
+func RunExperiment(id string, opts ExperimentOptions, w io.Writer) (*ExperimentReport, error) {
+	driver, err := experiments.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := driver(opts)
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		rep.WriteTo(w, opts.Verbose)
+	}
+	return rep, nil
+}

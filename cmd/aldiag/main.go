@@ -1,0 +1,39 @@
+// Command aldiag inspects a dataset's difficulty: per-attribute class
+// separation and the match / non-match similarity distributions the
+// learners actually face after blocking and featurization.
+//
+//	aldiag -dataset abt-buy -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/alem/alem"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "abt-buy", "dataset profile name, or \"all\"")
+		scale = flag.Float64("scale", 0.25, "dataset scale")
+		seed  = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+	names := []string{*name}
+	if *name == "all" {
+		names = nil
+		for _, p := range alem.DatasetProfiles() {
+			names = append(names, p.Name)
+		}
+	}
+	for _, n := range names {
+		d, err := alem.LoadDataset(n, *scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aldiag: %v\n", err)
+			os.Exit(1)
+		}
+		alem.Diagnose(d).Print(os.Stdout)
+		fmt.Println()
+	}
+}

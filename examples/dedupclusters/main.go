@@ -1,0 +1,51 @@
+// Dedup clusters: the final step of a deduplication pipeline. Trains a
+// matcher on Cora-style duplicate citation clusters, then resolves the
+// pairwise predictions into entities via transitive closure — repairing
+// matches the pairwise model missed and exposing the precision/recall
+// trade of closure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/alem/alem"
+)
+
+func main() {
+	d, err := alem.LoadDataset("cora", 0.04, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := alem.NewPool(d)
+	fmt.Printf("cora: %d candidate pairs in clusters of duplicate citations\n", pool.Len())
+
+	forest := alem.NewRandomForest(10, 21)
+	res := alem.Run(pool, forest, alem.ForestQBC{}, alem.NewPerfectOracle(d),
+		alem.Config{Seed: 21, MaxLabels: 250})
+	fmt.Printf("trained Trees(10): pairwise progressive F1 %.3f (%d labels)\n\n",
+		res.Curve.FinalF1(), res.LabelsUsed)
+
+	// Pairwise predictions -> entity clusters.
+	var edges []alem.MatchEdge
+	for i, x := range pool.X {
+		if forest.Predict(x) {
+			edges = append(edges, alem.MatchEdge{L: pool.Pairs[i].L, R: pool.Pairs[i].R})
+		}
+	}
+	clusters := alem.ClusterMatches(len(d.Left.Rows), len(d.Right.Rows), edges)
+	fmt.Printf("%d predicted match edges resolve into %d entities\n",
+		len(edges), clusters.NumClusters())
+
+	// Measure what transitive closure bought (and cost).
+	var truth []alem.MatchEdge
+	for i, p := range pool.Pairs {
+		if pool.Truth[i] {
+			truth = append(truth, alem.MatchEdge{L: p.L, R: p.R})
+		}
+	}
+	p, r, f1 := clusters.PairwiseMetrics(truth, len(d.Left.Rows), len(d.Right.Rows))
+	fmt.Printf("cluster-level precision %.3f recall %.3f F1 %.3f\n", p, r, f1)
+	fmt.Println("\nclosure repairs missed pairs inside components (recall up) at the")
+	fmt.Println("risk of propagating a bad edge through a whole component (precision).")
+}

@@ -1,0 +1,40 @@
+// Interpretable rules: learns concise monotone-DNF matching rules with
+// the LFP/LFN heuristic (§4.3) on a clean publication dataset and prints
+// the learned DNF — the paper's §6.3 argument that rules trade a little
+// F1 for a model a human can read, validate and debug.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/alem/alem"
+)
+
+func main() {
+	d, err := alem.LoadDataset("dblp-acm", 0.1, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := alem.NewBoolPool(d)
+	fmt.Printf("dblp-acm: %d candidate pairs, %d Boolean atoms per pair\n\n",
+		pool.Len(), len(pool.X[0]))
+
+	ext := alem.NewBoolFeatureExtractor(d.Left.Schema)
+	model := alem.NewRuleModel(ext)
+	res := alem.Run(pool, model, alem.LFPLFN{}, alem.NewPerfectOracle(d), alem.Config{Seed: 5})
+
+	fmt.Printf("terminated after %d labels (no LFPs/LFNs left)\n", res.LabelsUsed)
+	fmt.Printf("progressive F1 %.3f, #DNF atoms %d\n\n", res.Curve.FinalF1(), model.NumAtoms())
+	fmt.Println("learned rule ensemble:")
+	fmt.Println(model)
+
+	// Contrast with a random forest's DNF size on the same pool.
+	fpool := alem.NewPool(d)
+	forest := alem.NewRandomForest(10, 5)
+	fres := alem.Run(fpool, forest, alem.ForestQBC{}, alem.NewPerfectOracle(d),
+		alem.Config{Seed: 5, MaxLabels: 300})
+	fmt.Printf("\nfor comparison, Trees(10) reaches F1 %.3f but its DNF has %d atoms\n",
+		fres.Curve.BestF1(), alem.ForestAtoms(forest))
+	fmt.Println("(Fig. 18a: rules are 2-3 orders of magnitude more concise).")
+}

@@ -1,0 +1,35 @@
+// Noisy Oracle: emulates crowd-sourced labeling (§6.2) — the Oracle
+// flips each label with a fixed probability and no majority voting
+// corrects it. Shows how tree-ensemble quality degrades with noise, and
+// how active selection compares against random (supervised) selection
+// under the same noise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/alem/alem"
+)
+
+func main() {
+	d, err := alem.LoadDataset("amazon-bestbuy", 1.0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := alem.NewPool(d)
+	fmt.Printf("amazon-bestbuy: %d candidate pairs, skew %.3f\n\n", pool.Len(), pool.Skew())
+
+	fmt.Println("noise   active trees F1   supervised trees F1")
+	for _, noise := range []float64{0, 0.10, 0.20, 0.30, 0.40} {
+		active := alem.Run(pool, alem.NewRandomForest(20, 11), alem.ForestQBC{},
+			alem.NewNoisyOracle(d, noise, 11), alem.Config{Seed: 11})
+		supervised := alem.Run(pool, alem.NewRandomForest(20, 11), alem.RandomSelector{},
+			alem.NewNoisyOracle(d, noise, 11), alem.Config{Seed: 11})
+		fmt.Printf("%4.0f%%   %15.3f   %19.3f\n",
+			noise*100, active.Curve.FinalF1(), supervised.Curve.FinalF1())
+	}
+
+	fmt.Println("\nexpected: graceful degradation with noise; the active-vs-supervised gap")
+	fmt.Println("narrows as noise grows (paper Figs. 14-15, 17).")
+}

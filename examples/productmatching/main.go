@@ -1,0 +1,47 @@
+// Product matching: the paper's motivating hard case. Compares example
+// selectors on a linear SVM over the Abt-Buy stand-in — learner-agnostic
+// QBC vs margin vs margin with the §5.1 blocking-dimension optimization —
+// reporting both quality and the selection-latency breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/alem/alem"
+)
+
+func main() {
+	d, err := alem.LoadDataset("abt-buy", 0.25, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := alem.NewPool(d)
+	fmt.Printf("abt-buy: %d candidate pairs, %d feature dims, skew %.3f\n\n",
+		pool.Len(), len(alem.SimilarityMetrics())*len(d.Left.Schema), pool.Skew())
+
+	cfg := alem.Config{Seed: 7, MaxLabels: 400}
+	type variant struct {
+		name string
+		sel  alem.Selector
+	}
+	for _, v := range []variant{
+		{"QBC(10)", alem.QBC{B: 10, Factory: alem.SVMFactory}},
+		{"Margin(all dims)", alem.MarginSelector{}},
+		{"Margin(1 blocking dim)", alem.BlockedMargin{TopK: 1}},
+	} {
+		res := alem.Run(pool, alem.NewSVM(7), v.sel, alem.NewPerfectOracle(d), cfg)
+		var committee, scoring time.Duration
+		for _, p := range res.Curve {
+			committee += p.CommitteeCreateTime
+			scoring += p.ScoreTime
+		}
+		fmt.Printf("%-24s best F1 %.3f  labels %4d  committee %8v  scoring %8v\n",
+			v.name, res.Curve.BestF1(), res.LabelsUsed,
+			committee.Round(time.Millisecond), scoring.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nexpected: all three reach similar F1; margin pays no committee cost;")
+	fmt.Println("the blocking dimension cuts scoring time further (paper §5.1, Fig. 10-11).")
+}

@@ -1,0 +1,38 @@
+// Publication dedup: Cora-style duplicate citation clusters, matched
+// with the §5.2 active ensemble — several high-precision linear
+// classifiers accepted incrementally (τ = 0.85), each claiming the
+// matches it covers — compared with a single margin-trained SVM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/alem/alem"
+)
+
+func main() {
+	d, err := alem.LoadDataset("cora", 0.05, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := alem.NewPool(d)
+	fmt.Printf("cora: %d candidate pairs (dedup clusters), skew %.3f\n\n", pool.Len(), pool.Skew())
+
+	single := alem.Run(pool, alem.NewSVM(3), alem.MarginSelector{}, alem.NewPerfectOracle(d),
+		alem.Config{Seed: 3, MaxLabels: 500})
+	fmt.Printf("single SVM + margin:      best F1 %.3f (labels %d)\n",
+		single.Curve.BestF1(), single.LabelsUsed)
+
+	ens := alem.RunEnsemble(pool, alem.NewPerfectOracle(d), alem.EnsembleConfig{
+		Config:   alem.Config{Seed: 3, MaxLabels: 500},
+		Tau:      0.85,
+		Factory:  alem.SVMFactory,
+		Selector: alem.MarginSelector{},
+	})
+	fmt.Printf("active ensemble (τ=0.85): best F1 %.3f (labels %d, accepted SVMs %d)\n",
+		ens.Curve.BestF1(), ens.LabelsUsed, ens.Accepted)
+
+	fmt.Println("\neach accepted classifier claims its predicted matches and the next one")
+	fmt.Println("is learned on the uncovered remainder — recall grows union by union (§5.2).")
+}

@@ -1,0 +1,3 @@
+module github.com/alem/alem
+
+go 1.22

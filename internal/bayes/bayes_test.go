@@ -1,0 +1,128 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/alem/alem/internal/feature"
+)
+
+func gaussianData(n int, seed int64) ([]feature.Vector, []bool) {
+	r := rand.New(rand.NewSource(seed))
+	X := make([]feature.Vector, 0, n)
+	y := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		mu := 0.2
+		if pos {
+			mu = 0.8
+		}
+		X = append(X, feature.Vector{mu + r.NormFloat64()*0.1, mu + r.NormFloat64()*0.1})
+		y = append(y, pos)
+	}
+	return X, y
+}
+
+func TestNaiveBayesSeparable(t *testing.T) {
+	X, y := gaussianData(400, 1)
+	nb := New()
+	nb.Train(X, y)
+	ok := 0
+	for i, x := range X {
+		if nb.Predict(x) == y[i] {
+			ok++
+		}
+	}
+	if acc := float64(ok) / float64(len(X)); acc < 0.97 {
+		t.Errorf("accuracy %.3f, want >= 0.97 on well-separated Gaussians", acc)
+	}
+}
+
+func TestNaiveBayesUntrained(t *testing.T) {
+	nb := New()
+	if nb.Predict(feature.Vector{1, 2}) {
+		t.Error("untrained NB should predict negative")
+	}
+	if nb.Margin(feature.Vector{1, 2}) != 0 {
+		t.Error("untrained NB margin should be 0")
+	}
+	nb.Train(nil, nil)
+	if nb.Predict(feature.Vector{1, 2}) {
+		t.Error("NB trained on empty data should predict negative")
+	}
+}
+
+func TestNaiveBayesMarginGeometry(t *testing.T) {
+	X, y := gaussianData(400, 2)
+	nb := New()
+	nb.Train(X, y)
+	mid := nb.Margin(feature.Vector{0.5, 0.5})
+	pos := nb.Margin(feature.Vector{0.8, 0.8})
+	neg := nb.Margin(feature.Vector{0.2, 0.2})
+	if mid >= pos || mid >= neg {
+		t.Errorf("margin(mid)=%.3f not below margin(pos)=%.3f / margin(neg)=%.3f", mid, pos, neg)
+	}
+}
+
+func TestNaiveBayesSingleClass(t *testing.T) {
+	X := []feature.Vector{{0.5}, {0.6}, {0.4}}
+	y := []bool{true, true, true}
+	nb := New()
+	nb.Train(X, y)
+	if !nb.Predict(feature.Vector{0.5}) {
+		t.Error("all-positive training should predict positive near the data")
+	}
+	if m := nb.Margin(feature.Vector{0.5}); math.IsNaN(m) {
+		t.Error("single-class margin is NaN")
+	}
+}
+
+func TestNaiveBayesConstantFeature(t *testing.T) {
+	// Zero-variance feature must not produce infinite densities.
+	X := []feature.Vector{{1, 0.2}, {1, 0.8}, {1, 0.1}, {1, 0.9}}
+	y := []bool{false, true, false, true}
+	nb := New()
+	nb.Train(X, y)
+	for _, x := range X {
+		if m := nb.Margin(x); math.IsNaN(m) || math.IsInf(m, 0) {
+			t.Fatalf("margin(%v) = %v", x, m)
+		}
+	}
+	if !nb.Predict(feature.Vector{1, 0.85}) {
+		t.Error("high second feature should predict positive")
+	}
+}
+
+func TestNaiveBayesPriorEffect(t *testing.T) {
+	// Heavily skewed classes: prior should pull ambiguous points to the
+	// majority class.
+	var X []feature.Vector
+	var y []bool
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 900; i++ {
+		X = append(X, feature.Vector{0.5 + r.NormFloat64()*0.3})
+		y = append(y, false)
+	}
+	for i := 0; i < 100; i++ {
+		X = append(X, feature.Vector{0.5 + r.NormFloat64()*0.3})
+		y = append(y, true)
+	}
+	nb := New()
+	nb.Train(X, y)
+	if nb.Predict(feature.Vector{0.5}) {
+		t.Error("ambiguous point should go to the 9:1 majority class")
+	}
+}
+
+func TestNaiveBayesPredictAll(t *testing.T) {
+	X, y := gaussianData(100, 4)
+	nb := New()
+	nb.Train(X, y)
+	all := nb.PredictAll(X)
+	for i, x := range X {
+		if all[i] != nb.Predict(x) {
+			t.Fatalf("PredictAll[%d] mismatch", i)
+		}
+	}
+}

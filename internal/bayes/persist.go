@@ -1,0 +1,40 @@
+package bayes
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// nbState is the serialized form of a trained classifier.
+type nbState struct {
+	VarSmoothing float64      `json:"var_smoothing"`
+	LogPrior     [2]float64   `json:"log_prior"`
+	Mean         [2][]float64 `json:"mean"`
+	Var          [2][]float64 `json:"var"`
+}
+
+// SaveJSON writes the trained model for later reuse.
+func (nb *NaiveBayes) SaveJSON(w io.Writer) error {
+	if !nb.trained {
+		return fmt.Errorf("bayes: cannot save an untrained model")
+	}
+	st := nbState{VarSmoothing: nb.VarSmoothing, LogPrior: nb.logPrior, Mean: nb.mean, Var: nb.vari}
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("bayes: encoding model: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a model written by SaveJSON.
+func LoadJSON(r io.Reader) (*NaiveBayes, error) {
+	var st nbState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("bayes: decoding model: %w", err)
+	}
+	nb := New()
+	nb.VarSmoothing = st.VarSmoothing
+	nb.logPrior, nb.mean, nb.vari = st.LogPrior, st.Mean, st.Var
+	nb.trained = true
+	return nb, nil
+}

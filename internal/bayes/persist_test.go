@@ -1,0 +1,42 @@
+package bayes
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNaiveBayesSaveLoadRoundTrip(t *testing.T) {
+	X, y := gaussianData(200, 71)
+	nb := New()
+	nb.Train(X, y)
+	var buf bytes.Buffer
+	if err := nb.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if got.Predict(x) != nb.Predict(x) {
+			t.Fatal("prediction differs after round trip")
+		}
+		if got.Margin(x) != nb.Margin(x) {
+			t.Fatal("margin differs after round trip")
+		}
+	}
+}
+
+func TestNaiveBayesSaveUntrainedFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().SaveJSON(&buf); err == nil {
+		t.Error("SaveJSON accepted an untrained model")
+	}
+}
+
+func TestNaiveBayesLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("x")); err == nil {
+		t.Error("LoadJSON accepted garbage")
+	}
+}

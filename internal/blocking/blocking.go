@@ -1,0 +1,145 @@
+// Package blocking implements the offline blocking step of the pipeline
+// (§6): out of the Cartesian product of left × right records, keep only
+// pairs whose full-record token sets have Jaccard similarity at or above a
+// dataset-specific threshold (0.1875 / 0.12 / 0.16 in the paper). The
+// survivors are the post-blocking candidate pairs every learner and
+// selector operates on.
+//
+// This is distinct from the *blocking dimensions* optimization of §5.1,
+// which lives in the core package and prunes example scoring, not
+// candidate generation.
+package blocking
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/textsim"
+)
+
+// Result holds the post-blocking candidate pairs of a dataset together
+// with the recall of the blocking step itself.
+type Result struct {
+	Pairs []dataset.PairKey
+	// MatchesKept / MatchesTotal measure how many true matches survived
+	// blocking; lost matches cap the recall any downstream learner can
+	// reach, exactly as in the paper's pipeline.
+	MatchesKept, MatchesTotal int
+}
+
+// Skew returns the fraction of candidate pairs that are true matches
+// (the "Class skew" column of Table 1).
+func (r *Result) Skew(d *dataset.Dataset) float64 {
+	if len(r.Pairs) == 0 {
+		return 0
+	}
+	m := 0
+	for _, p := range r.Pairs {
+		if d.IsMatch(p) {
+			m++
+		}
+	}
+	return float64(m) / float64(len(r.Pairs))
+}
+
+// Block computes the post-blocking candidate pairs of d at its profile
+// threshold using an inverted token index: only pairs sharing at least one
+// non-stop token are scored, never the full Cartesian product.
+func Block(d *dataset.Dataset) *Result {
+	return BlockThreshold(d, d.BlockThreshold)
+}
+
+// BlockThreshold is Block with an explicit Jaccard threshold.
+func BlockThreshold(d *dataset.Dataset, threshold float64) *Result {
+	tok := textsim.Whitespace{}
+	leftTokens := tokenizeAll(d.Left, tok)
+	rightTokens := tokenizeAll(d.Right, tok)
+
+	// Inverted index over right-record tokens. Tokens occurring in a large
+	// fraction of records are stop words: they generate enormous candidate
+	// lists while contributing almost nothing to Jaccard overlap at the
+	// thresholds in use.
+	maxDF := len(d.Right.Rows) / 5
+	if maxDF < 50 {
+		maxDF = 50
+	}
+	index := make(map[string][]int32)
+	for ri, toks := range rightTokens {
+		seen := make(map[string]struct{}, len(toks))
+		for _, t := range toks {
+			if _, ok := seen[t]; ok {
+				continue
+			}
+			seen[t] = struct{}{}
+			index[t] = append(index[t], int32(ri))
+		}
+	}
+
+	nWorkers := runtime.GOMAXPROCS(0)
+	perLeft := make([][]dataset.PairKey, len(d.Left.Rows))
+	var wg sync.WaitGroup
+	chunk := (len(d.Left.Rows) + nWorkers - 1) / nWorkers
+	for w := 0; w < nWorkers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(d.Left.Rows) {
+			hi = len(d.Left.Rows)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			cand := make(map[int32]struct{})
+			for li := lo; li < hi; li++ {
+				clear(cand)
+				seen := make(map[string]struct{}, len(leftTokens[li]))
+				for _, t := range leftTokens[li] {
+					if _, ok := seen[t]; ok {
+						continue
+					}
+					seen[t] = struct{}{}
+					post := index[t]
+					if len(post) > maxDF {
+						continue
+					}
+					for _, ri := range post {
+						cand[ri] = struct{}{}
+					}
+				}
+				for ri := range cand {
+					if textsim.JaccardTokens(leftTokens[li], rightTokens[ri]) >= threshold {
+						perLeft[li] = append(perLeft[li], dataset.PairKey{L: li, R: int(ri)})
+					}
+				}
+				sort.Slice(perLeft[li], func(a, b int) bool {
+					return perLeft[li][a].R < perLeft[li][b].R
+				})
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	res := &Result{MatchesTotal: d.NumMatches()}
+	for _, ps := range perLeft {
+		res.Pairs = append(res.Pairs, ps...)
+	}
+	for _, p := range res.Pairs {
+		if d.IsMatch(p) {
+			res.MatchesKept++
+		}
+	}
+	return res
+}
+
+// tokenizeAll tokenizes the concatenated attribute values of every record.
+func tokenizeAll(t *dataset.Table, tok textsim.Tokenizer) [][]string {
+	out := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = tok.Tokens(strings.Join(r.Values, " "))
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package blocking
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/textsim"
+)
+
+// bruteForce computes the exact post-blocking set by scoring the full
+// Cartesian product — the specification the inverted-index implementation
+// must match (modulo the documented stop-word pruning, which the small
+// datasets below do not trigger).
+func bruteForce(d *dataset.Dataset, threshold float64) map[dataset.PairKey]bool {
+	tok := textsim.Whitespace{}
+	out := map[dataset.PairKey]bool{}
+	for l := range d.Left.Rows {
+		lt := tok.Tokens(strings.Join(d.Left.Rows[l].Values, " "))
+		for r := range d.Right.Rows {
+			rt := tok.Tokens(strings.Join(d.Right.Rows[r].Values, " "))
+			if textsim.JaccardTokens(lt, rt) >= threshold {
+				out[dataset.PairKey{L: l, R: r}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestBlockMatchesBruteForce(t *testing.T) {
+	for _, name := range []string{"beer", "amazon-bestbuy"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d, err := dataset.Load(name, 1.0, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForce(d, d.BlockThreshold)
+			got := Block(d)
+			gotSet := map[dataset.PairKey]bool{}
+			for _, p := range got.Pairs {
+				gotSet[p] = true
+			}
+			for p := range want {
+				if !gotSet[p] {
+					t.Errorf("inverted index missed pair %v", p)
+				}
+			}
+			for p := range gotSet {
+				if !want[p] {
+					t.Errorf("inverted index kept sub-threshold pair %v", p)
+				}
+			}
+		})
+	}
+}
+
+func TestBlockAllPairsMeetThreshold(t *testing.T) {
+	d, err := dataset.Load("dblp-acm", 0.05, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Block(d)
+	tok := textsim.Whitespace{}
+	for _, p := range res.Pairs {
+		l, r := d.PairText(p)
+		j := textsim.JaccardTokens(tok.Tokens(l), tok.Tokens(r))
+		if j < d.BlockThreshold {
+			t.Fatalf("pair %v has Jaccard %.4f below threshold %.4f", p, j, d.BlockThreshold)
+		}
+	}
+}
+
+func TestBlockEmptyDataset(t *testing.T) {
+	d := dataset.NewDataset("empty", &dataset.Table{}, &dataset.Table{}, nil, 0.2)
+	res := Block(d)
+	if len(res.Pairs) != 0 || res.MatchesTotal != 0 {
+		t.Errorf("empty dataset blocked to %d pairs", len(res.Pairs))
+	}
+}
+
+func TestBlockSkewOnNoMatches(t *testing.T) {
+	l := &dataset.Table{Rows: []dataset.Record{{ID: "L0", Values: []string{"alpha beta"}}}}
+	r := &dataset.Table{Rows: []dataset.Record{{ID: "R0", Values: []string{"alpha beta"}}}}
+	d := dataset.NewDataset("x", l, r, nil, 0.2)
+	res := Block(d)
+	if res.Skew(d) != 0 {
+		t.Errorf("skew = %v on a dataset with no matches", res.Skew(d))
+	}
+}
+
+func TestSortedNeighborhoodBasics(t *testing.T) {
+	d, err := dataset.Load("beer", 1.0, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SortedNeighborhood(d, "beer_name", 10)
+	if len(res.Pairs) == 0 {
+		t.Fatal("no candidates")
+	}
+	// All pairs are cross-table and unique.
+	seen := map[dataset.PairKey]bool{}
+	for _, p := range res.Pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+		if p.L < 0 || p.L >= len(d.Left.Rows) || p.R < 0 || p.R >= len(d.Right.Rows) {
+			t.Fatalf("pair %v out of range", p)
+		}
+	}
+	if res.MatchesKept == 0 {
+		t.Error("sorted neighborhood kept no matches")
+	}
+}
+
+func TestSortedNeighborhoodWindowMonotone(t *testing.T) {
+	d, err := dataset.Load("beer", 1.0, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := SortedNeighborhood(d, "", 4)
+	big := SortedNeighborhood(d, "", 16)
+	if len(big.Pairs) < len(small.Pairs) {
+		t.Errorf("larger window produced fewer candidates: %d < %d",
+			len(big.Pairs), len(small.Pairs))
+	}
+	if big.MatchesKept < small.MatchesKept {
+		t.Errorf("larger window kept fewer matches: %d < %d",
+			big.MatchesKept, small.MatchesKept)
+	}
+	// Small-window candidates are a subset of large-window candidates.
+	bigSet := map[dataset.PairKey]bool{}
+	for _, p := range big.Pairs {
+		bigSet[p] = true
+	}
+	for _, p := range small.Pairs {
+		if !bigSet[p] {
+			t.Fatalf("pair %v in window-4 but not window-16", p)
+		}
+	}
+}
+
+func TestSortedNeighborhoodDegenerateWindow(t *testing.T) {
+	d := tinyDataset(0.2)
+	res := SortedNeighborhood(d, "", 0) // clamps to 2
+	for _, p := range res.Pairs {
+		_ = p
+	}
+	if res.MatchesTotal != 2 {
+		t.Errorf("MatchesTotal = %d, want 2", res.MatchesTotal)
+	}
+}

@@ -1,0 +1,157 @@
+// Package cluster turns pairwise match predictions into entity clusters —
+// the standard post-processing step of a deduplication pipeline (Cora in
+// the benchmark is exactly this shape): predicted matches induce a graph
+// over records, and connected components are the resolved entities.
+// Pairwise classifiers routinely produce non-transitive predictions
+// (A≈B, B≈C, A≉C); clustering reconciles them, and cluster-level metrics
+// quantify what the reconciliation cost or gained.
+package cluster
+
+import "sort"
+
+// Node identifies a record: side 0 is the left table, 1 the right.
+type Node struct {
+	Side int
+	Row  int
+}
+
+// Clusters groups nodes into resolved entities.
+type Clusters struct {
+	// Members lists each cluster's nodes, every cluster sorted, clusters
+	// ordered by their smallest node. Singletons are included.
+	Members [][]Node
+	byNode  map[Node]int
+}
+
+// Edge is one predicted match between a left and a right record.
+type Edge struct {
+	L, R int
+}
+
+// Connected builds clusters as connected components over the predicted
+// match edges, with every record in [0,nLeft) × [0,nRight) present
+// (unmatched records become singletons).
+func Connected(nLeft, nRight int, edges []Edge) *Clusters {
+	parent := make(map[Node]Node, nLeft+nRight)
+	var find func(Node) Node
+	find = func(x Node) Node {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b Node) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < nLeft; i++ {
+		find(Node{0, i})
+	}
+	for i := 0; i < nRight; i++ {
+		find(Node{1, i})
+	}
+	for _, e := range edges {
+		union(Node{0, e.L}, Node{1, e.R})
+	}
+
+	groups := map[Node][]Node{}
+	for n := range parent {
+		root := find(n)
+		groups[root] = append(groups[root], n)
+	}
+	c := &Clusters{byNode: make(map[Node]int, nLeft+nRight)}
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return nodeLess(members[i], members[j]) })
+		c.Members = append(c.Members, members)
+	}
+	sort.Slice(c.Members, func(i, j int) bool {
+		return nodeLess(c.Members[i][0], c.Members[j][0])
+	})
+	for ci, members := range c.Members {
+		for _, n := range members {
+			c.byNode[n] = ci
+		}
+	}
+	return c
+}
+
+func nodeLess(a, b Node) bool {
+	if a.Side != b.Side {
+		return a.Side < b.Side
+	}
+	return a.Row < b.Row
+}
+
+// SameCluster reports whether two nodes were resolved to one entity.
+func (c *Clusters) SameCluster(a, b Node) bool {
+	ca, oka := c.byNode[a]
+	cb, okb := c.byNode[b]
+	return oka && okb && ca == cb
+}
+
+// NumClusters returns the number of resolved entities (including
+// singletons).
+func (c *Clusters) NumClusters() int { return len(c.Members) }
+
+// ClusterOf returns the cluster index of a node, or -1 if unknown.
+func (c *Clusters) ClusterOf(n Node) int {
+	if ci, ok := c.byNode[n]; ok {
+		return ci
+	}
+	return -1
+}
+
+// PairwiseMetrics scores the clustering against ground-truth match
+// pairs: a cross-table pair counts as predicted-positive when both
+// records share a cluster. Transitive closure can both repair missed
+// pairs (recall up) and propagate errors (precision down); this metric
+// makes the trade measurable.
+func (c *Clusters) PairwiseMetrics(truth []Edge, nLeft, nRight int) (precision, recall, f1 float64) {
+	truthSet := make(map[Edge]bool, len(truth))
+	for _, e := range truth {
+		truthSet[e] = true
+	}
+	tp, fp, fn := 0, 0, 0
+	// Enumerate cross-table pairs cluster by cluster for predicted
+	// positives; count missed truth separately.
+	for _, members := range c.Members {
+		var lefts, rights []int
+		for _, n := range members {
+			if n.Side == 0 {
+				lefts = append(lefts, n.Row)
+			} else {
+				rights = append(rights, n.Row)
+			}
+		}
+		for _, l := range lefts {
+			for _, r := range rights {
+				if truthSet[Edge{l, r}] {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+	}
+	for _, e := range truth {
+		if !c.SameCluster(Node{0, e.L}, Node{1, e.R}) {
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return
+}

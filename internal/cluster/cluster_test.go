@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/alem/alem/internal/core"
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/tree"
+)
+
+func TestConnectedBasics(t *testing.T) {
+	// L0-R0, L1-R0 -> one cluster {L0, L1, R0}; everything else singleton.
+	c := Connected(3, 2, []Edge{{0, 0}, {1, 0}})
+	if !c.SameCluster(Node{0, 0}, Node{0, 1}) {
+		t.Error("L0 and L1 should be transitively clustered via R0")
+	}
+	if !c.SameCluster(Node{0, 0}, Node{1, 0}) {
+		t.Error("L0 and R0 should share a cluster")
+	}
+	if c.SameCluster(Node{0, 0}, Node{0, 2}) {
+		t.Error("L2 should be a singleton")
+	}
+	// 5 records, 3 in one cluster -> 3 clusters total.
+	if c.NumClusters() != 3 {
+		t.Errorf("NumClusters = %d, want 3", c.NumClusters())
+	}
+}
+
+func TestConnectedNoEdges(t *testing.T) {
+	c := Connected(2, 2, nil)
+	if c.NumClusters() != 4 {
+		t.Errorf("NumClusters = %d, want 4 singletons", c.NumClusters())
+	}
+	if c.ClusterOf(Node{0, 0}) == c.ClusterOf(Node{1, 0}) {
+		t.Error("distinct singletons share a cluster id")
+	}
+	if c.ClusterOf(Node{0, 99}) != -1 {
+		t.Error("unknown node should report -1")
+	}
+}
+
+func TestConnectedDeterministicOrder(t *testing.T) {
+	a := Connected(4, 4, []Edge{{3, 1}, {0, 0}, {2, 1}})
+	b := Connected(4, 4, []Edge{{0, 0}, {2, 1}, {3, 1}})
+	if a.NumClusters() != b.NumClusters() {
+		t.Fatal("edge order changed the clustering")
+	}
+	for i := range a.Members {
+		if len(a.Members[i]) != len(b.Members[i]) {
+			t.Fatal("edge order changed cluster ordering")
+		}
+		for j := range a.Members[i] {
+			if a.Members[i][j] != b.Members[i][j] {
+				t.Fatal("edge order changed member ordering")
+			}
+		}
+	}
+}
+
+func TestPairwiseMetricsExact(t *testing.T) {
+	truth := []Edge{{0, 0}, {1, 1}}
+	c := Connected(2, 2, truth)
+	p, r, f1 := c.PairwiseMetrics(truth, 2, 2)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("perfect clustering metrics = %v %v %v", p, r, f1)
+	}
+}
+
+func TestPairwiseMetricsTransitiveClosureEffects(t *testing.T) {
+	// Truth: L0-R0 and L1-R1 are separate entities. Predictions chain
+	// L0-R0, L1-R0 -> the component also implies L1-R0 (fp) and misses
+	// nothing it was given, but L1-R1 is absent (fn).
+	truth := []Edge{{0, 0}, {1, 1}}
+	c := Connected(2, 2, []Edge{{0, 0}, {1, 0}})
+	p, r, _ := c.PairwiseMetrics(truth, 2, 2)
+	if p >= 1 {
+		t.Errorf("precision = %v, want < 1 (L1-R0 is a false positive)", p)
+	}
+	if r >= 1 {
+		t.Errorf("recall = %v, want < 1 (L1-R1 missed)", r)
+	}
+}
+
+func TestClusteringRepairsMissedPairsOnCora(t *testing.T) {
+	// End-to-end: on a dedup dataset with duplicate clusters, transitive
+	// closure over a trained model's predictions should recover some
+	// matches the pairwise model missed (recall(clusters) >=
+	// recall(pairwise)).
+	d, err := dataset.Load("cora", 0.03, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewPool(d)
+	f := tree.NewForest(10, 19)
+	core.Run(pool, f, core.ForestQBC{}, oracle.NewPerfect(d), core.Config{
+		Seed: 19, MaxLabels: 200,
+	})
+	var predicted []Edge
+	tp, fn := 0, 0
+	for i, x := range pool.X {
+		if f.Predict(x) {
+			predicted = append(predicted, Edge{pool.Pairs[i].L, pool.Pairs[i].R})
+		}
+	}
+	var truth []Edge
+	for i, p := range pool.Pairs {
+		if pool.Truth[i] {
+			truth = append(truth, Edge{p.L, p.R})
+		}
+	}
+	c := Connected(len(d.Left.Rows), len(d.Right.Rows), predicted)
+	for i, p := range pool.Pairs {
+		if !pool.Truth[i] {
+			continue
+		}
+		if c.SameCluster(Node{0, p.L}, Node{1, p.R}) {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	clusterRecall := float64(tp) / float64(tp+fn)
+	// Pairwise recall of the raw model on the same pairs.
+	ptp, pfn := 0, 0
+	for i, x := range pool.X {
+		if !pool.Truth[i] {
+			continue
+		}
+		if f.Predict(x) {
+			ptp++
+		} else {
+			pfn++
+		}
+	}
+	pairRecall := float64(ptp) / float64(ptp+pfn)
+	if clusterRecall < pairRecall-1e-9 {
+		t.Errorf("cluster recall %.3f below pairwise recall %.3f (closure can only add)",
+			clusterRecall, pairRecall)
+	}
+	_, _, f1 := c.PairwiseMetrics(truth, len(d.Left.Rows), len(d.Right.Rows))
+	if f1 <= 0 {
+		t.Error("cluster-level F1 is zero")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"github.com/alem/alem/internal/bayes"
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/linear"
+	"github.com/alem/alem/internal/neural"
+	"github.com/alem/alem/internal/rules"
+	"github.com/alem/alem/internal/tree"
+)
+
+// Combo is one cell of the paper's Fig. 1b "4D view of unified active
+// learning": a learner family crossed with an example selector, with the
+// compatibility rule that the Fig. 2 class hierarchy encodes.
+type Combo struct {
+	LearnerFamily string
+	SelectorName  string
+	Compatible    bool
+	// Reason explains an incompatibility ("margin needs a MarginLearner").
+	Reason string
+	// PaperEvaluated marks combinations the paper's §6 actually ran.
+	PaperEvaluated bool
+}
+
+// learnerProbe pairs a family name with a representative instance used
+// purely for interface checks.
+type learnerProbe struct {
+	family string
+	mk     func() Learner
+}
+
+func allLearnerProbes() []learnerProbe {
+	return []learnerProbe{
+		{"linear (SVM)", func() Learner { return linear.NewSVM(0) }},
+		{"non-convex non-linear (NN)", func() Learner { return neural.NewNet(8, 0) }},
+		{"tree-based (random forest)", func() Learner { return tree.NewForest(5, 0) }},
+		{"rule-based (monotone DNF)", func() Learner {
+			return rules.NewModel(feature.NewBoolExtractor([]string{"a"}))
+		}},
+		{"naive Bayes (extension)", func() Learner { return bayes.New() }},
+	}
+}
+
+// selectorProbe pairs a selector with its compatibility check.
+type selectorProbe struct {
+	name       string
+	compatible func(l Learner) (bool, string)
+	evaluated  func(family string) bool
+}
+
+func allSelectorProbes() []selectorProbe {
+	isMargin := func(l Learner) (bool, string) {
+		if _, ok := l.(MarginLearner); ok {
+			return true, ""
+		}
+		return false, "margin selection needs a MarginLearner (|w·x+b| or affine output)"
+	}
+	isVote := func(l Learner) (bool, string) {
+		if _, ok := l.(VoteLearner); ok {
+			return true, ""
+		}
+		return false, "learner-aware QBC needs a VoteLearner (a committee grown during training)"
+	}
+	isRules := func(l Learner) (bool, string) {
+		if _, ok := l.(*rules.Model); ok {
+			return true, ""
+		}
+		return false, "LFP/LFN is devised only for the rule-based learner (§4.3)"
+	}
+	always := func(Learner) (bool, string) { return true, "" }
+	return []selectorProbe{
+		{"QBC (learner-agnostic)", always, func(f string) bool {
+			return f != "naive Bayes (extension)"
+		}},
+		{"margin", isMargin, func(f string) bool {
+			return f == "linear (SVM)" || f == "non-convex non-linear (NN)"
+		}},
+		{"margin+blocking (§5.1)", func(l Learner) (bool, string) {
+			if _, ok := l.(WeightedLinear); ok {
+				return true, ""
+			}
+			return false, "blocking dimensions need an exposed weight vector (WeightedLinear)"
+		}, func(f string) bool { return f == "linear (SVM)" }},
+		{"learner-aware QBC", isVote, func(f string) bool {
+			return f == "tree-based (random forest)"
+		}},
+		{"LFP/LFN", isRules, func(f string) bool {
+			return f == "rule-based (monotone DNF)"
+		}},
+		{"random (supervised)", always, func(f string) bool {
+			return f == "tree-based (random forest)"
+		}},
+		{"IWAL (extension)", isMargin, func(string) bool { return false }},
+	}
+}
+
+// Combinations enumerates the full learner × selector grid with
+// compatibility determined by the actual interface assertions the
+// framework runs on — the programmatic Fig. 1b/Fig. 2.
+func Combinations() []Combo {
+	var out []Combo
+	for _, lp := range allLearnerProbes() {
+		l := lp.mk()
+		for _, sp := range allSelectorProbes() {
+			ok, reason := sp.compatible(l)
+			out = append(out, Combo{
+				LearnerFamily:  lp.family,
+				SelectorName:   sp.name,
+				Compatible:     ok,
+				Reason:         reason,
+				PaperEvaluated: ok && sp.evaluated(lp.family),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/linear"
+	"github.com/alem/alem/internal/neural"
+	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/rules"
+	"github.com/alem/alem/internal/tree"
+)
+
+// syntheticPool builds a learnable pool: matches cluster near high
+// similarity, non-matches near low, with an ambiguous band in between.
+func syntheticPool(n int, seed int64) *Pool {
+	r := rand.New(rand.NewSource(seed))
+	X := make([]feature.Vector, 0, n)
+	truth := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		match := r.Float64() < 0.2
+		var base float64
+		if match {
+			base = 0.7 + r.Float64()*0.3
+		} else {
+			base = r.Float64() * 0.45
+		}
+		v := make(feature.Vector, 8)
+		for j := range v {
+			v[j] = clamp01(base + r.Float64()*0.2 - 0.1)
+		}
+		X = append(X, v)
+		truth = append(truth, match)
+	}
+	return NewPoolFromVectors(X, truth)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// poolOracle adapts a Pool's truth to the oracle interface via a
+// throwaway dataset.
+func poolOracle(p *Pool) oracle.Oracle {
+	l := &dataset.Table{Rows: make([]dataset.Record, p.Len())}
+	rt := &dataset.Table{Rows: make([]dataset.Record, p.Len())}
+	var matches []dataset.PairKey
+	for i, t := range p.Truth {
+		if t {
+			matches = append(matches, p.Pairs[i])
+		}
+	}
+	return oracle.NewPerfect(dataset.NewDataset("pool", l, rt, matches, 0))
+}
+
+func svmFactory(seed int64) Learner { return linear.NewSVM(seed) }
+
+func TestRunMarginSVMImproves(t *testing.T) {
+	pool := syntheticPool(600, 1)
+	res := Run(pool, linear.NewSVM(1), Margin{}, poolOracle(pool), Config{
+		Seed: 1, MaxLabels: 150,
+	})
+	if len(res.Curve) < 2 {
+		t.Fatalf("curve too short: %d points", len(res.Curve))
+	}
+	if f := res.Curve.BestF1(); f < 0.8 {
+		t.Errorf("best F1 = %.3f, want >= 0.8 on easy synthetic data", f)
+	}
+	if res.LabelsUsed > 150 {
+		t.Errorf("labels used %d exceeds MaxLabels", res.LabelsUsed)
+	}
+}
+
+func TestRunQBCSVM(t *testing.T) {
+	pool := syntheticPool(400, 2)
+	res := Run(pool, linear.NewSVM(2), QBC{B: 3, Factory: svmFactory}, poolOracle(pool), Config{
+		Seed: 2, MaxLabels: 120,
+	})
+	if f := res.Curve.BestF1(); f < 0.8 {
+		t.Errorf("QBC best F1 = %.3f, want >= 0.8", f)
+	}
+	// QBC must record committee creation time on at least one iteration.
+	found := false
+	for _, pt := range res.Curve {
+		if pt.CommitteeCreateTime > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("QBC never recorded committee creation time")
+	}
+}
+
+func TestRunForestQBC(t *testing.T) {
+	pool := syntheticPool(400, 3)
+	res := Run(pool, tree.NewForest(10, 3), ForestQBC{}, poolOracle(pool), Config{
+		Seed: 3, MaxLabels: 120, TargetF1: 0.995,
+	})
+	if f := res.Curve.BestF1(); f < 0.9 {
+		t.Errorf("forest best F1 = %.3f, want >= 0.9", f)
+	}
+	// Learner-aware committee: no committee creation time, only scoring.
+	for _, pt := range res.Curve {
+		if pt.CommitteeCreateTime != 0 {
+			t.Fatal("forest QBC should have zero committee creation time")
+		}
+	}
+}
+
+func TestRunNeuralMargin(t *testing.T) {
+	pool := syntheticPool(300, 4)
+	n := neural.NewNet(8, 4)
+	n.Epochs = 15 // keep the test fast
+	res := Run(pool, n, Margin{}, poolOracle(pool), Config{Seed: 4, MaxLabels: 100})
+	if f := res.Curve.BestF1(); f < 0.6 {
+		t.Errorf("neural margin best F1 = %.3f, want >= 0.6", f)
+	}
+}
+
+func TestRunTargetF1StopsEarly(t *testing.T) {
+	pool := syntheticPool(500, 5)
+	res := Run(pool, tree.NewForest(10, 5), ForestQBC{}, poolOracle(pool), Config{
+		Seed: 5, TargetF1: 0.9,
+	})
+	if res.LabelsUsed >= pool.Len() {
+		t.Error("run did not stop early despite reachable TargetF1")
+	}
+	if res.Curve.FinalF1() < 0.9 {
+		t.Errorf("final F1 %.3f below target despite early stop", res.Curve.FinalF1())
+	}
+}
+
+func TestRunHeldOutMode(t *testing.T) {
+	pool := syntheticPool(500, 6)
+	res := Run(pool, linear.NewSVM(6), Margin{}, poolOracle(pool), Config{
+		Seed: 6, Mode: HeldOut, MaxLabels: 100,
+	})
+	want := pool.Len() / 5
+	if res.TestSize != want {
+		t.Errorf("held-out test size = %d, want %d (20%%)", res.TestSize, want)
+	}
+	if res.LabelsUsed > pool.Len()-want {
+		t.Error("labeled examples drawn from the held-out test set")
+	}
+}
+
+func TestRunLabelsMonotoneOnCurve(t *testing.T) {
+	pool := syntheticPool(300, 7)
+	res := Run(pool, linear.NewSVM(7), Margin{}, poolOracle(pool), Config{Seed: 7, MaxLabels: 90})
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].Labels <= res.Curve[i-1].Labels {
+			t.Fatalf("labels not strictly increasing at %d: %d -> %d",
+				i, res.Curve[i-1].Labels, res.Curve[i].Labels)
+		}
+	}
+	if res.Curve[0].Labels < 30 {
+		t.Errorf("first point labels = %d, want >= 30 (seed set)", res.Curve[0].Labels)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	pool := syntheticPool(300, 8)
+	a := Run(pool, linear.NewSVM(9), Margin{}, poolOracle(pool), Config{Seed: 9, MaxLabels: 80})
+	b := Run(pool, linear.NewSVM(9), Margin{}, poolOracle(pool), Config{Seed: 9, MaxLabels: 80})
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatal("curve lengths differ across identical runs")
+	}
+	for i := range a.Curve {
+		if a.Curve[i].F1 != b.Curve[i].F1 || a.Curve[i].Labels != b.Curve[i].Labels {
+			t.Fatalf("point %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestBlockedMarginSelectsAmbiguous(t *testing.T) {
+	pool := syntheticPool(500, 10)
+	res := Run(pool, linear.NewSVM(10), BlockedMargin{TopK: 2}, poolOracle(pool), Config{
+		Seed: 10, MaxLabels: 120,
+	})
+	if f := res.Curve.BestF1(); f < 0.75 {
+		t.Errorf("blocked margin best F1 = %.3f, want >= 0.75", f)
+	}
+}
+
+func TestBlockedMarginPrunesZeroDims(t *testing.T) {
+	// Vectors where half the pool is all-zero on every dimension: those
+	// must never be selected by the blocked margin.
+	var X []feature.Vector
+	var truth []bool
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			X = append(X, feature.Vector{0, 0, 0})
+			truth = append(truth, false)
+		} else {
+			v := float64(i%10) / 10
+			X = append(X, feature.Vector{v, v, v})
+			truth = append(truth, v > 0.5)
+		}
+	}
+	pool := NewPoolFromVectors(X, truth)
+	svm := linear.NewSVM(11)
+	// Train once on a mixed sample so weights exist.
+	svm.Train([]feature.Vector{{0.9, 0.9, 0.9}, {0.1, 0.1, 0.1}}, []bool{true, false})
+	ctx := &SelectContext{
+		Learner: svm, Pool: pool,
+		Unlabeled: seqInts(pool.Len()),
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	sel := BlockedMargin{TopK: 1}.Select(ctx, 20)
+	for _, i := range sel {
+		if pool.X[i][0] == 0 && pool.X[i][1] == 0 && pool.X[i][2] == 0 {
+			t.Fatalf("blocked margin selected an all-zero example %d", i)
+		}
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestMarginRequiresMarginLearner(t *testing.T) {
+	pool := syntheticPool(100, 12)
+	ctx := &SelectContext{
+		Learner:   tree.NewForest(5, 1), // no Margin method
+		Pool:      pool,
+		Unlabeled: seqInts(pool.Len()),
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	if got := (Margin{}).Select(ctx, 5); got != nil {
+		t.Error("margin selector accepted a non-margin learner (Fig. 2 compatibility)")
+	}
+	if got := (ForestQBC{}).Select(ctx, 5); len(got) == 0 {
+		t.Skip("forest untrained; acceptable")
+	}
+}
+
+func TestLFPLFNRequiresRules(t *testing.T) {
+	pool := syntheticPool(100, 13)
+	ctx := &SelectContext{
+		Learner:   linear.NewSVM(1),
+		Pool:      pool,
+		Unlabeled: seqInts(pool.Len()),
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	if got := (LFPLFN{}).Select(ctx, 5); got != nil {
+		t.Error("LFP/LFN selector accepted a non-rules learner")
+	}
+}
+
+func TestRunRulesLFPLFNTerminates(t *testing.T) {
+	// Boolean pool: one informative atom.
+	var X []feature.Vector
+	var truth []bool
+	r := rand.New(rand.NewSource(14))
+	for i := 0; i < 300; i++ {
+		match := r.Float64() < 0.3
+		v := make(feature.Vector, 12)
+		for j := range v {
+			if r.Float64() < 0.2 {
+				v[j] = 1
+			}
+		}
+		if match {
+			v[0] = 1
+			if r.Float64() < 0.8 {
+				v[1] = 1
+			}
+		} else {
+			v[0] = 0
+		}
+		X = append(X, v)
+		truth = append(truth, match)
+	}
+	pool := NewPoolFromVectors(X, truth)
+	ext := feature.NewBoolExtractor([]string{"a", "b", "c", "d"})
+	m := rules.NewModel(ext)
+	res := Run(pool, m, LFPLFN{}, poolOracle(pool), Config{Seed: 14})
+	// Rule learning must terminate early (no LFPs/LFNs) well before
+	// exhausting the pool.
+	if res.LabelsUsed >= pool.Len() {
+		t.Error("rules run failed to terminate early")
+	}
+	if f := res.Curve.BestF1(); f < 0.7 {
+		t.Errorf("rules best F1 = %.3f, want >= 0.7", f)
+	}
+}
+
+func TestRunEnsembleAcceptsAndImproves(t *testing.T) {
+	pool := syntheticPool(600, 15)
+	res := RunEnsemble(pool, poolOracle(pool), EnsembleConfig{
+		Config:   Config{Seed: 15, MaxLabels: 200},
+		Factory:  svmFactory,
+		Selector: Margin{},
+	})
+	if f := res.Curve.BestF1(); f < 0.8 {
+		t.Errorf("ensemble best F1 = %.3f, want >= 0.8", f)
+	}
+	if res.Accepted < 1 {
+		t.Error("ensemble accepted no classifiers on easy data")
+	}
+	if res.LabelsUsed > 200 {
+		t.Errorf("labels used %d exceeds MaxLabels", res.LabelsUsed)
+	}
+}
+
+func TestRunEnsembleDeterministic(t *testing.T) {
+	pool := syntheticPool(300, 16)
+	a := RunEnsemble(pool, poolOracle(pool), EnsembleConfig{
+		Config: Config{Seed: 16, MaxLabels: 100}, Factory: svmFactory, Selector: Margin{},
+	})
+	b := RunEnsemble(pool, poolOracle(pool), EnsembleConfig{
+		Config: Config{Seed: 16, MaxLabels: 100}, Factory: svmFactory, Selector: Margin{},
+	})
+	if a.Accepted != b.Accepted || len(a.Curve) != len(b.Curve) {
+		t.Fatal("ensemble runs differ across identical seeds")
+	}
+}
+
+func TestNoisyOracleDegradesQuality(t *testing.T) {
+	// End-to-end: 40% label noise must hurt final F1 vs a perfect oracle.
+	d, err := dataset.Load("beer", 1.0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(d)
+	clean := Run(pool, tree.NewForest(10, 20), ForestQBC{}, oracle.NewPerfect(d), Config{
+		Seed: 20, MaxLabels: 150,
+	})
+	noisy := Run(pool, tree.NewForest(10, 20), ForestQBC{}, oracle.NewNoisy(d, 0.4, 20), Config{
+		Seed: 20, MaxLabels: 150,
+	})
+	if noisy.Curve.FinalF1() >= clean.Curve.FinalF1() {
+		t.Errorf("40%% noise final F1 %.3f not below clean %.3f",
+			noisy.Curve.FinalF1(), clean.Curve.FinalF1())
+	}
+}
+
+func TestPoolFromDataset(t *testing.T) {
+	d, err := dataset.Load("beer", 0.5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(d)
+	if pool.Len() == 0 {
+		t.Fatal("empty pool")
+	}
+	if len(pool.X[0]) != len(d.Left.Schema)*21 {
+		t.Errorf("vector dim = %d, want %d", len(pool.X[0]), len(d.Left.Schema)*21)
+	}
+	if s := pool.Skew(); s <= 0 || s >= 1 {
+		t.Errorf("skew = %v, want in (0,1)", s)
+	}
+	boolPool := NewBoolPool(d)
+	if len(boolPool.X[0]) != len(d.Left.Schema)*30 {
+		t.Errorf("bool dim = %d, want %d", len(boolPool.X[0]), len(d.Left.Schema)*30)
+	}
+	for _, v := range boolPool.X[0] {
+		if v != 0 && v != 1 {
+			t.Fatalf("bool pool has non-binary value %v", v)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package core is the active-learning framework itself (§3): the learner
+// and example-selector abstractions of Fig. 2 — expressed as Go interfaces
+// rather than class inheritance — the active-learning loop that ties
+// learner, selector, Oracle and evaluator together, and the two §5
+// enhancements (blocking dimensions and active ensembles).
+package core
+
+import (
+	"github.com/alem/alem/internal/feature"
+)
+
+// Learner is the base "learner" of the framework (Fig. 2): anything that
+// can be retrained from scratch on the cumulative labeled set and queried
+// for labels. linear.SVM, neural.Net, tree.Forest and rules.Model satisfy
+// it structurally.
+type Learner interface {
+	Name() string
+	Train(X []feature.Vector, y []bool)
+	Predict(x feature.Vector) bool
+	PredictAll(X []feature.Vector) []bool
+}
+
+// MarginLearner is a learner exposing a confidence margin — linear
+// classifiers (|w·x+b|, §4.2.1) and the neural network (affine output
+// magnitude, §4.2.2). Margin-based selection requires it; this is how the
+// framework records that margin is incompatible with forests and rules.
+type MarginLearner interface {
+	Learner
+	Margin(x feature.Vector) float64
+}
+
+// VoteLearner is a learner that *is* a committee in a learner-aware way:
+// random forests, whose trees vote (§4.1.1). Learner-aware QBC requires
+// it.
+type VoteLearner interface {
+	Learner
+	Votes(x feature.Vector) (pos, total int)
+}
+
+// WeightedLinear exposes the weight vector and bias of a linear model.
+// The §5.1 blocking-dimension optimization requires it to find the top-K
+// |weight| dimensions.
+type WeightedLinear interface {
+	MarginLearner
+	Weights() []float64
+	Bias() float64
+}
+
+// Factory creates a fresh untrained learner from a seed. Learner-agnostic
+// QBC uses it to build bootstrap committees (§4.1); passing a factory
+// rather than cloning keeps the committee construction fully decoupled
+// from the learner in use, per Mozafari et al.
+type Factory func(seed int64) Learner

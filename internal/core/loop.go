@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/alem/alem/internal/eval"
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/oracle"
+)
+
+// EvalMode selects the train/test protocol (§6 "Train-Test Splits").
+type EvalMode int
+
+const (
+	// Progressive evaluates every iteration's model on ALL post-blocking
+	// pairs, labeled and unlabeled — the paper's progressive F1.
+	Progressive EvalMode = iota
+	// HeldOut uses the conventional supervised split: 80% of the pool is
+	// the selection universe, 20% is a held-out test set (Figs. 16, 17).
+	HeldOut
+)
+
+// Config is the protocol of one active-learning run. Zero values pick the
+// paper's settings (seed 30, batch 10).
+type Config struct {
+	// SeedLabels is the size of the initial labeled sample (~30, §3).
+	SeedLabels int
+	// BatchSize is the number of examples labeled per iteration (10, §6).
+	BatchSize int
+	// MaxLabels terminates the run after this many Oracle queries; 0
+	// means the whole pool may be labeled (the noisy-Oracle criterion).
+	MaxLabels int
+	// TargetF1 terminates the run as soon as the evaluated F1 reaches it
+	// (the perfect-Oracle criterion: near-perfect ≈ 0.99); 0 disables.
+	TargetF1 float64
+	// Mode chooses the evaluation protocol.
+	Mode EvalMode
+	// HoldoutFrac is the held-out fraction under HeldOut (default 0.2).
+	HoldoutFrac float64
+	// Seed makes the run deterministic.
+	Seed int64
+	// OnIteration, if set, can enrich each recorded point (the
+	// interpretability experiments attach #DNF atoms and tree depth).
+	OnIteration func(learner Learner, pt *eval.Point)
+	// StabilityWindow enables a ground-truth-free stopping criterion the
+	// paper's §6.2 motivates ("the sweet spot in terms of when to
+	// terminate active learning ... may differ across datasets"): stop
+	// when the model's predictions over the pool have churned less than
+	// StabilityEpsilon (fraction of flipped predictions) for this many
+	// consecutive iterations. 0 disables.
+	StabilityWindow int
+	// StabilityEpsilon is the churn threshold (default 0.002 when a
+	// window is set).
+	StabilityEpsilon float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SeedLabels == 0 {
+		c.SeedLabels = 30
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 10
+	}
+	if c.HoldoutFrac == 0 {
+		c.HoldoutFrac = 0.2
+	}
+	return c
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Curve      eval.Curve
+	LabelsUsed int
+	// TestSize is the number of pairs each curve point was evaluated on.
+	TestSize int
+}
+
+// Run executes the active-learning loop of Fig. 1a: train on the
+// cumulative labeled set, evaluate, select a batch with the example
+// selector, query the Oracle, repeat. It terminates on TargetF1,
+// MaxLabels, an empty selection (rule learners), or pool exhaustion.
+func Run(pool *Pool, learner Learner, sel Selector, o oracle.Oracle, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Build the selection universe and the test set.
+	all := r.Perm(pool.Len())
+	var testIdx, universe []int
+	switch cfg.Mode {
+	case HeldOut:
+		cut := int(float64(pool.Len()) * cfg.HoldoutFrac)
+		testIdx, universe = all[:cut], all[cut:]
+	default:
+		testIdx = make([]int, pool.Len())
+		for i := range testIdx {
+			testIdx[i] = i
+		}
+		universe = all
+	}
+	maxLabels := cfg.MaxLabels
+	if maxLabels <= 0 || maxLabels > len(universe) {
+		maxLabels = len(universe)
+	}
+
+	// Initial seed sample. If a single class comes back, keep drawing
+	// batches until both classes are present (a degenerate training set
+	// cannot bootstrap any learner).
+	labeled := make([]int, 0, maxLabels)
+	labels := make([]bool, 0, maxLabels)
+	unlabeled := append([]int(nil), universe...)
+	take := func(k int) []int {
+		if k > len(unlabeled) {
+			k = len(unlabeled)
+		}
+		out := unlabeled[:k]
+		unlabeled = unlabeled[k:]
+		return out
+	}
+	for _, i := range take(min(cfg.SeedLabels, maxLabels)) {
+		labeled = append(labeled, i)
+		labels = append(labels, o.Label(pool.Pairs[i]))
+	}
+	for !bothClasses(labels) && len(unlabeled) > 0 && len(labeled) < maxLabels {
+		for _, i := range take(cfg.BatchSize) {
+			labeled = append(labeled, i)
+			labels = append(labels, o.Label(pool.Pairs[i]))
+		}
+	}
+
+	res := &Result{TestSize: len(testIdx)}
+	var prevPred []bool
+	stableIters := 0
+	stabilityEps := cfg.StabilityEpsilon
+	if stabilityEps == 0 {
+		stabilityEps = 0.002
+	}
+	for {
+		// Train on the cumulative labeled set (timed).
+		trainX := make([]feature.Vector, len(labeled))
+		trainY := make([]bool, len(labeled))
+		for j, i := range labeled {
+			trainX[j] = pool.X[i]
+			trainY[j] = labels[j]
+		}
+		start := time.Now()
+		learner.Train(trainX, trainY)
+		trainTime := time.Since(start)
+
+		// Evaluate on the test universe (prediction is read-only on every
+		// learner, so it parallelizes safely).
+		pred := parallelPredict(learner.Predict, pool, testIdx)
+		truth := make([]bool, len(testIdx))
+		for j, i := range testIdx {
+			truth[j] = pool.Truth[i]
+		}
+		conf := eval.Evaluate(pred, truth)
+		pt := eval.Point{
+			Labels:    len(labeled),
+			F1:        conf.F1(),
+			Precision: conf.Precision(),
+			Recall:    conf.Recall(),
+			TrainTime: trainTime,
+		}
+
+		// Select the next batch (selector records its own latencies).
+		ctx := &SelectContext{
+			Learner: learner, Pool: pool,
+			LabeledIdx: labeled, Labels: labels,
+			Unlabeled: unlabeled, Rand: r,
+		}
+		// Ground-truth-free stability stop: track prediction churn.
+		if cfg.StabilityWindow > 0 {
+			if prevPred != nil {
+				flips := 0
+				for j := range pred {
+					if pred[j] != prevPred[j] {
+						flips++
+					}
+				}
+				if float64(flips) <= stabilityEps*float64(len(pred)) {
+					stableIters++
+				} else {
+					stableIters = 0
+				}
+			}
+			prevPred = pred
+		}
+
+		var batch []int
+		done := len(labeled) >= maxLabels || len(unlabeled) == 0 ||
+			(cfg.TargetF1 > 0 && pt.F1 >= cfg.TargetF1) ||
+			(cfg.StabilityWindow > 0 && stableIters >= cfg.StabilityWindow)
+		if !done {
+			k := min(cfg.BatchSize, maxLabels-len(labeled))
+			batch = sel.Select(ctx, k)
+			done = len(batch) == 0
+		}
+		pt.CommitteeCreateTime = ctx.CommitteeCreate
+		pt.ScoreTime = ctx.Score
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(learner, &pt)
+		}
+		res.Curve = append(res.Curve, pt)
+		if done {
+			break
+		}
+
+		// Query the Oracle and move the batch into the labeled set.
+		inBatch := make(map[int]struct{}, len(batch))
+		for _, i := range batch {
+			inBatch[i] = struct{}{}
+			labeled = append(labeled, i)
+			labels = append(labels, o.Label(pool.Pairs[i]))
+		}
+		next := unlabeled[:0]
+		for _, i := range unlabeled {
+			if _, ok := inBatch[i]; !ok {
+				next = append(next, i)
+			}
+		}
+		unlabeled = next
+	}
+	res.LabelsUsed = len(labeled)
+	return res
+}
+
+// parallelPredict evaluates predict over pool.X[idx...] with one worker
+// per CPU, preserving order. Learner Predict methods only read model
+// state, so concurrent evaluation is safe.
+func parallelPredict(predict func(feature.Vector) bool, pool *Pool, idx []int) []bool {
+	out := make([]bool, len(idx))
+	nWorkers := runtime.GOMAXPROCS(0)
+	if len(idx) < 256 || nWorkers == 1 {
+		for j, i := range idx {
+			out[j] = predict(pool.X[i])
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(idx) + nWorkers - 1) / nWorkers
+	for w := 0; w < nWorkers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, len(idx))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				out[j] = predict(pool.X[idx[j]])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func bothClasses(labels []bool) bool {
+	if len(labels) == 0 {
+		return false
+	}
+	first := labels[0]
+	for _, l := range labels[1:] {
+		if l != first {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/rules"
+)
+
+// SelectContext is everything a selector may consult: the trained model,
+// the pool, the current labeled/unlabeled split, and an RNG for
+// tie-breaking. Selectors write their latency breakdown into it, matching
+// the §3 latency metric (committee creation vs example scoring).
+type SelectContext struct {
+	Learner    Learner
+	Pool       *Pool
+	LabeledIdx []int
+	Labels     []bool // aligned with LabeledIdx
+	Unlabeled  []int
+	Rand       *rand.Rand
+
+	// Filled by Select.
+	CommitteeCreate time.Duration
+	Score           time.Duration
+}
+
+// Selector is the example-selector component of Fig. 2. Select returns up
+// to k pool indices drawn from ctx.Unlabeled; an empty result signals the
+// selector has no informative examples left (rule learners terminate on
+// this).
+type Selector interface {
+	Name() string
+	Select(ctx *SelectContext, k int) []int
+}
+
+// Random selects a uniformly random batch. It is the example selector of
+// supervised learning in the paper's active-vs-supervised comparisons
+// (Figs. 16, 17): random selection plus retraining equals supervised
+// learning on a growing random sample.
+type Random struct{}
+
+// Name implements Selector.
+func (Random) Name() string { return "random" }
+
+// Select implements Selector.
+func (Random) Select(ctx *SelectContext, k int) []int {
+	start := time.Now()
+	defer func() { ctx.Score = time.Since(start) }()
+	n := len(ctx.Unlabeled)
+	if n <= k {
+		return append([]int(nil), ctx.Unlabeled...)
+	}
+	perm := ctx.Rand.Perm(n)[:k]
+	out := make([]int, 0, k)
+	for _, i := range perm {
+		out = append(out, ctx.Unlabeled[i])
+	}
+	return out
+}
+
+// QBC is learner-agnostic query-by-committee (§4.1, Mozafari et al.): B
+// bootstrap resamples of the labeled data train B committee members via
+// the factory; disagreement over an unlabeled example is the variance
+// (P/C)(1−P/C) of its positive votes, and the highest-variance examples
+// are selected (ties broken randomly).
+type QBC struct {
+	B       int
+	Factory Factory
+	// UseEntropy scores disagreement with vote entropy instead of the
+	// variance the paper substitutes for it (§4.1: "in lieu of entropy,
+	// we use variance"). For binary committees both are symmetric and
+	// peak at an even split, so they induce the SAME ranking —
+	// TestQBCEntropyEquivalentToVariance pins that equivalence, which is
+	// why the substitution is harmless.
+	UseEntropy bool
+}
+
+// Name implements Selector.
+func (q QBC) Name() string { return "qbc" }
+
+// Select implements Selector.
+func (q QBC) Select(ctx *SelectContext, k int) []int {
+	if q.B <= 0 || q.Factory == nil || len(ctx.LabeledIdx) == 0 {
+		return nil
+	}
+	// Committee creation (timed separately; it dominates QBC latency and
+	// grows with the labeled set, Fig. 10a-b).
+	start := time.Now()
+	committee := make([]Learner, q.B)
+	n := len(ctx.LabeledIdx)
+	for b := 0; b < q.B; b++ {
+		X := make([]feature.Vector, 0, n)
+		y := make([]bool, 0, n)
+		for i := 0; i < n; i++ {
+			j := ctx.Rand.Intn(n)
+			X = append(X, ctx.Pool.X[ctx.LabeledIdx[j]])
+			y = append(y, ctx.Labels[j])
+		}
+		m := q.Factory(ctx.Rand.Int63())
+		m.Train(X, y)
+		committee[b] = m
+	}
+	ctx.CommitteeCreate = time.Since(start)
+
+	// Example scoring: committee variance over every unlabeled example.
+	start = time.Now()
+	variance := make([]float64, len(ctx.Unlabeled))
+	for j, i := range ctx.Unlabeled {
+		pos := 0
+		for _, m := range committee {
+			if m.Predict(ctx.Pool.X[i]) {
+				pos++
+			}
+		}
+		p := float64(pos) / float64(q.B)
+		if q.UseEntropy {
+			variance[j] = binaryEntropy(p)
+		} else {
+			variance[j] = p * (1 - p)
+		}
+	}
+	picked := variancePick(ctx.Rand, ctx.Unlabeled, variance, k)
+	ctx.Score = time.Since(start)
+	return picked
+}
+
+// binaryEntropy is -p log p - (1-p) log(1-p), 0 at p ∈ {0, 1}.
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// variancePick selects the k highest-variance indices with random
+// tie-breaking: candidates are shuffled first, then stably sorted by
+// variance, so equal-variance examples come out in random order (§4.1).
+func variancePick(r *rand.Rand, unlabeled []int, variance []float64, k int) []int {
+	order := r.Perm(len(unlabeled))
+	sort.SliceStable(order, func(a, b int) bool {
+		return variance[order[a]] > variance[order[b]]
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	out := make([]int, 0, k)
+	for _, oi := range order[:k] {
+		out = append(out, unlabeled[oi])
+	}
+	return out
+}
+
+// Margin is learner-aware margin-based selection (§4.2): the unlabeled
+// examples with the smallest |margin| — closest to the decision boundary —
+// are the most ambiguous. Requires a MarginLearner; ties are broken by
+// pool index, making margin more deterministic than QBC, as §4.2.1 notes.
+type Margin struct{}
+
+// Name implements Selector.
+func (Margin) Name() string { return "margin" }
+
+// Select implements Selector.
+func (Margin) Select(ctx *SelectContext, k int) []int {
+	ml, ok := ctx.Learner.(MarginLearner)
+	if !ok {
+		return nil
+	}
+	start := time.Now()
+	defer func() { ctx.Score = time.Since(start) }()
+	type scored struct {
+		idx int
+		m   float64
+	}
+	s := make([]scored, 0, len(ctx.Unlabeled))
+	for _, i := range ctx.Unlabeled {
+		s = append(s, scored{i, math.Abs(ml.Margin(ctx.Pool.X[i]))})
+	}
+	sort.Slice(s, func(a, b int) bool {
+		if s[a].m != s[b].m {
+			return s[a].m < s[b].m
+		}
+		return s[a].idx < s[b].idx
+	})
+	if k > len(s) {
+		k = len(s)
+	}
+	out := make([]int, 0, k)
+	for _, x := range s[:k] {
+		out = append(out, x.idx)
+	}
+	return out
+}
+
+// BlockedMargin is Margin with the §5.1 blocking-dimension optimization
+// for linear classifiers: the TopK dimensions with the largest |weight|
+// are the blocking dimensions; an unlabeled example whose blocking
+// dimensions are all zero has margin ≈ |bias| — unambiguous — so its full
+// dot product is skipped entirely. TopK = Dim degenerates to plain
+// margin (the paper's "margin(188Dim)" baseline).
+type BlockedMargin struct {
+	TopK int
+}
+
+// Name implements Selector.
+func (BlockedMargin) Name() string { return "margin-blocked" }
+
+// Select implements Selector.
+func (bm BlockedMargin) Select(ctx *SelectContext, k int) []int {
+	wl, ok := ctx.Learner.(WeightedLinear)
+	if !ok {
+		return nil
+	}
+	start := time.Now()
+	defer func() { ctx.Score = time.Since(start) }()
+	w := wl.Weights()
+	if len(w) == 0 {
+		return Random{}.Select(ctx, k)
+	}
+	topK := bm.TopK
+	if topK <= 0 || topK > len(w) {
+		topK = len(w)
+	}
+	dims := topWeightDims(w, topK)
+
+	type scored struct {
+		idx int
+		m   float64
+	}
+	var s []scored
+	for _, i := range ctx.Unlabeled {
+		x := ctx.Pool.X[i]
+		blocked := true
+		for _, d := range dims {
+			if x[d] != 0 {
+				blocked = false
+				break
+			}
+		}
+		if blocked {
+			continue // margin == |bias|: prune without the dot product
+		}
+		s = append(s, scored{i, math.Abs(wl.Margin(x))})
+	}
+	if len(s) == 0 {
+		// Degenerate: everything pruned; fall back to plain margin.
+		return Margin{}.Select(ctx, k)
+	}
+	sort.Slice(s, func(a, b int) bool {
+		if s[a].m != s[b].m {
+			return s[a].m < s[b].m
+		}
+		return s[a].idx < s[b].idx
+	})
+	if k > len(s) {
+		k = len(s)
+	}
+	out := make([]int, 0, k)
+	for _, x := range s[:k] {
+		out = append(out, x.idx)
+	}
+	return out
+}
+
+// topWeightDims returns the indices of the k largest |w| entries.
+func topWeightDims(w []float64, k int) []int {
+	idx := make([]int, len(w))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(w[idx[a]]) > math.Abs(w[idx[b]])
+	})
+	return idx[:k]
+}
+
+// ForestQBC is learner-aware QBC for tree ensembles (§4.1.1): the random
+// forest's own trees are the committee — built during training, so
+// selection pays only the example-scoring cost. Variance is the same
+// (P/C)(1−P/C) disagreement measure.
+type ForestQBC struct{}
+
+// Name implements Selector.
+func (ForestQBC) Name() string { return "forest-qbc" }
+
+// Select implements Selector.
+func (ForestQBC) Select(ctx *SelectContext, k int) []int {
+	vl, ok := ctx.Learner.(VoteLearner)
+	if !ok {
+		return nil
+	}
+	start := time.Now()
+	defer func() { ctx.Score = time.Since(start) }()
+	variance := make([]float64, len(ctx.Unlabeled))
+	for j, i := range ctx.Unlabeled {
+		pos, total := vl.Votes(ctx.Pool.X[i])
+		if total == 0 {
+			continue
+		}
+		p := float64(pos) / float64(total)
+		variance[j] = p * (1 - p)
+	}
+	return variancePick(ctx.Rand, ctx.Unlabeled, variance, k)
+}
+
+// LFPLFN adapts the rule learner's Likely-False-Positive / Negative
+// heuristic (§4.3) to the Selector interface. It is compatible only with
+// rules.Model — the framework's way of recording that this selector has
+// no other children in the Fig. 2 hierarchy.
+type LFPLFN struct{}
+
+// Name implements Selector.
+func (LFPLFN) Name() string { return "lfp-lfn" }
+
+// Select implements Selector.
+func (LFPLFN) Select(ctx *SelectContext, k int) []int {
+	m, ok := ctx.Learner.(*rules.Model)
+	if !ok {
+		return nil
+	}
+	start := time.Now()
+	defer func() { ctx.Score = time.Since(start) }()
+	return m.SelectLFPLFN(ctx.Pool.X, ctx.Unlabeled, k)
+}

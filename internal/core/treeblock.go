@@ -1,0 +1,79 @@
+package core
+
+import (
+	"time"
+
+	"github.com/alem/alem/internal/interp"
+	"github.com/alem/alem/internal/tree"
+)
+
+// BlockedForestQBC is the §5 sketch the paper leaves unevaluated:
+// blocking during example selection for tree-based learners. A
+// high-recall blocking DNF is mined from the current forest's own trees
+// (the Corleone idea, via interp.MineBlockingDNF) against the labeled
+// data; unlabeled examples not covered by the DNF are pruned before the
+// committee variance is computed, cutting scoring cost while keeping the
+// ambiguous region intact.
+type BlockedForestQBC struct {
+	// TargetRecall is the labeled-positive coverage the mined DNF must
+	// reach (default 0.95).
+	TargetRecall float64
+}
+
+// Name implements Selector.
+func (BlockedForestQBC) Name() string { return "forest-qbc-blocked" }
+
+// Select implements Selector. It requires a VoteLearner that is a
+// *tree.Forest (the DNF is mined from its trees).
+func (bf BlockedForestQBC) Select(ctx *SelectContext, k int) []int {
+	vl, ok := ctx.Learner.(VoteLearner)
+	if !ok {
+		return nil
+	}
+	forest, ok := ctx.Learner.(*tree.Forest)
+	if !ok {
+		// Any other committee learner: plain learner-aware QBC.
+		return ForestQBC{}.Select(ctx, k)
+	}
+	target := bf.TargetRecall
+	if target <= 0 {
+		target = 0.95
+	}
+	start := time.Now()
+	defer func() { ctx.Score = time.Since(start) }()
+
+	// Mine the blocking DNF on the labeled data.
+	X := make([][]float64, len(ctx.LabeledIdx))
+	for j, i := range ctx.LabeledIdx {
+		X[j] = ctx.Pool.X[i]
+	}
+	dnf := interp.MineBlockingDNF(forest, X, ctx.Labels, target)
+
+	// Prune: only DNF-covered unlabeled examples get scored. The
+	// blocking predicate itself is cheap (a handful of clauses) compared
+	// to voting all trees.
+	candidates := ctx.Unlabeled
+	if len(dnf) > 0 {
+		pruned := make([]int, 0, len(ctx.Unlabeled))
+		for _, i := range ctx.Unlabeled {
+			if interp.EvalDNF(dnf, ctx.Pool.X[i]) {
+				pruned = append(pruned, i)
+			}
+		}
+		// Ambiguous matches live near the positive region the DNF
+		// covers; if pruning left too few candidates, fall back.
+		if len(pruned) >= k {
+			candidates = pruned
+		}
+	}
+	variance := make([]float64, len(candidates))
+	for j, i := range candidates {
+		pos, total := vl.Votes(ctx.Pool.X[i])
+		if total == 0 {
+			continue
+		}
+		p := float64(pos) / float64(total)
+		variance[j] = p * (1 - p)
+	}
+	return variancePick(ctx.Rand, candidates, variance, k)
+}

@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableCSVRoundTrip(t *testing.T) {
+	tbl := &Table{
+		Name:   "t",
+		Schema: []string{"name", "price"},
+		Rows: []Record{
+			{ID: "L0", Values: []string{"sonixx speaker", "19.99"}},
+			{ID: "L1", Values: []string{"with, comma", ""}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(got.Rows))
+	}
+	for i := range tbl.Rows {
+		if got.Rows[i].ID != tbl.Rows[i].ID {
+			t.Errorf("row %d id = %q, want %q", i, got.Rows[i].ID, tbl.Rows[i].ID)
+		}
+		for j := range tbl.Schema {
+			if got.Rows[i].Values[j] != tbl.Rows[i].Values[j] {
+				t.Errorf("row %d col %d = %q, want %q",
+					i, j, got.Rows[i].Values[j], tbl.Rows[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsMissingID(t *testing.T) {
+	if _, err := ReadCSV("bad", strings.NewReader("name,price\nx,1\n")); err == nil {
+		t.Error("ReadCSV accepted a table without an id column")
+	}
+}
+
+func TestTableValue(t *testing.T) {
+	tbl := &Table{Schema: []string{"a", "b"}, Rows: []Record{{Values: []string{"x", "y"}}}}
+	if v := tbl.Value(0, "b"); v != "y" {
+		t.Errorf("Value(0,b) = %q, want y", v)
+	}
+	if v := tbl.Value(0, "missing"); v != "" {
+		t.Errorf("Value(0,missing) = %q, want empty", v)
+	}
+}
+
+func TestDatasetTruth(t *testing.T) {
+	l := &Table{Rows: make([]Record, 3)}
+	r := &Table{Rows: make([]Record, 3)}
+	d := NewDataset("x", l, r, []PairKey{{L: 0, R: 0}, {L: 1, R: 2}}, 0.2)
+	if !d.IsMatch(PairKey{L: 0, R: 0}) || !d.IsMatch(PairKey{L: 1, R: 2}) {
+		t.Error("declared matches not reported as matches")
+	}
+	if d.IsMatch(PairKey{L: 0, R: 1}) {
+		t.Error("undeclared pair reported as match")
+	}
+	if d.NumMatches() != 2 {
+		t.Errorf("NumMatches = %d, want 2", d.NumMatches())
+	}
+	if d.TotalPairs() != 9 {
+		t.Errorf("TotalPairs = %d, want 9", d.TotalPairs())
+	}
+	if got := len(d.Matches()); got != 2 {
+		t.Errorf("len(Matches) = %d, want 2", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("beer")
+	a := Generate(p.Config(1.0), 99)
+	b := Generate(p.Config(1.0), 99)
+	if len(a.Left.Rows) != len(b.Left.Rows) || len(a.Right.Rows) != len(b.Right.Rows) {
+		t.Fatal("table sizes differ across identical seeds")
+	}
+	for i := range a.Left.Rows {
+		for j := range a.Left.Schema {
+			if a.Left.Rows[i].Values[j] != b.Left.Rows[i].Values[j] {
+				t.Fatalf("left row %d col %d differs across identical seeds", i, j)
+			}
+		}
+	}
+	c := Generate(p.Config(1.0), 100)
+	same := true
+	for i := range a.Left.Rows {
+		if i >= len(c.Left.Rows) {
+			same = false
+			break
+		}
+		if a.Left.Rows[i].Values[0] != c.Left.Rows[i].Values[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical left tables")
+	}
+}
+
+func TestGenerateMatchStructure(t *testing.T) {
+	p, _ := ProfileByName("abt-buy")
+	cfg := p.Config(0.1)
+	d := Generate(cfg, 7)
+	// 1-1 datasets: #matches == #shared entities.
+	if d.NumMatches() != cfg.NumEntities {
+		t.Errorf("matches = %d, want %d (1-1 dataset)", d.NumMatches(), cfg.NumEntities)
+	}
+	if len(d.Left.Rows) != cfg.NumEntities+cfg.LeftOnly {
+		t.Errorf("left rows = %d, want %d", len(d.Left.Rows), cfg.NumEntities+cfg.LeftOnly)
+	}
+	for _, m := range d.Matches() {
+		if m.L < 0 || m.L >= len(d.Left.Rows) || m.R < 0 || m.R >= len(d.Right.Rows) {
+			t.Fatalf("match %v out of range", m)
+		}
+	}
+}
+
+func TestGenerateDedupClusters(t *testing.T) {
+	p, _ := ProfileByName("cora")
+	cfg := p.Config(0.05)
+	d := Generate(cfg, 7)
+	// Duplicate clusters: strictly more matches than entities.
+	if d.NumMatches() <= cfg.NumEntities {
+		t.Errorf("cora matches = %d, want > %d entities (dup clusters)",
+			d.NumMatches(), cfg.NumEntities)
+	}
+	// Renditions per side within [min,max] overall bounds.
+	minRows := cfg.NumEntities*cfg.LeftDups[0] + cfg.LeftOnly
+	maxRows := cfg.NumEntities*cfg.LeftDups[1] + cfg.LeftOnly
+	if n := len(d.Left.Rows); n < minRows || n > maxRows {
+		t.Errorf("left rows = %d, want in [%d,%d]", n, minRows, maxRows)
+	}
+}
+
+func TestGenerateSchemasMatchProfiles(t *testing.T) {
+	for _, p := range Profiles() {
+		cfg := p.Config(0.02)
+		d := Generate(cfg, 3)
+		if len(d.Left.Schema) != len(p.Paper.MatchedColumns) {
+			t.Errorf("%s: schema width %d, want %d (Table 1 matched columns)",
+				p.Name, len(d.Left.Schema), len(p.Paper.MatchedColumns))
+		}
+		for i, c := range p.Paper.MatchedColumns {
+			if d.Left.Schema[i] != c {
+				t.Errorf("%s: schema[%d] = %q, want %q", p.Name, i, d.Left.Schema[i], c)
+			}
+		}
+		for _, r := range d.Left.Rows {
+			if len(r.Values) != len(d.Left.Schema) {
+				t.Fatalf("%s: row width %d != schema width %d", p.Name, len(r.Values), len(d.Left.Schema))
+			}
+		}
+	}
+}
+
+func TestLoadUnknownProfile(t *testing.T) {
+	if _, err := Load("no-such-dataset", 1, 1); err == nil {
+		t.Error("Load accepted unknown profile")
+	}
+}
+
+func TestProfilesSortedAndComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 10 {
+		t.Fatalf("%d profiles, want 10 (Table 1's nine + social-media)", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Name >= ps[i].Name {
+			t.Errorf("profiles not sorted: %q >= %q", ps[i-1].Name, ps[i].Name)
+		}
+	}
+	for _, want := range []string{"abt-buy", "amazon-google", "dblp-acm",
+		"dblp-scholar", "cora", "walmart-amazon", "amazon-bestbuy", "beer",
+		"baby-products", "social-media"} {
+		if _, ok := ProfileByName(want); !ok {
+			t.Errorf("missing profile %q", want)
+		}
+	}
+}
+
+func TestMatchesSurviveRendering(t *testing.T) {
+	// A matched pair must stay textually closer than a random pair, or the
+	// whole EM task degenerates. Check mean Jaccard separation.
+	d, err := Load("dblp-acm", 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matchSim, randSim float64
+	matches := d.Matches()
+	for _, m := range matches {
+		l, r := d.PairText(m)
+		matchSim += jaccardText(l, r)
+		// random pair with same left
+		rr := (m.R + 7) % len(d.Right.Rows)
+		l2, r2 := d.PairText(PairKey{L: m.L, R: rr})
+		randSim += jaccardText(l2, r2)
+	}
+	matchSim /= float64(len(matches))
+	randSim /= float64(len(matches))
+	if matchSim <= randSim+0.2 {
+		t.Errorf("match similarity %.3f not clearly above random %.3f", matchSim, randSim)
+	}
+}
+
+func jaccardText(a, b string) float64 {
+	ta := strings.Fields(strings.ToLower(a))
+	tb := strings.Fields(strings.ToLower(b))
+	sa := map[string]struct{}{}
+	for _, x := range ta {
+		sa[x] = struct{}{}
+	}
+	sb := map[string]struct{}{}
+	for _, x := range tb {
+		sb[x] = struct{}{}
+	}
+	inter := 0
+	for x := range sa {
+		if _, ok := sb[x]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

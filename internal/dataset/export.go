@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Export writes the dataset to dir as three CSV files — left.csv,
+// right.csv (id + schema columns) and matches.csv (left_id, right_id) —
+// the interchange layout used by the Magellan data repository the paper
+// draws its datasets from. The directory is created if needed.
+func (d *Dataset) Export(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: creating %s: %w", dir, err)
+	}
+	if err := writeTable(filepath.Join(dir, "left.csv"), d.Left); err != nil {
+		return err
+	}
+	if err := writeTable(filepath.Join(dir, "right.csv"), d.Right); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "matches.csv"))
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"left_id", "right_id"}); err != nil {
+		return err
+	}
+	matches := d.Matches()
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].L != matches[j].L {
+			return matches[i].L < matches[j].L
+		}
+		return matches[i].R < matches[j].R
+	})
+	for _, m := range matches {
+		if err := w.Write([]string{d.Left.Rows[m.L].ID, d.Right.Rows[m.R].ID}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeTable(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+// Import reads a dataset previously written by Export. The blocking
+// threshold is not stored in the CSV layout and must be supplied.
+func Import(name, dir string, blockThreshold float64) (*Dataset, error) {
+	left, err := readTable(name+"_left", filepath.Join(dir, "left.csv"))
+	if err != nil {
+		return nil, err
+	}
+	right, err := readTable(name+"_right", filepath.Join(dir, "right.csv"))
+	if err != nil {
+		return nil, err
+	}
+	leftIdx := make(map[string]int, len(left.Rows))
+	for i, r := range left.Rows {
+		leftIdx[r.ID] = i
+	}
+	rightIdx := make(map[string]int, len(right.Rows))
+	for i, r := range right.Rows {
+		rightIdx[r.ID] = i
+	}
+
+	f, err := os.Open(filepath.Join(dir, "matches.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	rows, err := rd.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading matches: %w", err)
+	}
+	var matches []PairKey
+	for i, row := range rows {
+		if i == 0 {
+			continue // header
+		}
+		li, ok := leftIdx[row[0]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: matches.csv row %d references unknown left id %q", i, row[0])
+		}
+		ri, ok := rightIdx[row[1]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: matches.csv row %d references unknown right id %q", i, row[1])
+		}
+		matches = append(matches, PairKey{L: li, R: ri})
+	}
+	return NewDataset(name, left, right, matches, blockThreshold), nil
+}
+
+func readTable(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}

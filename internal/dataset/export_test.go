@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig, err := Load("beer", 1.0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"left.csv", "right.csv", "matches.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	got, err := Import("beer", dir, orig.BlockThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Left.Rows) != len(orig.Left.Rows) || len(got.Right.Rows) != len(orig.Right.Rows) {
+		t.Fatalf("table sizes differ after round trip")
+	}
+	if got.NumMatches() != orig.NumMatches() {
+		t.Fatalf("matches = %d, want %d", got.NumMatches(), orig.NumMatches())
+	}
+	for _, m := range orig.Matches() {
+		if !got.IsMatch(m) {
+			t.Fatalf("match %v lost in round trip", m)
+		}
+	}
+	for i := range orig.Left.Rows {
+		for j := range orig.Left.Schema {
+			if got.Left.Rows[i].Values[j] != orig.Left.Rows[i].Values[j] {
+				t.Fatalf("left row %d col %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestImportRejectsDanglingMatch(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Load("beer", 0.3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt matches.csv with an unknown id.
+	path := filepath.Join(dir, "matches.csv")
+	if err := os.WriteFile(path, []byte("left_id,right_id\nL0,R0\nL999999,R0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import("beer", dir, 0.16); err == nil {
+		t.Error("Import accepted a match referencing a missing record")
+	}
+}
+
+func TestImportMissingDir(t *testing.T) {
+	if _, err := Import("x", "/nonexistent/path", 0.2); err == nil {
+		t.Error("Import accepted a missing directory")
+	}
+}

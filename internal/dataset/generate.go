@@ -1,0 +1,412 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies an attribute for generation and perturbation purposes.
+type Kind int
+
+// Attribute kinds.
+const (
+	KindWords       Kind = iota // free text assembled from a vocabulary
+	KindCategorical             // single vocabulary entry
+	KindNames                   // comma-separated person names
+	KindNumeric                 // float in [Lo, Hi]
+	KindModelNo                 // alphanumeric identifier
+	KindYear                    // integer year
+	KindEmail                   // derived from a KindNames attribute
+	KindURL                     // derived from a KindNames attribute
+	KindBool                    // yes / no
+	KindDims                    // WxHxD style dimensions
+)
+
+// AttrSpec declares one generated attribute.
+type AttrSpec struct {
+	Name               string
+	Kind               Kind
+	Vocab              []string // for KindWords / KindCategorical
+	MinWords, MaxWords int      // for KindWords
+	MinNames, MaxNames int      // for KindNames
+	Lo, Hi             float64  // for KindNumeric / KindYear
+	Shared             bool     // value is shared across a hard-negative family
+	NullRate           float64  // canonical (generation-side) missing rate
+	DeriveFrom         int      // source attr index for KindEmail / KindURL
+	ThemeFrac          float64  // for KindWords: fraction drawn from the family theme
+}
+
+// Config declares a synthetic EM dataset. See profiles.go for the ten
+// instances mirroring the paper's datasets.
+type Config struct {
+	Name        string
+	Attrs       []AttrSpec
+	NumEntities int // entities present in both tables (sources of matches)
+	// FamilySize groups entities into hard-negative families that share
+	// the Shared attributes and a description theme; 1 disables families.
+	FamilySize int
+	// LeftOnly / RightOnly are distractor entities rendered on one side
+	// only. They join existing families, so they survive blocking and
+	// dilute the class skew without creating matches.
+	LeftOnly, RightOnly int
+	// LeftDups / RightDups give the min..max number of renditions of each
+	// shared entity per side; [1,1] yields a clean 1-1 matching, larger
+	// ranges yield Cora-style duplicate clusters.
+	LeftDups, RightDups [2]int
+	// LeftPerturb / RightPerturb distort each rendition. The left table
+	// is conventionally the cleaner source.
+	LeftPerturb, RightPerturb Perturbation
+	// BlockThreshold is the paper's offline Jaccard threshold (§6).
+	BlockThreshold float64
+	// ThemeSize is the number of vocabulary words in each family's
+	// description theme (0 = default 15).
+	ThemeSize int
+	// ModalAttrs, when set to two attribute indices [a, b], makes the
+	// right-side rendition of each matching entity bimodal: half the
+	// renditions keep attribute a intact while destroying attribute b,
+	// the other half do the reverse. Matches then occupy two disjoint
+	// corners of similarity space with the hard-negative families in
+	// between — the non-linear structure that lets tree ensembles pull
+	// far ahead of linear classifiers on the paper's product datasets.
+	ModalAttrs [2]int
+	// Modal enables ModalAttrs (so [2]int{0, 1} remains expressible).
+	Modal bool
+}
+
+// entity is a canonical row: values aligned with Config.Attrs.
+type entity []string
+
+// family groups entities sharing Shared attr values and per-attribute word
+// themes.
+type family struct {
+	shared entity     // only Shared positions are set
+	themes [][]string // per-attr sub-vocabulary for KindWords attrs (nil if unthemed)
+}
+
+// Generate synthesizes a Dataset from a Config, deterministically in the
+// seed.
+func Generate(cfg Config, seed int64) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	if cfg.FamilySize <= 0 {
+		cfg.FamilySize = 1
+	}
+	if cfg.LeftDups == [2]int{} {
+		cfg.LeftDups = [2]int{1, 1}
+	}
+	if cfg.RightDups == [2]int{} {
+		cfg.RightDups = [2]int{1, 1}
+	}
+	themeSize := cfg.ThemeSize
+	if themeSize == 0 {
+		themeSize = 15
+	}
+
+	numFamilies := (cfg.NumEntities + cfg.FamilySize - 1) / cfg.FamilySize
+	families := make([]family, numFamilies)
+	for i := range families {
+		families[i] = newFamily(r, cfg, themeSize)
+	}
+
+	schema := make([]string, len(cfg.Attrs))
+	for i, a := range cfg.Attrs {
+		schema[i] = a.Name
+	}
+	left := &Table{Name: cfg.Name + "_left", Schema: schema}
+	right := &Table{Name: cfg.Name + "_right", Schema: schema}
+	var matches []PairKey
+
+	uniform := func(p Perturbation) func(int) Perturbation {
+		return func(int) Perturbation { return p }
+	}
+	addLeft := func(rec entity, pf func(int) Perturbation) int {
+		id := fmt.Sprintf("L%d", len(left.Rows))
+		left.Rows = append(left.Rows, render(r, cfg, rec, pf, id))
+		return len(left.Rows) - 1
+	}
+	addRight := func(rec entity, pf func(int) Perturbation) int {
+		id := fmt.Sprintf("R%d", len(right.Rows))
+		right.Rows = append(right.Rows, render(r, cfg, rec, pf, id))
+		return len(right.Rows) - 1
+	}
+	// modalPerturb builds the per-attribute perturbation of one bimodal
+	// rendition: one modal attribute stays near-clean, the other is
+	// destroyed (heavy perturbation plus a high null rate).
+	modalPerturb := func(base Perturbation, mode int) func(int) Perturbation {
+		keep, destroy := cfg.ModalAttrs[0], cfg.ModalAttrs[1]
+		if mode == 1 {
+			keep, destroy = destroy, keep
+		}
+		heavy := base.scale(2.5)
+		heavy.Null = 0.55
+		light := base.scale(0.3)
+		return func(i int) Perturbation {
+			switch i {
+			case keep:
+				return light
+			case destroy:
+				return heavy
+			default:
+				return base
+			}
+		}
+	}
+
+	// Shared entities: every left rendition matches every right rendition.
+	for e := 0; e < cfg.NumEntities; e++ {
+		fam := families[e%numFamilies]
+		ent := newEntity(r, cfg, fam)
+		nl := randRange(r, cfg.LeftDups)
+		nr := randRange(r, cfg.RightDups)
+		lIdx := make([]int, 0, nl)
+		for i := 0; i < nl; i++ {
+			lIdx = append(lIdx, addLeft(ent, uniform(cfg.LeftPerturb)))
+		}
+		for i := 0; i < nr; i++ {
+			pf := uniform(cfg.RightPerturb)
+			if cfg.Modal {
+				pf = modalPerturb(cfg.RightPerturb, r.Intn(2))
+			}
+			ri := addRight(ent, pf)
+			for _, li := range lIdx {
+				matches = append(matches, PairKey{L: li, R: ri})
+			}
+		}
+	}
+	// One-sided distractors join random families.
+	for e := 0; e < cfg.LeftOnly; e++ {
+		fam := families[r.Intn(numFamilies)]
+		addLeft(newEntity(r, cfg, fam), uniform(cfg.LeftPerturb))
+	}
+	for e := 0; e < cfg.RightOnly; e++ {
+		fam := families[r.Intn(numFamilies)]
+		addRight(newEntity(r, cfg, fam), uniform(cfg.RightPerturb))
+	}
+
+	return NewDataset(cfg.Name, left, right, matches, cfg.BlockThreshold)
+}
+
+// newFamily draws shared attribute values and a description theme.
+func newFamily(r *rand.Rand, cfg Config, themeSize int) family {
+	f := family{shared: make(entity, len(cfg.Attrs))}
+	for i, a := range cfg.Attrs {
+		if a.Shared {
+			f.shared[i] = genValue(r, i, a, nil, nil)
+		}
+	}
+	// Each themed KindWords attribute gets its own family sub-vocabulary.
+	f.themes = make([][]string, len(cfg.Attrs))
+	for i, a := range cfg.Attrs {
+		if a.Kind != KindWords || a.ThemeFrac <= 0 {
+			continue
+		}
+		theme := make([]string, 0, themeSize)
+		for j := 0; j < themeSize; j++ {
+			theme = append(theme, a.Vocab[r.Intn(len(a.Vocab))])
+		}
+		f.themes[i] = theme
+	}
+	return f
+}
+
+// newEntity draws canonical values for one entity within a family.
+func newEntity(r *rand.Rand, cfg Config, fam family) entity {
+	ent := make(entity, len(cfg.Attrs))
+	for i, a := range cfg.Attrs {
+		if a.Shared {
+			ent[i] = fam.shared[i]
+			continue
+		}
+		if a.NullRate > 0 && r.Float64() < a.NullRate {
+			continue
+		}
+		ent[i] = genValue(r, i, a, ent, fam.themes[i])
+	}
+	return ent
+}
+
+// genValue synthesizes one canonical attribute value.
+func genValue(r *rand.Rand, idx int, a AttrSpec, ent entity, theme []string) string {
+	switch a.Kind {
+	case KindWords:
+		n := a.MinWords
+		if a.MaxWords > a.MinWords {
+			n += r.Intn(a.MaxWords - a.MinWords + 1)
+		}
+		words := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			if theme != nil && r.Float64() < a.ThemeFrac {
+				words = append(words, theme[r.Intn(len(theme))])
+			} else {
+				words = append(words, a.Vocab[r.Intn(len(a.Vocab))])
+			}
+		}
+		return strings.Join(words, " ")
+	case KindCategorical:
+		return a.Vocab[r.Intn(len(a.Vocab))]
+	case KindNames:
+		n := a.MinNames
+		if a.MaxNames > a.MinNames {
+			n += r.Intn(a.MaxNames - a.MinNames + 1)
+		}
+		names := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			names = append(names, firstNames[r.Intn(len(firstNames))]+" "+lastNames[r.Intn(len(lastNames))])
+		}
+		return strings.Join(names, ", ")
+	case KindNumeric:
+		return strconv.FormatFloat(a.Lo+r.Float64()*(a.Hi-a.Lo), 'f', 2, 64)
+	case KindModelNo:
+		letters := make([]byte, 2)
+		for i := range letters {
+			letters[i] = byte('a' + r.Intn(26))
+		}
+		return fmt.Sprintf("%s-%04d", strings.ToUpper(string(letters)), r.Intn(10000))
+	case KindYear:
+		lo, hi := int(a.Lo), int(a.Hi)
+		if hi <= lo {
+			lo, hi = 1980, 2019
+		}
+		return strconv.Itoa(lo + r.Intn(hi-lo+1))
+	case KindEmail:
+		src := ""
+		if ent != nil {
+			src = ent[a.DeriveFrom]
+		}
+		name := strings.Split(src, ", ")[0]
+		name = strings.ToLower(strings.ReplaceAll(name, " ", "."))
+		if name == "" {
+			name = "user" + strconv.Itoa(r.Intn(100000))
+		}
+		return name + "@" + emailDomains[r.Intn(len(emailDomains))]
+	case KindURL:
+		src := ""
+		if ent != nil {
+			src = ent[a.DeriveFrom]
+		}
+		name := strings.Split(src, ", ")[0]
+		name = strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+		if name == "" {
+			name = "user" + strconv.Itoa(r.Intn(100000))
+		}
+		return "www.example.test/" + name
+	case KindBool:
+		if r.Intn(2) == 0 {
+			return "yes"
+		}
+		return "no"
+	case KindDims:
+		return fmt.Sprintf("%.1f x %.1f x %.1f inches",
+			1+r.Float64()*30, 1+r.Float64()*30, 1+r.Float64()*30)
+	}
+	return ""
+}
+
+// render produces a Record rendition of an entity; pf supplies the
+// perturbation for each attribute index.
+func render(r *rand.Rand, cfg Config, ent entity, pf func(int) Perturbation, id string) Record {
+	vals := make([]string, len(ent))
+	for i, v := range ent {
+		if v == "" {
+			continue
+		}
+		p := pf(i)
+		if r.Float64() < p.Null {
+			continue
+		}
+		switch cfg.Attrs[i].Kind {
+		case KindNumeric:
+			vals[i] = perturbNumeric(r, v, p)
+		case KindNames:
+			vals[i] = perturbNames(r, v, p)
+		case KindModelNo:
+			vals[i] = perturbModelNo(r, v, p)
+		case KindCategorical:
+			vals[i] = perturbCategorical(r, v, p)
+		case KindYear, KindBool:
+			vals[i] = v // identifiers too short to usefully perturb
+		default:
+			vals[i] = perturbText(r, v, p)
+		}
+	}
+	return Record{ID: id, Values: vals}
+}
+
+func randRange(r *rand.Rand, rng [2]int) int {
+	if rng[1] <= rng[0] {
+		return rng[0]
+	}
+	return rng[0] + r.Intn(rng[1]-rng[0]+1)
+}
+
+// Validate reports configuration errors a driver would otherwise hit as
+// panics deep in generation: empty schemas, vocabulary-less attributes,
+// bad ranges and dangling derivations.
+func (cfg Config) Validate() error {
+	if cfg.Name == "" {
+		return fmt.Errorf("dataset: config has no name")
+	}
+	if len(cfg.Attrs) == 0 {
+		return fmt.Errorf("dataset %s: no attributes", cfg.Name)
+	}
+	if cfg.NumEntities < 1 {
+		return fmt.Errorf("dataset %s: NumEntities = %d, want >= 1", cfg.Name, cfg.NumEntities)
+	}
+	seen := map[string]bool{}
+	for i, a := range cfg.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("dataset %s: attr %d has no name", cfg.Name, i)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("dataset %s: duplicate attr %q", cfg.Name, a.Name)
+		}
+		seen[a.Name] = true
+		switch a.Kind {
+		case KindWords:
+			if len(a.Vocab) == 0 {
+				return fmt.Errorf("dataset %s: words attr %q has no vocabulary", cfg.Name, a.Name)
+			}
+			if a.MinWords < 1 || a.MaxWords < a.MinWords {
+				return fmt.Errorf("dataset %s: attr %q word range [%d,%d] invalid",
+					cfg.Name, a.Name, a.MinWords, a.MaxWords)
+			}
+		case KindCategorical:
+			if len(a.Vocab) == 0 {
+				return fmt.Errorf("dataset %s: categorical attr %q has no vocabulary", cfg.Name, a.Name)
+			}
+		case KindNames:
+			if a.MinNames < 1 || a.MaxNames < a.MinNames {
+				return fmt.Errorf("dataset %s: attr %q name range [%d,%d] invalid",
+					cfg.Name, a.Name, a.MinNames, a.MaxNames)
+			}
+		case KindNumeric:
+			if a.Hi <= a.Lo {
+				return fmt.Errorf("dataset %s: numeric attr %q range [%g,%g] invalid",
+					cfg.Name, a.Name, a.Lo, a.Hi)
+			}
+		case KindEmail, KindURL:
+			if a.DeriveFrom < 0 || a.DeriveFrom >= len(cfg.Attrs) || a.DeriveFrom == i {
+				return fmt.Errorf("dataset %s: attr %q derives from invalid index %d",
+					cfg.Name, a.Name, a.DeriveFrom)
+			}
+		}
+		if a.NullRate < 0 || a.NullRate >= 1 {
+			return fmt.Errorf("dataset %s: attr %q null rate %g outside [0,1)", cfg.Name, a.Name, a.NullRate)
+		}
+	}
+	if cfg.Modal {
+		for _, m := range cfg.ModalAttrs {
+			if m < 0 || m >= len(cfg.Attrs) {
+				return fmt.Errorf("dataset %s: modal attr index %d out of range", cfg.Name, m)
+			}
+		}
+		if cfg.ModalAttrs[0] == cfg.ModalAttrs[1] {
+			return fmt.Errorf("dataset %s: modal attrs must differ", cfg.Name)
+		}
+	}
+	if cfg.BlockThreshold <= 0 || cfg.BlockThreshold > 1 {
+		return fmt.Errorf("dataset %s: block threshold %g outside (0,1]", cfg.Name, cfg.BlockThreshold)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenValueKinds(t *testing.T) {
+	cfg := Config{Attrs: []AttrSpec{
+		{Name: "words", Kind: KindWords, Vocab: []string{"a", "b", "c"}, MinWords: 2, MaxWords: 4},
+		{Name: "cat", Kind: KindCategorical, Vocab: []string{"x", "y"}},
+		{Name: "names", Kind: KindNames, MinNames: 2, MaxNames: 2},
+		{Name: "num", Kind: KindNumeric, Lo: 1, Hi: 2},
+		{Name: "model", Kind: KindModelNo},
+		{Name: "year", Kind: KindYear, Lo: 2000, Hi: 2001},
+		{Name: "email", Kind: KindEmail, DeriveFrom: 2},
+		{Name: "url", Kind: KindURL, DeriveFrom: 2},
+		{Name: "flag", Kind: KindBool},
+		{Name: "dims", Kind: KindDims},
+	}, NumEntities: 50, BlockThreshold: 0.2}
+	d := Generate(cfg, 5)
+	for _, row := range d.Left.Rows[:20] {
+		words := strings.Fields(row.Values[0])
+		if len(words) < 1 || len(words) > 4 {
+			t.Errorf("words value %q outside bounds", row.Values[0])
+		}
+		if row.Values[1] != "x" && row.Values[1] != "y" {
+			t.Errorf("categorical value %q not in vocab", row.Values[1])
+		}
+		if names := strings.Split(row.Values[2], ", "); len(names) != 2 {
+			t.Errorf("names value %q should have 2 names", row.Values[2])
+		}
+		if !strings.Contains(row.Values[6], "@") {
+			t.Errorf("email %q missing @", row.Values[6])
+		}
+		if !strings.HasPrefix(row.Values[7], "www.") {
+			t.Errorf("url %q missing www prefix", row.Values[7])
+		}
+		if row.Values[8] != "yes" && row.Values[8] != "no" {
+			t.Errorf("bool value %q", row.Values[8])
+		}
+		if !strings.Contains(row.Values[9], "inches") {
+			t.Errorf("dims value %q", row.Values[9])
+		}
+		if !strings.Contains(row.Values[4], "-") {
+			t.Errorf("model value %q missing separator", row.Values[4])
+		}
+		y := row.Values[5]
+		if y != "2000" && y != "2001" {
+			t.Errorf("year %q outside [2000,2001]", y)
+		}
+	}
+}
+
+func TestEmailDerivedFromName(t *testing.T) {
+	cfg := Config{Attrs: []AttrSpec{
+		{Name: "name", Kind: KindNames, MinNames: 1, MaxNames: 1},
+		{Name: "email", Kind: KindEmail, DeriveFrom: 0},
+	}, NumEntities: 30, BlockThreshold: 0.2}
+	d := Generate(cfg, 9)
+	derived := 0
+	for _, row := range d.Left.Rows {
+		name := strings.Fields(row.Values[0])
+		if len(name) == 0 || row.Values[1] == "" {
+			continue
+		}
+		local := strings.SplitN(row.Values[1], "@", 2)[0]
+		// Perturbation may typo the email, so only require a majority of
+		// rows to carry a recognizably derived local part.
+		if strings.Contains(local, name[0][:min(3, len(name[0]))]) {
+			derived++
+		}
+	}
+	if derived < len(d.Left.Rows)/2 {
+		t.Errorf("only %d/%d emails look derived from the name", derived, len(d.Left.Rows))
+	}
+}
+
+func TestGenerateQuickProperties(t *testing.T) {
+	p, _ := ProfileByName("beer")
+	prop := func(seed int64) bool {
+		d := Generate(p.Config(0.2), seed)
+		// Every row has schema width; every match index is valid.
+		for _, tb := range []*Table{d.Left, d.Right} {
+			for _, row := range tb.Rows {
+				if len(row.Values) != len(tb.Schema) {
+					return false
+				}
+			}
+		}
+		for _, m := range d.Matches() {
+			if m.L < 0 || m.L >= len(d.Left.Rows) || m.R < 0 || m.R >= len(d.Right.Rows) {
+				return false
+			}
+		}
+		return d.NumMatches() > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModalRenditionsAreBimodal(t *testing.T) {
+	// On a modal dataset, right-side renditions should show two modes:
+	// name-preserved-with-null-description and the reverse. Measure null
+	// rates of the two modal attributes.
+	p, _ := ProfileByName("abt-buy")
+	cfg := p.Config(0.3)
+	d := Generate(cfg, 12)
+	nullName, nullDesc := 0, 0
+	for _, m := range d.Matches() {
+		row := d.Right.Rows[m.R]
+		if row.Values[0] == "" {
+			nullName++
+		}
+		if row.Values[1] == "" {
+			nullDesc++
+		}
+	}
+	n := d.NumMatches()
+	// Each attr is destroyed in ~half the renditions with null 0.55, so
+	// null rates land near 27% each; require a loose band.
+	if rate := float64(nullName) / float64(n); rate < 0.1 || rate > 0.5 {
+		t.Errorf("name null rate %.2f outside bimodal band", rate)
+	}
+	if rate := float64(nullDesc) / float64(n); rate < 0.15 || rate > 0.6 {
+		t.Errorf("description null rate %.2f outside bimodal band", rate)
+	}
+}
+
+func TestConfigValidateAcceptsAllProfiles(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Config(1.0).Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestConfigValidateRejections(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Name: "x",
+			Attrs: []AttrSpec{
+				{Name: "a", Kind: KindWords, Vocab: []string{"w"}, MinWords: 1, MaxWords: 2},
+			},
+			NumEntities: 5, BlockThreshold: 0.2,
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no name", func(c *Config) { c.Name = "" }},
+		{"no attrs", func(c *Config) { c.Attrs = nil }},
+		{"zero entities", func(c *Config) { c.NumEntities = 0 }},
+		{"unnamed attr", func(c *Config) { c.Attrs[0].Name = "" }},
+		{"duplicate attr", func(c *Config) {
+			c.Attrs = append(c.Attrs, AttrSpec{Name: "a", Kind: KindBool})
+		}},
+		{"empty vocab", func(c *Config) { c.Attrs[0].Vocab = nil }},
+		{"bad word range", func(c *Config) { c.Attrs[0].MaxWords = 0 }},
+		{"bad numeric range", func(c *Config) {
+			c.Attrs = append(c.Attrs, AttrSpec{Name: "n", Kind: KindNumeric, Lo: 5, Hi: 5})
+		}},
+		{"self-derived email", func(c *Config) {
+			c.Attrs = append(c.Attrs, AttrSpec{Name: "e", Kind: KindEmail, DeriveFrom: 1})
+		}},
+		{"null rate 1", func(c *Config) { c.Attrs[0].NullRate = 1 }},
+		{"modal out of range", func(c *Config) { c.Modal = true; c.ModalAttrs = [2]int{0, 5} }},
+		{"modal same attr", func(c *Config) { c.Modal = true; c.ModalAttrs = [2]int{0, 0} }},
+		{"bad threshold", func(c *Config) { c.BlockThreshold = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid config", tc.name)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Errorf("base config rejected: %v", err)
+	}
+}

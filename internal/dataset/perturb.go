@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Perturbation controls how a canonical entity value is distorted when a
+// record rendition is produced. Rates are probabilities in [0,1];
+// NumJitter is a relative magnitude. Higher values make a dataset harder:
+// matching pairs drift apart in feature space while hard-negative family
+// members stay close, which is exactly the ambiguity region active
+// learning has to explore.
+type Perturbation struct {
+	Typo      float64 // per-token probability of one character edit
+	TokenDrop float64 // per-token probability of deletion
+	Abbrev    float64 // per-value probability of abbreviation
+	Null      float64 // per-value probability of replacing with null
+	NumJitter float64 // relative jitter applied to numeric values
+	Reorder   float64 // per-value probability of token reordering
+}
+
+// scale returns a copy of p with all rates multiplied by f (clamped to 1).
+func (p Perturbation) scale(f float64) Perturbation {
+	c := func(x float64) float64 {
+		x *= f
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	return Perturbation{
+		Typo: c(p.Typo), TokenDrop: c(p.TokenDrop), Abbrev: c(p.Abbrev),
+		Null: c(p.Null), NumJitter: p.NumJitter * f, Reorder: c(p.Reorder),
+	}
+}
+
+// typoToken applies one random character edit (substitute, delete, insert
+// or transpose) to a token.
+func typoToken(r *rand.Rand, tok string) string {
+	runes := []rune(tok)
+	if len(runes) == 0 {
+		return tok
+	}
+	pos := r.Intn(len(runes))
+	letter := rune('a' + r.Intn(26))
+	switch r.Intn(4) {
+	case 0: // substitute
+		runes[pos] = letter
+	case 1: // delete
+		runes = append(runes[:pos], runes[pos+1:]...)
+	case 2: // insert
+		runes = append(runes[:pos], append([]rune{letter}, runes[pos:]...)...)
+	default: // transpose adjacent
+		if pos+1 < len(runes) {
+			runes[pos], runes[pos+1] = runes[pos+1], runes[pos]
+		} else {
+			runes[pos] = letter
+		}
+	}
+	return string(runes)
+}
+
+// perturbText applies token drop, typos and reordering to a free-text
+// value.
+func perturbText(r *rand.Rand, s string, p Perturbation) string {
+	if s == "" {
+		return s
+	}
+	tokens := strings.Fields(s)
+	out := tokens[:0]
+	for _, tok := range tokens {
+		if len(tokens) > 1 && r.Float64() < p.TokenDrop {
+			continue
+		}
+		if r.Float64() < p.Typo {
+			tok = typoToken(r, tok)
+		}
+		out = append(out, tok)
+	}
+	if len(out) == 0 {
+		out = tokens[:1]
+	}
+	if len(out) > 1 && r.Float64() < p.Reorder {
+		i := r.Intn(len(out) - 1)
+		out[i], out[i+1] = out[i+1], out[i]
+	}
+	return strings.Join(out, " ")
+}
+
+// perturbCategorical abbreviates or typos a single categorical value.
+func perturbCategorical(r *rand.Rand, s string, p Perturbation) string {
+	if s == "" {
+		return s
+	}
+	if r.Float64() < p.Abbrev {
+		words := strings.Fields(s)
+		for i, w := range words {
+			if len(w) > 4 {
+				words[i] = w[:3] + "."
+			}
+		}
+		return strings.Join(words, " ")
+	}
+	return perturbText(r, s, p)
+}
+
+// perturbNames abbreviates first names to initials, drops a trailing name
+// and reorders, emulating citation-style author variation.
+func perturbNames(r *rand.Rand, s string, p Perturbation) string {
+	if s == "" {
+		return s
+	}
+	names := strings.Split(s, ", ")
+	if len(names) > 1 && r.Float64() < p.TokenDrop {
+		names = names[:len(names)-1]
+	}
+	for i, n := range names {
+		parts := strings.Fields(n)
+		if len(parts) == 2 {
+			if r.Float64() < p.Abbrev {
+				parts[0] = parts[0][:1] + "."
+			}
+			if r.Float64() < p.Reorder {
+				parts[0], parts[1] = parts[1], parts[0]
+			}
+		}
+		for j, w := range parts {
+			if r.Float64() < p.Typo {
+				parts[j] = typoToken(r, w)
+			}
+		}
+		names[i] = strings.Join(parts, " ")
+	}
+	if len(names) > 1 && r.Float64() < p.Reorder {
+		names[0], names[len(names)-1] = names[len(names)-1], names[0]
+	}
+	return strings.Join(names, ", ")
+}
+
+// perturbNumeric jitters a numeric value and occasionally reformats it.
+func perturbNumeric(r *rand.Rand, s string, p Perturbation) string {
+	clean := strings.TrimPrefix(s, "$")
+	v, err := strconv.ParseFloat(clean, 64)
+	if err != nil {
+		return perturbText(r, s, p)
+	}
+	if p.NumJitter > 0 {
+		v *= 1 + (r.Float64()*2-1)*p.NumJitter
+	}
+	switch r.Intn(3) {
+	case 0:
+		return fmt.Sprintf("$%.2f", v)
+	case 1:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	}
+}
+
+// perturbModelNo removes separators, changes case style or typos a model
+// number — the identifier-noise typical of product feeds.
+func perturbModelNo(r *rand.Rand, s string, p Perturbation) string {
+	if s == "" {
+		return s
+	}
+	if r.Float64() < p.Abbrev {
+		s = strings.ReplaceAll(s, "-", "")
+	}
+	if r.Float64() < p.Typo {
+		s = typoToken(r, s)
+	}
+	return s
+}

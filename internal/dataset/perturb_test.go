@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypoTokenAlwaysReturnsSomething(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	prop := func(s string) bool {
+		out := typoToken(r, s)
+		// One edit changes length by at most 1.
+		d := len([]rune(out)) - len([]rune(s))
+		return d >= -1 && d <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerturbTextZeroRatesIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var zero Perturbation
+	for _, s := range []string{"hello world", "a", "one two three four"} {
+		if got := perturbText(r, s, zero); got != s {
+			t.Errorf("zero perturbation changed %q to %q", s, got)
+		}
+	}
+}
+
+func TestPerturbTextNeverEmpty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := Perturbation{TokenDrop: 0.99, Typo: 0.5, Reorder: 0.5}
+	for i := 0; i < 200; i++ {
+		if got := perturbText(r, "alpha beta gamma", p); strings.TrimSpace(got) == "" {
+			t.Fatal("perturbText produced an empty value from non-empty input")
+		}
+	}
+}
+
+func TestPerturbTextDropsTokens(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := Perturbation{TokenDrop: 0.5}
+	shorter := 0
+	for i := 0; i < 100; i++ {
+		got := perturbText(r, "a b c d e f g h", p)
+		if len(strings.Fields(got)) < 8 {
+			shorter++
+		}
+	}
+	if shorter < 90 {
+		t.Errorf("TokenDrop=0.5 shortened only %d/100 renditions", shorter)
+	}
+}
+
+func TestPerturbNamesAbbreviates(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	p := Perturbation{Abbrev: 1.0}
+	got := perturbNames(r, "james smith, mary johnson", p)
+	if !strings.Contains(got, "j. smith") && !strings.Contains(got, "smith j.") {
+		t.Errorf("Abbrev=1 did not abbreviate first names: %q", got)
+	}
+}
+
+func TestPerturbNumericJitterBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := Perturbation{NumJitter: 0.1}
+	for i := 0; i < 200; i++ {
+		got := perturbNumeric(r, "100.00", p)
+		clean := strings.TrimPrefix(got, "$")
+		v, err := strconv.ParseFloat(clean, 64)
+		if err != nil {
+			t.Fatalf("perturbNumeric produced non-numeric %q", got)
+		}
+		if v < 89.9 || v > 110.1 {
+			t.Errorf("jittered value %v outside ±10%% of 100", v)
+		}
+	}
+}
+
+func TestPerturbNumericNonNumericFallsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	if got := perturbNumeric(r, "call for price", Perturbation{}); got == "" {
+		t.Error("non-numeric input perturbed to empty")
+	}
+}
+
+func TestPerturbModelNo(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := Perturbation{Abbrev: 1.0}
+	if got := perturbModelNo(r, "AB-1234", p); strings.Contains(got, "-") {
+		t.Errorf("Abbrev=1 kept separator: %q", got)
+	}
+	if got := perturbModelNo(r, "", p); got != "" {
+		t.Errorf("empty model perturbed to %q", got)
+	}
+}
+
+func TestPerturbationScale(t *testing.T) {
+	p := Perturbation{Typo: 0.5, TokenDrop: 0.8, NumJitter: 0.2}
+	s := p.scale(2)
+	if s.Typo != 1.0 {
+		t.Errorf("scaled Typo = %v, want clamped 1.0", s.Typo)
+	}
+	if s.TokenDrop != 1.0 {
+		t.Errorf("scaled TokenDrop = %v, want clamped 1.0", s.TokenDrop)
+	}
+	if s.NumJitter != 0.4 {
+		t.Errorf("scaled NumJitter = %v, want 0.4 (unclamped)", s.NumJitter)
+	}
+	half := p.scale(0.5)
+	if half.Typo != 0.25 {
+		t.Errorf("half Typo = %v, want 0.25", half.Typo)
+	}
+}
+
+func TestExpandVocab(t *testing.T) {
+	base := []string{"alpha", "beta", "gamma"}
+	v := expandVocab(base, 10)
+	if len(v) != 10 {
+		t.Fatalf("len = %d, want 10", len(v))
+	}
+	seen := map[string]struct{}{}
+	for _, w := range v {
+		if _, dup := seen[w]; dup {
+			t.Errorf("duplicate word %q", w)
+		}
+		seen[w] = struct{}{}
+	}
+	// First words are the base list itself.
+	for i, w := range base {
+		if v[i] != w {
+			t.Errorf("v[%d] = %q, want %q", i, v[i], w)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PaperStats records the Table 1 row (and §6.3.1 description) of the real
+// dataset each profile stands in for, so experiment output can print
+// paper-vs-measured side by side.
+type PaperStats struct {
+	MatchedColumns    []string
+	TotalPairs        float64 // paper's Cartesian product size
+	PostBlockingPairs int
+	ClassSkew         float64
+}
+
+// Profile couples a generator Config factory with the corresponding
+// paper statistics. Scale multiplies entity counts: scale 1.0 targets the
+// paper's post-blocking size, smaller scales keep unit tests fast.
+type Profile struct {
+	Name   string
+	Paper  PaperStats
+	Config func(scale float64) Config
+}
+
+// scaleInt scales a count, keeping at least 1.
+func scaleInt(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Perturbation presets by dataset difficulty. The hard product datasets
+// (Abt-Buy, Amazon-Google, Walmart-Amazon, Baby) distort matching pairs
+// heavily; the publication datasets are cleaner, matching the F1 bands the
+// paper reports per dataset (Table 2).
+var (
+	lightPerturb = Perturbation{Typo: 0.02, TokenDrop: 0.05, Abbrev: 0.10, Null: 0.02, NumJitter: 0.01, Reorder: 0.10}
+	midPerturb   = Perturbation{Typo: 0.05, TokenDrop: 0.15, Abbrev: 0.35, Null: 0.06, NumJitter: 0.04, Reorder: 0.25}
+	hardPerturb  = Perturbation{Typo: 0.09, TokenDrop: 0.28, Abbrev: 0.40, Null: 0.12, NumJitter: 0.10, Reorder: 0.35}
+)
+
+// productAttrs builds the common product-domain attribute specs.
+func productNameSpec(themeFrac float64) AttrSpec {
+	return AttrSpec{
+		Name: "name", Kind: KindWords, Vocab: productNameX,
+		MinWords: 4, MaxWords: 7, ThemeFrac: themeFrac,
+	}
+}
+
+func descriptionSpec(themeFrac, nullRate float64) AttrSpec {
+	return AttrSpec{
+		Name: "description", Kind: KindWords, Vocab: descWordsX,
+		MinWords: 8, MaxWords: 18, ThemeFrac: themeFrac, NullRate: nullRate,
+	}
+}
+
+// renamed returns a copy of spec with a different column name, so shared
+// spec builders can serve schemas whose columns differ only in name.
+func renamed(spec AttrSpec, name string) AttrSpec {
+	spec.Name = name
+	return spec
+}
+
+func titleSpec(themeFrac float64) AttrSpec {
+	return AttrSpec{
+		Name: "title", Kind: KindWords, Vocab: topicWordsX,
+		MinWords: 5, MaxWords: 9, ThemeFrac: themeFrac,
+	}
+}
+
+// profiles is the registry of the ten datasets. Family sizes, theme
+// fractions and blocking thresholds were calibrated empirically (see
+// calibrate_test.go) so post-blocking candidate counts and class skews
+// land near Table 1.
+var profiles = []Profile{
+	{
+		Name: "abt-buy",
+		Paper: PaperStats{
+			MatchedColumns:    []string{"name", "description", "price"},
+			TotalPairs:        1.18e6,
+			PostBlockingPairs: 8682,
+			ClassSkew:         0.12,
+		},
+		Config: func(scale float64) Config {
+			return Config{
+				Name: "abt-buy",
+				Attrs: []AttrSpec{
+					productNameSpec(0.85),
+					descriptionSpec(0.8, 0.25),
+					{Name: "price", Kind: KindNumeric, Lo: 20, Hi: 900, NullRate: 0.3, Shared: true},
+				},
+				NumEntities:    scaleInt(1040, scale),
+				FamilySize:     14,
+				ThemeSize:      4,
+				Modal:          true,
+				ModalAttrs:     [2]int{0, 1},
+				LeftOnly:       scaleInt(230, scale),
+				RightOnly:      scaleInt(230, scale),
+				LeftPerturb:    lightPerturb,
+				RightPerturb:   hardPerturb,
+				BlockThreshold: 0.1875,
+			}
+		},
+	},
+	{
+		Name: "amazon-google",
+		Paper: PaperStats{
+			MatchedColumns:    []string{"name", "description", "manufacturer", "price"},
+			TotalPairs:        4.39e6,
+			PostBlockingPairs: 14294,
+			ClassSkew:         0.09,
+		},
+		Config: func(scale float64) Config {
+			return Config{
+				Name: "amazon-google",
+				Attrs: []AttrSpec{
+					productNameSpec(0.85),
+					descriptionSpec(0.8, 0.35),
+					{Name: "manufacturer", Kind: KindCategorical, Vocab: brands, Shared: true, NullRate: 0.2},
+					{Name: "price", Kind: KindNumeric, Lo: 5, Hi: 600, NullRate: 0.35, Shared: true},
+				},
+				NumEntities:    scaleInt(1290, scale),
+				FamilySize:     9,
+				ThemeSize:      4,
+				Modal:          true,
+				ModalAttrs:     [2]int{0, 1},
+				LeftOnly:       scaleInt(150, scale),
+				RightOnly:      scaleInt(150, scale),
+				LeftPerturb:    lightPerturb,
+				RightPerturb:   hardPerturb,
+				BlockThreshold: 0.12,
+			}
+		},
+	},
+	{
+		Name: "dblp-acm",
+		Paper: PaperStats{
+			MatchedColumns:    []string{"title", "authors", "venue", "year"},
+			TotalPairs:        6e6,
+			PostBlockingPairs: 11194,
+			ClassSkew:         0.198,
+		},
+		Config: func(scale float64) Config {
+			return Config{
+				Name: "dblp-acm",
+				Attrs: []AttrSpec{
+					titleSpec(0.6),
+					{Name: "authors", Kind: KindNames, MinNames: 1, MaxNames: 4},
+					{Name: "venue", Kind: KindCategorical, Vocab: venues, Shared: true},
+					{Name: "year", Kind: KindYear, Lo: 1994, Hi: 2012, Shared: true},
+				},
+				NumEntities:    scaleInt(2220, scale),
+				FamilySize:     7,
+				ThemeSize:      5,
+				LeftOnly:       scaleInt(150, scale),
+				RightOnly:      scaleInt(150, scale),
+				LeftPerturb:    lightPerturb,
+				RightPerturb:   lightPerturb,
+				BlockThreshold: 0.1875,
+			}
+		},
+	},
+	{
+		Name: "dblp-scholar",
+		Paper: PaperStats{
+			MatchedColumns:    []string{"title", "authors", "venue", "year"},
+			TotalPairs:        168e6,
+			PostBlockingPairs: 49042,
+			ClassSkew:         0.109,
+		},
+		Config: func(scale float64) Config {
+			return Config{
+				Name: "dblp-scholar",
+				Attrs: []AttrSpec{
+					titleSpec(0.6),
+					{Name: "authors", Kind: KindNames, MinNames: 1, MaxNames: 4},
+					{Name: "venue", Kind: KindCategorical, Vocab: venues, Shared: true, NullRate: 0.15},
+					{Name: "year", Kind: KindYear, Lo: 1990, Hi: 2012, Shared: true, NullRate: 0.25},
+				},
+				NumEntities:    scaleInt(5340, scale),
+				FamilySize:     14,
+				ThemeSize:      5,
+				LeftOnly:       scaleInt(400, scale),
+				RightOnly:      scaleInt(400, scale),
+				LeftPerturb:    lightPerturb,
+				RightPerturb:   midPerturb,
+				BlockThreshold: 0.1875,
+			}
+		},
+	},
+	{
+		Name: "cora",
+		Paper: PaperStats{
+			MatchedColumns: []string{"author", "title", "venue", "address",
+				"publisher", "editor", "date", "vol", "pgs"},
+			TotalPairs:        0.97e6,
+			PostBlockingPairs: 114525,
+			ClassSkew:         0.124,
+		},
+		Config: func(scale float64) Config {
+			return Config{
+				Name: "cora",
+				Attrs: []AttrSpec{
+					{Name: "author", Kind: KindNames, MinNames: 1, MaxNames: 3},
+					titleSpec(0.7),
+					{Name: "venue", Kind: KindCategorical, Vocab: venues, Shared: true, NullRate: 0.2},
+					{Name: "address", Kind: KindCategorical, Vocab: cities, NullRate: 0.5},
+					{Name: "publisher", Kind: KindCategorical, Vocab: breweryWords, NullRate: 0.6},
+					{Name: "editor", Kind: KindNames, MinNames: 1, MaxNames: 2, NullRate: 0.7},
+					{Name: "date", Kind: KindYear, Lo: 1985, Hi: 2000, NullRate: 0.2},
+					{Name: "vol", Kind: KindNumeric, Lo: 1, Hi: 40, NullRate: 0.5},
+					{Name: "pgs", Kind: KindNumeric, Lo: 1, Hi: 600, NullRate: 0.4},
+				},
+				// Duplicate clusters: ~3 renditions per side, so each
+				// entity yields ~9 matching pairs (Cora is a dedup set).
+				NumEntities:    scaleInt(1580, scale),
+				FamilySize:     16,
+				ThemeSize:      4,
+				LeftDups:       [2]int{2, 4},
+				RightDups:      [2]int{2, 4},
+				LeftOnly:       scaleInt(300, scale),
+				RightOnly:      scaleInt(300, scale),
+				LeftPerturb:    midPerturb,
+				RightPerturb:   midPerturb,
+				BlockThreshold: 0.13,
+			}
+		},
+	},
+	{
+		Name: "walmart-amazon",
+		Paper: PaperStats{
+			MatchedColumns: []string{"brand", "modelno", "title", "price",
+				"dimensions", "shipweight", "orig_longdescr", "shortdescr",
+				"longdescr", "groupname"},
+			TotalPairs:        56.37e6,
+			PostBlockingPairs: 13843,
+			ClassSkew:         0.083,
+		},
+		Config: func(scale float64) Config {
+			return Config{
+				Name: "walmart-amazon",
+				Attrs: []AttrSpec{
+					{Name: "brand", Kind: KindCategorical, Vocab: brands, Shared: true},
+					{Name: "modelno", Kind: KindModelNo, NullRate: 0.2},
+					renamed(productNameSpec(0.85), "title"),
+					{Name: "price", Kind: KindNumeric, Lo: 5, Hi: 800, NullRate: 0.2, Shared: true},
+					{Name: "dimensions", Kind: KindDims, NullRate: 0.5},
+					{Name: "shipweight", Kind: KindNumeric, Lo: 0.2, Hi: 60, NullRate: 0.4},
+					renamed(descriptionSpec(0.8, 0.45), "orig_longdescr"),
+					{Name: "shortdescr", Kind: KindWords, Vocab: descWordsX, MinWords: 4, MaxWords: 8, ThemeFrac: 0.55, NullRate: 0.4},
+					{Name: "longdescr", Kind: KindWords, Vocab: descWordsX, MinWords: 10, MaxWords: 22, ThemeFrac: 0.55, NullRate: 0.5},
+					{Name: "groupname", Kind: KindCategorical, Vocab: productNouns, Shared: true, NullRate: 0.2},
+				},
+				NumEntities:    scaleInt(1150, scale),
+				FamilySize:     10,
+				ThemeSize:      4,
+				Modal:          true,
+				ModalAttrs:     [2]int{2, 6},
+				LeftOnly:       scaleInt(120, scale),
+				RightOnly:      scaleInt(120, scale),
+				LeftPerturb:    lightPerturb,
+				RightPerturb:   hardPerturb,
+				BlockThreshold: 0.13,
+			}
+		},
+	},
+	{
+		Name: "amazon-bestbuy",
+		Paper: PaperStats{
+			MatchedColumns:    []string{"brand", "title", "price", "features"},
+			TotalPairs:        21.29e6,
+			PostBlockingPairs: 395,
+			ClassSkew:         0.147,
+		},
+		Config: func(scale float64) Config {
+			return Config{
+				Name: "amazon-bestbuy",
+				Attrs: []AttrSpec{
+					{Name: "brand", Kind: KindCategorical, Vocab: brands, Shared: true},
+					renamed(productNameSpec(0.75), "title"),
+					{Name: "price", Kind: KindNumeric, Lo: 20, Hi: 1500, NullRate: 0.2},
+					renamed(descriptionSpec(0.6, 0.3), "features"),
+				},
+				NumEntities:    scaleInt(58, scale),
+				FamilySize:     8,
+				ThemeSize:      6,
+				LeftOnly:       scaleInt(25, scale),
+				RightOnly:      scaleInt(25, scale),
+				LeftPerturb:    lightPerturb,
+				RightPerturb:   midPerturb,
+				BlockThreshold: 0.16,
+			}
+		},
+	},
+	{
+		Name: "beer",
+		Paper: PaperStats{
+			MatchedColumns:    []string{"beer_name", "brew_factory_name", "style", "ABV"},
+			TotalPairs:        13.03e6,
+			PostBlockingPairs: 450,
+			ClassSkew:         0.151,
+		},
+		Config: func(scale float64) Config {
+			nameVocab := append(append([]string{}, breweryWords...), beerStyles...)
+			return Config{
+				Name: "beer",
+				Attrs: []AttrSpec{
+					{Name: "beer_name", Kind: KindWords, Vocab: nameVocab, MinWords: 2, MaxWords: 4, ThemeFrac: 0.7},
+					{Name: "brew_factory_name", Kind: KindWords, Vocab: breweryWords, MinWords: 2, MaxWords: 3, ThemeFrac: 0.7},
+					{Name: "style", Kind: KindCategorical, Vocab: beerStyles, Shared: true},
+					{Name: "ABV", Kind: KindNumeric, Lo: 3.5, Hi: 13, NullRate: 0.15},
+				},
+				NumEntities:    scaleInt(68, scale),
+				FamilySize:     4,
+				LeftOnly:       scaleInt(8, scale),
+				RightOnly:      scaleInt(8, scale),
+				LeftPerturb:    lightPerturb,
+				RightPerturb:   midPerturb,
+				BlockThreshold: 0.16,
+			}
+		},
+	},
+	{
+		Name: "baby-products",
+		Paper: PaperStats{
+			MatchedColumns: []string{"title", "price", "is_discounted",
+				"category", "company_struct", "company_free", "brand",
+				"weight", "length", "width", "height", "fabrics", "colors",
+				"materials"},
+			TotalPairs:        54.5e6,
+			PostBlockingPairs: 400,
+			ClassSkew:         0.27,
+		},
+		Config: func(scale float64) Config {
+			return Config{
+				Name: "baby-products",
+				Attrs: []AttrSpec{
+					renamed(productNameSpec(0.75), "title"),
+					{Name: "price", Kind: KindNumeric, Lo: 5, Hi: 400, NullRate: 0.15},
+					{Name: "is_discounted", Kind: KindBool},
+					{Name: "category", Kind: KindCategorical, Vocab: babyCategories, Shared: true},
+					{Name: "company_struct", Kind: KindCategorical, Vocab: brands, Shared: true},
+					{Name: "company_free", Kind: KindCategorical, Vocab: brands, NullRate: 0.4},
+					{Name: "brand", Kind: KindCategorical, Vocab: brands, Shared: true, NullRate: 0.2},
+					{Name: "weight", Kind: KindNumeric, Lo: 0.5, Hi: 50, NullRate: 0.4},
+					{Name: "length", Kind: KindNumeric, Lo: 5, Hi: 50, NullRate: 0.5},
+					{Name: "width", Kind: KindNumeric, Lo: 5, Hi: 40, NullRate: 0.5},
+					{Name: "height", Kind: KindNumeric, Lo: 5, Hi: 60, NullRate: 0.5},
+					{Name: "fabrics", Kind: KindCategorical, Vocab: fabrics, NullRate: 0.5},
+					{Name: "colors", Kind: KindCategorical, Vocab: colors, NullRate: 0.3},
+					{Name: "materials", Kind: KindCategorical, Vocab: materials, NullRate: 0.5},
+				},
+				NumEntities:    scaleInt(108, scale),
+				FamilySize:     6,
+				ThemeSize:      6,
+				LeftOnly:       scaleInt(40, scale),
+				RightOnly:      scaleInt(40, scale),
+				LeftPerturb:    lightPerturb,
+				RightPerturb:   hardPerturb,
+				BlockThreshold: 0.16,
+			}
+		},
+	},
+	{
+		Name: "social-media",
+		Paper: PaperStats{
+			MatchedColumns: []string{"name", "location", "email",
+				"occupation", "gender", "homepage"},
+			// §6.3.1: 467,761 employee records × 50M profiles; no ground
+			// truth. Generated at a laptop scale with hidden truth used
+			// only to emulate expert rule validation.
+			TotalPairs:        467761 * 50e6,
+			PostBlockingPairs: 0, // not reported in the paper
+			ClassSkew:         0,
+		},
+		Config: func(scale float64) Config {
+			nameVocab := append(append([]string{}, firstNames...), lastNames...)
+			return Config{
+				Name: "social-media",
+				Attrs: []AttrSpec{
+					{Name: "name", Kind: KindWords, Vocab: nameVocab, MinWords: 2, MaxWords: 3, ThemeFrac: 0.5},
+					{Name: "location", Kind: KindCategorical, Vocab: cities, Shared: true},
+					{Name: "email", Kind: KindEmail, DeriveFrom: 0, NullRate: 0.3},
+					{Name: "occupation", Kind: KindCategorical, Vocab: occupations, Shared: true, NullRate: 0.25},
+					{Name: "gender", Kind: KindCategorical, Vocab: []string{"male", "female"}},
+					{Name: "homepage", Kind: KindURL, DeriveFrom: 0, NullRate: 0.5},
+				},
+				NumEntities:    scaleInt(600, scale),
+				FamilySize:     8,
+				LeftOnly:       scaleInt(80, scale),
+				RightOnly:      scaleInt(80, scale),
+				LeftPerturb:    lightPerturb,
+				RightPerturb:   midPerturb,
+				BlockThreshold: 0.28,
+			}
+		},
+	},
+}
+
+// Profiles returns the registry of dataset profiles in a stable order.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ProfileByName looks up a profile; the boolean reports whether it exists.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Load generates the named dataset at the given scale and seed.
+func Load(name string, scale float64, seed int64) (*Dataset, error) {
+	p, ok := ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown profile %q", name)
+	}
+	cfg := p.Config(scale)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return Generate(cfg, seed), nil
+}

@@ -1,0 +1,180 @@
+package dataset
+
+// Embedded vocabularies used by the synthetic dataset generators. The lists
+// are intentionally domain-typical: shared brand/venue/style tokens are what
+// make blocked non-match pairs look ambiguous, which is the property the
+// active-learning selectors are exercised on.
+
+var brands = []string{
+	"sonixx", "technova", "veltron", "acura", "brightline", "omnicore",
+	"zenwave", "pixelforge", "duratech", "maxtor", "lumina", "quantix",
+	"nordika", "silverton", "apexon", "clearview", "vortexa", "helioz",
+	"primex", "stratos", "kinetix", "auralis", "fusion", "polarix",
+	"nimbus", "celesta", "tritonix", "movado", "electra", "dynamo",
+	"krypton", "solaris", "vantage", "meridian", "optimus", "radiant",
+	"spectra", "titanix", "ultraline", "westport", "xenova", "zephyr",
+}
+
+var productNouns = []string{
+	"speaker", "camera", "headphones", "keyboard", "monitor", "printer",
+	"router", "tablet", "charger", "adapter", "projector", "scanner",
+	"microphone", "turntable", "amplifier", "subwoofer", "receiver",
+	"soundbar", "webcam", "drive", "mouse", "dock", "enclosure", "antenna",
+	"telephone", "shredder", "calculator", "radio", "television", "recorder",
+	"player", "console", "cartridge", "battery", "cable", "case", "stand",
+	"mount", "remote", "lens", "tripod", "flash", "filter",
+}
+
+var adjectives = []string{
+	"wireless", "portable", "digital", "compact", "professional", "premium",
+	"ultra", "slim", "rugged", "waterproof", "bluetooth", "optical",
+	"ergonomic", "adjustable", "rechargeable", "foldable", "universal",
+	"heavy-duty", "lightweight", "high-speed", "noise-canceling", "smart",
+	"cordless", "stereo", "hd", "4k", "dual", "mini", "deluxe", "classic",
+}
+
+var descWords = []string{
+	"features", "design", "includes", "quality", "performance", "system",
+	"technology", "display", "control", "power", "audio", "video", "sound",
+	"color", "black", "white", "silver", "series", "model", "edition",
+	"warranty", "capacity", "storage", "memory", "speed", "resolution",
+	"connectivity", "compatible", "input", "output", "port", "usb", "hdmi",
+	"battery", "hours", "range", "wireless", "remote", "included", "easy",
+	"setup", "installation", "durable", "lightweight", "compact", "home",
+	"office", "travel", "outdoor", "indoor", "protection", "advanced",
+	"enhanced", "superior", "optimal", "maximum", "standard", "original",
+}
+
+var firstNames = []string{
+	"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+	"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
+	"ananya", "carlos", "fatima", "hiroshi", "ingrid", "jorge", "katarina",
+	"luca", "mei", "nikolai", "oliver", "priya", "quentin", "rosa", "stefan",
+	"tomas", "ursula", "viktor", "wanda", "xavier", "yuki", "zoltan", "amara",
+	"boris", "celine", "dmitri", "elena", "felix", "greta",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "kowalski", "petrov", "tanaka", "mueller", "rossi",
+	"silva", "kim", "chen", "yamamoto", "novak",
+}
+
+var cities = []string{
+	"portland", "seattle", "austin", "denver", "boston", "chicago",
+	"atlanta", "phoenix", "dallas", "miami", "toronto", "vancouver",
+	"london", "berlin", "munich", "zurich", "amsterdam", "stockholm",
+	"helsinki", "dublin", "madrid", "lisbon", "milan", "vienna", "prague",
+	"warsaw", "tokyo", "osaka", "seoul", "singapore", "sydney", "melbourne",
+	"bangalore", "mumbai", "sao-paulo", "mexico-city",
+}
+
+var venues = []string{
+	"sigmod conference", "vldb", "icde", "edbt", "cikm", "kdd", "icml",
+	"neurips", "acl", "emnlp", "www conference", "wsdm", "icdt", "pods",
+	"ssdbm", "dasfaa", "icdm", "sdm", "ecml", "aaai", "ijcai", "uai",
+	"colt", "sigir", "recsys", "jmlr", "tods", "tkde", "vldb journal",
+	"information systems",
+}
+
+var topicWords = []string{
+	"learning", "entity", "matching", "database", "query", "optimization",
+	"distributed", "parallel", "indexing", "transaction", "streaming",
+	"graph", "mining", "classification", "clustering", "regression",
+	"neural", "network", "deep", "active", "supervised", "probabilistic",
+	"scalable", "efficient", "adaptive", "incremental", "approximate",
+	"semantic", "schema", "integration", "cleaning", "deduplication",
+	"record", "linkage", "crowdsourcing", "sampling", "estimation",
+	"evaluation", "benchmark", "framework", "system", "engine", "storage",
+	"memory", "cache", "concurrency", "recovery", "replication", "consensus",
+}
+
+var beerStyles = []string{
+	"american ipa", "imperial stout", "pale ale", "pilsner", "hefeweizen",
+	"porter", "amber ale", "brown ale", "saison", "lambic", "dubbel",
+	"tripel", "barleywine", "kolsch", "gose", "witbier", "bock", "doppelbock",
+	"altbier", "cream ale", "blonde ale", "red ale", "black lager",
+	"session ipa", "double ipa",
+}
+
+var breweryWords = []string{
+	"stone", "river", "mountain", "valley", "harbor", "iron", "copper",
+	"golden", "black", "white", "wolf", "bear", "eagle", "fox", "raven",
+	"oak", "pine", "cedar", "anchor", "crown", "royal", "old", "new",
+	"north", "south", "grand", "union", "liberty", "frontier", "pioneer",
+}
+
+var occupations = []string{
+	"software engineer", "data scientist", "product manager", "accountant",
+	"teacher", "nurse", "architect", "electrician", "consultant", "analyst",
+	"designer", "researcher", "technician", "developer", "administrator",
+	"director", "specialist", "coordinator", "supervisor", "manager",
+	"scientist", "writer", "editor", "translator", "economist",
+}
+
+var emailDomains = []string{
+	"example.com", "mail.test", "corp.example", "inbox.test",
+	"post.example", "web.test",
+}
+
+var babyCategories = []string{
+	"strollers", "car seats", "cribs", "high chairs", "baby monitors",
+	"diaper bags", "play yards", "bouncers", "swings", "carriers",
+	"bath tubs", "safety gates", "changing tables", "gliders", "bassinets",
+}
+
+var colors = []string{
+	"red", "blue", "green", "yellow", "pink", "purple", "orange", "gray",
+	"black", "white", "teal", "navy", "beige", "ivory", "lavender", "mint",
+	"coral", "turquoise", "charcoal", "cream",
+}
+
+var fabrics = []string{
+	"cotton", "polyester", "fleece", "linen", "wool", "bamboo", "muslin",
+	"jersey", "flannel", "velour", "terry", "satin", "chenille", "microfiber",
+}
+
+var materials = []string{
+	"plastic", "aluminum", "steel", "wood", "foam", "rubber", "silicone",
+	"fabric", "mesh", "leather", "vinyl", "polycarbonate",
+}
+
+// expandVocab derives an n-word vocabulary from a curated base list by
+// crossing it with suffixes. Small vocabularies make *random* record pairs
+// share tokens, which floods low-Jaccard blocking with cross-family
+// candidates; expansion keeps chance overlap negligible so the family
+// themes control which non-matches survive blocking.
+func expandVocab(base []string, n int) []string {
+	suffixes := []string{"", "s", "er", "ing", "ed", "ix", "on", "ia", "or",
+		"al", "an", "ic", "um", "us", "ette", "ford"}
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for k := 0; len(out) < n && k < len(suffixes); k++ {
+		for _, w := range base {
+			v := w + suffixes[k]
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Expanded vocabularies used by the large-dataset profiles.
+var (
+	descWordsX   = expandVocab(descWords, 600)
+	topicWordsX  = expandVocab(topicWords, 450)
+	productNameX = expandVocab(append(append(append([]string{}, brands...), productNouns...), adjectives...), 600)
+)

@@ -1,0 +1,83 @@
+package diag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/alem/alem/internal/dataset"
+)
+
+func TestAnalyzeBeer(t *testing.T) {
+	d, err := dataset.Load("beer", 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(d)
+	if r.PostBlockingPairs == 0 {
+		t.Fatal("no post-blocking pairs")
+	}
+	if len(r.AttrSeparation) != len(d.Left.Schema) {
+		t.Fatalf("attr stats = %d, want %d", len(r.AttrSeparation), len(d.Left.Schema))
+	}
+	// Matches must be more similar than non-matches overall.
+	if r.Separation() <= 0 {
+		t.Errorf("separation = %v, want > 0", r.Separation())
+	}
+	for _, a := range r.AttrSeparation {
+		if a.MatchMean < 0 || a.MatchMean > 1 || a.NonMatchMean < 0 || a.NonMatchMean > 1 {
+			t.Errorf("attr %s means outside [0,1]: %+v", a.Attr, a)
+		}
+	}
+	// Histograms account for every pair.
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += r.MatchHist[i] + r.NonMatchHist[i]
+	}
+	if total != r.PostBlockingPairs {
+		t.Errorf("histogram total %d != %d pairs", total, r.PostBlockingPairs)
+	}
+}
+
+func TestReportWriteTo(t *testing.T) {
+	d, err := dataset.Load("beer", 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Analyze(d).Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"beer_name", "class separation", "[0.9-1.0]", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestHardDatasetsOverlapMoreThanCleanOnes(t *testing.T) {
+	hard, err := dataset.Load("abt-buy", 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := dataset.Load("dblp-acm", 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := Analyze(hard).Separation()
+	cs := Analyze(clean).Separation()
+	if hs >= cs {
+		t.Errorf("abt-buy separation %.3f not below dblp-acm %.3f (difficulty ordering)", hs, cs)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(0, 10, 30) != "" {
+		t.Error("zero count should render empty")
+	}
+	if got := bar(10, 10, 30); !strings.HasPrefix(got, strings.Repeat("#", 30)) {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := bar(1, 1000, 30); !strings.HasPrefix(got, "#") {
+		t.Errorf("tiny nonzero bar should show at least one #: %q", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package eval implements the benchmark's Evaluator component (§3): label
+// quality (precision/recall/F1 and the paper's progressive F1), latency
+// accounting split the way the paper splits it (training time, committee
+// creation time, example scoring time), and the #labels-to-convergence
+// metric.
+package eval
+
+import "time"
+
+// Confusion is a binary confusion matrix over the matching class.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Evaluate compares predictions against truth.
+func Evaluate(pred, truth []bool) Confusion {
+	var c Confusion
+	for i := range truth {
+		switch {
+		case pred[i] && truth[i]:
+			c.TP++
+		case pred[i] && !truth[i]:
+			c.FP++
+		case !pred[i] && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision is TP / (TP + FP); 0 when nothing is predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP / (TP + FN); 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Point is one active-learning iteration's measurement: the x-axis of
+// every curve in the paper is the cumulative number of labeled examples.
+type Point struct {
+	Labels    int
+	F1        float64
+	Precision float64
+	Recall    float64
+	// Latency breakdown for this iteration (§3 "Latency").
+	TrainTime           time.Duration
+	CommitteeCreateTime time.Duration
+	ScoreTime           time.Duration
+	// Model-complexity metrics for the interpretability experiments
+	// (Fig. 18); zero when not applicable to the learner.
+	DNFAtoms int
+	Depth    int
+}
+
+// SelectionTime is committee creation plus example scoring — the paper's
+// "example selection time".
+func (p Point) SelectionTime() time.Duration {
+	return p.CommitteeCreateTime + p.ScoreTime
+}
+
+// UserWaitTime is training plus example selection — the per-iteration
+// wait the paper plots in Fig. 13.
+func (p Point) UserWaitTime() time.Duration {
+	return p.TrainTime + p.SelectionTime()
+}
+
+// Curve is the sequence of per-iteration points of one run.
+type Curve []Point
+
+// BestF1 returns the maximum F1 along the curve.
+func (c Curve) BestF1() float64 {
+	best := 0.0
+	for _, p := range c {
+		if p.F1 > best {
+			best = p.F1
+		}
+	}
+	return best
+}
+
+// FinalF1 returns the last point's F1, 0 for an empty curve.
+func (c Curve) FinalF1() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1].F1
+}
+
+// ConvergenceLabels implements the #labels metric (§3): the minimum
+// number of labeled examples after which the F1-score stays within eps of
+// its convergent (final) value — i.e. adding more labels no longer changes
+// the quality of the model.
+func (c Curve) ConvergenceLabels(eps float64) int {
+	if len(c) == 0 {
+		return 0
+	}
+	conv := c[len(c)-1].F1
+	labels := c[len(c)-1].Labels
+	for i := len(c) - 1; i >= 0; i-- {
+		if c[i].F1 < conv-eps || c[i].F1 > conv+eps {
+			break
+		}
+		labels = c[i].Labels
+	}
+	return labels
+}
+
+// AverageCurves averages the F1 values of several runs point-by-point
+// (truncating to the shortest), the 5-seed averaging protocol of the
+// noisy-Oracle experiments (§6.2). Latencies are averaged as well.
+func AverageCurves(curves []Curve) Curve {
+	if len(curves) == 0 {
+		return nil
+	}
+	n := len(curves[0])
+	for _, c := range curves[1:] {
+		if len(c) < n {
+			n = len(c)
+		}
+	}
+	out := make(Curve, n)
+	for i := 0; i < n; i++ {
+		var f1, prec, rec float64
+		var tt, ct, st time.Duration
+		for _, c := range curves {
+			f1 += c[i].F1
+			prec += c[i].Precision
+			rec += c[i].Recall
+			tt += c[i].TrainTime
+			ct += c[i].CommitteeCreateTime
+			st += c[i].ScoreTime
+		}
+		k := time.Duration(len(curves))
+		nc := float64(len(curves))
+		out[i] = Point{
+			Labels:              curves[0][i].Labels,
+			F1:                  f1 / nc,
+			Precision:           prec / nc,
+			Recall:              rec / nc,
+			TrainTime:           tt / k,
+			CommitteeCreateTime: ct / k,
+			ScoreTime:           st / k,
+		}
+	}
+	return out
+}
+
+// AULC is the area under the F1-vs-labels learning curve, normalized by
+// the label span so it lies in [0,1] — the label-efficiency summary
+// common in active-learning comparisons: two methods with the same final
+// F1 can differ widely in how quickly they got there.
+func (c Curve) AULC() float64 {
+	if len(c) < 2 {
+		if len(c) == 1 {
+			return c[0].F1
+		}
+		return 0
+	}
+	var area float64
+	for i := 1; i < len(c); i++ {
+		dx := float64(c[i].Labels - c[i-1].Labels)
+		area += dx * (c[i].F1 + c[i-1].F1) / 2
+	}
+	span := float64(c[len(c)-1].Labels - c[0].Labels)
+	if span == 0 {
+		return c[0].F1
+	}
+	return area / span
+}

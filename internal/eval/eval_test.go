@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEvaluateConfusion(t *testing.T) {
+	pred := []bool{true, true, false, false, true}
+	truth := []bool{true, false, true, false, true}
+	c := Evaluate(pred, truth)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Errorf("confusion = %+v, want TP2 FP1 FN1 TN1", c)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("f1 = %v", got)
+	}
+}
+
+func TestMetricsDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should yield zero metrics")
+	}
+	all := Confusion{TP: 5}
+	if all.F1() != 1 {
+		t.Errorf("perfect confusion F1 = %v, want 1", all.F1())
+	}
+	noPos := Evaluate([]bool{false, false}, []bool{false, false})
+	if noPos.F1() != 0 {
+		t.Error("no-positive dataset should have F1 0 without predictions")
+	}
+}
+
+func TestPointLatencyComposition(t *testing.T) {
+	p := Point{
+		TrainTime:           2 * time.Second,
+		CommitteeCreateTime: 3 * time.Second,
+		ScoreTime:           5 * time.Second,
+	}
+	if p.SelectionTime() != 8*time.Second {
+		t.Errorf("SelectionTime = %v", p.SelectionTime())
+	}
+	if p.UserWaitTime() != 10*time.Second {
+		t.Errorf("UserWaitTime = %v", p.UserWaitTime())
+	}
+}
+
+func TestCurveBestAndFinal(t *testing.T) {
+	c := Curve{{Labels: 30, F1: 0.2}, {Labels: 40, F1: 0.9}, {Labels: 50, F1: 0.85}}
+	if c.BestF1() != 0.9 {
+		t.Errorf("BestF1 = %v", c.BestF1())
+	}
+	if c.FinalF1() != 0.85 {
+		t.Errorf("FinalF1 = %v", c.FinalF1())
+	}
+	var empty Curve
+	if empty.BestF1() != 0 || empty.FinalF1() != 0 {
+		t.Error("empty curve metrics should be 0")
+	}
+}
+
+func TestConvergenceLabels(t *testing.T) {
+	c := Curve{
+		{Labels: 30, F1: 0.2},
+		{Labels: 40, F1: 0.5},
+		{Labels: 50, F1: 0.89},
+		{Labels: 60, F1: 0.90},
+		{Labels: 70, F1: 0.91},
+		{Labels: 80, F1: 0.90},
+	}
+	// Final = 0.90; with eps 0.02 convergence starts at 50 (0.89 within eps).
+	if got := c.ConvergenceLabels(0.02); got != 50 {
+		t.Errorf("ConvergenceLabels = %d, want 50", got)
+	}
+	// Tight eps: 0.91 at 70 labels falls outside ±0.005 of the final
+	// 0.90, so the run-in shrinks to the last point.
+	if got := c.ConvergenceLabels(0.005); got != 80 {
+		t.Errorf("tight ConvergenceLabels = %d, want 80", got)
+	}
+	var empty Curve
+	if empty.ConvergenceLabels(0.01) != 0 {
+		t.Error("empty curve convergence should be 0")
+	}
+	flat := Curve{{Labels: 30, F1: 0.7}}
+	if flat.ConvergenceLabels(0.01) != 30 {
+		t.Error("single-point curve converges at its own label count")
+	}
+}
+
+func TestAverageCurves(t *testing.T) {
+	a := Curve{{Labels: 30, F1: 0.4, TrainTime: time.Second}, {Labels: 40, F1: 0.8}}
+	b := Curve{{Labels: 30, F1: 0.6, TrainTime: 3 * time.Second}, {Labels: 40, F1: 1.0}, {Labels: 50, F1: 1.0}}
+	avg := AverageCurves([]Curve{a, b})
+	if len(avg) != 2 {
+		t.Fatalf("len = %d, want 2 (truncated to shortest)", len(avg))
+	}
+	if math.Abs(avg[0].F1-0.5) > 1e-12 || math.Abs(avg[1].F1-0.9) > 1e-12 {
+		t.Errorf("averaged F1s = %v, %v", avg[0].F1, avg[1].F1)
+	}
+	if avg[0].TrainTime != 2*time.Second {
+		t.Errorf("averaged train time = %v", avg[0].TrainTime)
+	}
+	if AverageCurves(nil) != nil {
+		t.Error("AverageCurves(nil) should be nil")
+	}
+}
+
+func TestAULC(t *testing.T) {
+	// Constant curve: AULC equals the constant.
+	flat := Curve{{Labels: 30, F1: 0.8}, {Labels: 50, F1: 0.8}, {Labels: 70, F1: 0.8}}
+	if got := flat.AULC(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("flat AULC = %v, want 0.8", got)
+	}
+	// Linear ramp 0 -> 1: area is 0.5.
+	ramp := Curve{{Labels: 0, F1: 0}, {Labels: 100, F1: 1}}
+	if got := ramp.AULC(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ramp AULC = %v, want 0.5", got)
+	}
+	// Fast learner beats slow learner with the same endpoints.
+	fast := Curve{{Labels: 0, F1: 0}, {Labels: 10, F1: 0.9}, {Labels: 100, F1: 0.9}}
+	slow := Curve{{Labels: 0, F1: 0}, {Labels: 90, F1: 0.1}, {Labels: 100, F1: 0.9}}
+	if fast.AULC() <= slow.AULC() {
+		t.Errorf("fast AULC %v not above slow %v", fast.AULC(), slow.AULC())
+	}
+	// Degenerate curves.
+	if (Curve{}).AULC() != 0 {
+		t.Error("empty AULC should be 0")
+	}
+	if got := (Curve{{Labels: 30, F1: 0.6}}).AULC(); got != 0.6 {
+		t.Errorf("single-point AULC = %v, want its F1", got)
+	}
+	same := Curve{{Labels: 30, F1: 0.4}, {Labels: 30, F1: 0.6}}
+	if got := same.AULC(); got != 0.4 {
+		t.Errorf("zero-span AULC = %v, want first F1", got)
+	}
+}

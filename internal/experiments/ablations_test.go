@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationRegistry(t *testing.T) {
+	want := []string{"ablation-batch", "ablation-blockdims",
+		"ablation-classweight", "ablation-committee", "ablation-features",
+		"ablation-iwal", "ablation-majority", "ablation-nnensemble",
+		"ablation-plugin", "ablation-seedset", "ablation-stability",
+		"ablation-tau", "ablation-treeblock", "ablation-trees", "summary"}
+	got := AblationIDs()
+	if len(got) != len(want) {
+		t.Fatalf("ablations = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ablation[%d] = %q, want %q", i, got[i], want[i])
+		}
+		if _, err := Get(want[i]); err != nil {
+			t.Errorf("Get(%q): %v", want[i], err)
+		}
+	}
+}
+
+func TestAblationCommittee(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := AblationCommittee(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 committee sizes", len(rep.Rows))
+	}
+	// Committee-creation cost should not decrease from B=2 to B=40.
+	first, _ := strconv.ParseFloat(rep.Rows[0][3], 64)
+	last, _ := strconv.ParseFloat(rep.Rows[len(rep.Rows)-1][3], 64)
+	if last < first {
+		t.Errorf("committee cost shrank with committee size: B=2 %v > B=40 %v", first, last)
+	}
+}
+
+func TestAblationBatch(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := AblationBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 batch sizes", len(rep.Rows))
+	}
+	// Smaller batches must take at least as many iterations.
+	it1, _ := strconv.Atoi(rep.Rows[0][2])
+	it50, _ := strconv.Atoi(rep.Rows[4][2])
+	if it1 < it50 {
+		t.Errorf("batch=1 iterations (%d) below batch=50 (%d)", it1, it50)
+	}
+}
+
+func TestAblationTau(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 80
+	rep, err := AblationTau(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 datasets x 3 taus)", len(rep.Rows))
+	}
+}
+
+func TestAblationBlockDims(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := AblationBlockDims(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 values of K", len(rep.Rows))
+	}
+	if rep.Rows[0][0] != "1" {
+		t.Errorf("first K = %q, want 1", rep.Rows[0][0])
+	}
+}
+
+func TestAblationPlugin(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 80
+	rep, err := AblationPlugin(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 selectors", len(rep.Rows))
+	}
+	// The plug-in learner must actually learn something on clean data.
+	for _, row := range rep.Rows {
+		f1, _ := strconv.ParseFloat(row[1], 64)
+		if f1 < 0.3 {
+			t.Errorf("%s best F1 = %v, want >= 0.3", row[0], f1)
+		}
+	}
+}
+
+func TestAblationSeedSetAndTrees(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	if rep, err := AblationSeedSet(opts); err != nil || len(rep.Rows) != 4 {
+		t.Errorf("seedset: err=%v rows=%d", err, len(rep.Rows))
+	}
+	if rep, err := AblationTrees(opts); err != nil || len(rep.Rows) != 5 {
+		t.Errorf("trees: err=%v rows=%d", err, len(rep.Rows))
+	}
+}
+
+func TestSummaryDriver(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 80
+	rep, err := Summary(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 combinations", len(rep.Rows))
+	}
+	// Every row has a parsable AULC in [0,1].
+	for _, row := range rep.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || v < 0 || v > 1 {
+			t.Errorf("row %v has bad AULC %q", row[0], row[2])
+		}
+	}
+}
+
+func TestAblationMajorityRows(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := AblationMajority(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 noise x 3 k)", len(rep.Rows))
+	}
+	// Worker responses must grow with k within each noise level.
+	for base := 0; base < 6; base += 3 {
+		q1, _ := strconv.Atoi(rep.Rows[base][3])
+		q5, _ := strconv.Atoi(rep.Rows[base+2][3])
+		if q5 <= q1 {
+			t.Errorf("5-worker responses %d not above 1-worker %d", q5, q1)
+		}
+	}
+}
+
+func TestAblationClassWeightAndNNEnsemble(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	if rep, err := AblationClassWeight(opts); err != nil || len(rep.Rows) != 4 {
+		t.Errorf("classweight: err=%v rows=%d", err, len(rep.Rows))
+	}
+	if rep, err := AblationNNEnsemble(opts); err != nil || len(rep.Rows) != 2 {
+		t.Errorf("nnensemble: err=%v rows=%d", err, len(rep.Rows))
+	}
+}
+
+func TestAblationFeaturesAndTreeBlock(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	if rep, err := AblationFeatures(opts); err != nil || len(rep.Rows) != 4 {
+		t.Errorf("features: err=%v rows=%d", err, len(rep.Rows))
+	}
+	if rep, err := AblationTreeBlock(opts); err != nil || len(rep.Rows) != 3 {
+		t.Errorf("treeblock: err=%v rows=%d", err, len(rep.Rows))
+	}
+	if rep, err := AblationIWAL(opts); err != nil || len(rep.Rows) != 4 {
+		t.Errorf("iwal: err=%v rows=%d", err, len(rep.Rows))
+	}
+}

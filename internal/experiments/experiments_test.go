@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/alem/alem/internal/eval"
+)
+
+// tinyOpts keeps driver tests fast: very small datasets, short runs.
+func tinyOpts() Options {
+	return Options{Scale: 0.02, MaxLabels: 80, Runs: 1, Seed: 7}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig2", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19"}
+	if len(IDs()) != len(want) {
+		t.Fatalf("registry has %d ids, want %d (every table and figure)", len(IDs()), len(want))
+	}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing driver %q: %v", id, err)
+		}
+	}
+	if _, err := Get("fig99"); err == nil {
+		t.Error("Get accepted unknown id")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep, err := Table1(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 datasets", len(rep.Rows))
+	}
+	var buf bytes.Buffer
+	rep.WriteTo(&buf, false)
+	out := buf.String()
+	for _, ds := range []string{"abt-buy", "cora", "dblp-scholar", "beer"} {
+		if !strings.Contains(out, ds) {
+			t.Errorf("output missing dataset %q", ds)
+		}
+	}
+}
+
+func TestFigure8Smoke(t *testing.T) {
+	rep, err := Figure8(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 8 {
+		t.Fatalf("series = %d, want 8 (NN x2, SVM x3, Trees x3)", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Curve) == 0 {
+			t.Errorf("series %q has empty curve", s.Name)
+		}
+		if s.Metric != MetricF1 {
+			t.Errorf("series %q metric = %v, want F1", s.Name, s.Metric)
+		}
+	}
+}
+
+func TestFigure10LatencyShape(t *testing.T) {
+	rep, err := Figure10(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range rep.Series {
+		byName[s.Name] = s
+	}
+	if _, ok := byName["scoreMargin(1Dim)"]; !ok {
+		t.Fatalf("missing scoreMargin(1Dim) series; have %v", keys(byName))
+	}
+	// Committee-creation series must exist for QBC and carry nonzero time
+	// on at least one iteration.
+	cc := byName["Linear createQBC(20)"]
+	nonzero := false
+	for _, p := range cc.Curve {
+		if p.CommitteeCreateTime > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("QBC(20) committee creation time never recorded")
+	}
+}
+
+func keys(m map[string]Series) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestFigure11ReportsAcceptedSVMs(t *testing.T) {
+	opts := tinyOpts()
+	rep, err := Figure11(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range rep.Series {
+		if strings.Contains(s.Name, "#AcceptedSVMs=") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Fig. 11 series missing #AcceptedSVMs annotation")
+	}
+	if len(rep.Series) != 15 {
+		t.Errorf("series = %d, want 15 (5 datasets x 3 variants)", len(rep.Series))
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	rep, err := Table2(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 40 {
+		t.Fatalf("rows = %d, want 40 (8 approaches x 5 datasets)", len(rep.Rows))
+	}
+	// Paper column must be populated for every row.
+	for _, row := range rep.Rows {
+		if row[3] == "" {
+			t.Errorf("row %v missing paper value", row)
+		}
+	}
+}
+
+func TestFigure14NoiseSeries(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := Figure14(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 20 {
+		t.Fatalf("series = %d, want 20 (4 variants x 5 noise levels)", len(rep.Series))
+	}
+}
+
+func TestFigure16HasProxy(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := Figure16(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := 0
+	for _, s := range rep.Series {
+		if strings.Contains(s.Name, "DeepMatcher(proxy)") {
+			proxies++
+		}
+	}
+	if proxies != 4 {
+		t.Errorf("DeepMatcher proxy series = %d, want 4", proxies)
+	}
+}
+
+func TestFigure18AtomsRecorded(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := Figure18(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Series {
+		if s.Metric != MetricAtoms && s.Metric != MetricDepth {
+			t.Errorf("series %q has metric %v", s.Name, s.Metric)
+		}
+	}
+	// Tree atom counts must be nonzero once trained.
+	for _, s := range rep.Series {
+		if s.Metric == MetricAtoms && strings.HasPrefix(s.Name, "Trees(") {
+			last := s.Curve[len(s.Curve)-1]
+			if last.DNFAtoms == 0 {
+				t.Errorf("series %q final atoms = 0", s.Name)
+			}
+		}
+	}
+}
+
+func TestFigure19Table(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 100
+	rep, err := Figure19(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (LFP/LFN + QBC x4)", len(rep.Rows))
+	}
+	if rep.Rows[0][0] != "LFP/LFN" {
+		t.Errorf("first strategy = %q, want LFP/LFN", rep.Rows[0][0])
+	}
+}
+
+func TestDefaultOptionsEnvOverride(t *testing.T) {
+	t.Setenv("ALEM_SCALE", "0.5")
+	t.Setenv("ALEM_MAXLABELS", "123")
+	t.Setenv("ALEM_RUNS", "7")
+	t.Setenv("ALEM_SEED", "99")
+	o := DefaultOptions()
+	if o.Scale != 0.5 || o.MaxLabels != 123 || o.Runs != 7 || o.Seed != 99 {
+		t.Errorf("env overrides not applied: %+v", o)
+	}
+}
+
+func TestReportWriteToSubsamples(t *testing.T) {
+	rep := &Report{ID: "x", Title: "t"}
+	var curve []struct{}
+	_ = curve
+	s := Series{Name: "s", Metric: MetricF1}
+	for i := 0; i < 100; i++ {
+		s.Curve = append(s.Curve, pointWithLabels(30+10*i))
+	}
+	rep.Series = []Series{s}
+	var buf bytes.Buffer
+	rep.WriteTo(&buf, false)
+	lines := strings.Count(buf.String(), "\n")
+	if lines > 40 {
+		t.Errorf("non-verbose output has %d lines, want subsampled <= 40", lines)
+	}
+	var vbuf bytes.Buffer
+	rep.WriteTo(&vbuf, true)
+	if vlines := strings.Count(vbuf.String(), "\n"); vlines <= lines {
+		t.Errorf("verbose output (%d lines) not longer than subsampled (%d)", vlines, lines)
+	}
+}
+
+func pointWithLabels(labels int) eval.Point {
+	return eval.Point{Labels: labels, F1: 0.5}
+}
+
+func TestReportWriteJSON(t *testing.T) {
+	rep := &Report{
+		ID: "x", Title: "t",
+		Headers: []string{"a"}, Rows: [][]string{{"1"}},
+		Series: []Series{{Name: "s", Metric: MetricF1,
+			Curve: eval.Curve{{Labels: 30, F1: 0.5}, {Labels: 40, F1: 0.75}}}},
+		Notes: []string{"n"},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["id"] != "x" {
+		t.Errorf("id = %v", decoded["id"])
+	}
+	series := decoded["series"].([]any)
+	if len(series) != 1 {
+		t.Fatalf("series = %v", series)
+	}
+	pts := series[0].(map[string]any)["points"].([]any)
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[1].(map[string]any)["value"] != "0.750" {
+		t.Errorf("point value = %v", pts[1])
+	}
+}
+
+func TestFigure9And13Smoke(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := Figure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 8 {
+		t.Errorf("fig9 series = %d, want 8", len(rep.Series))
+	}
+	rep13, err := Figure13(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep13.Series) != 20 {
+		t.Errorf("fig13 series = %d, want 20 (5 datasets x 4 best variants)", len(rep13.Series))
+	}
+	for _, s := range rep13.Series {
+		if s.Metric != MetricWaitTime {
+			t.Errorf("fig13 series %q metric = %v, want wait time", s.Name, s.Metric)
+		}
+	}
+	rep12, err := Figure12(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep12.Series) != 20 {
+		t.Errorf("fig12 series = %d, want 20", len(rep12.Series))
+	}
+}
+
+func TestFigure15And17Smoke(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 50
+	rep, err := Figure15(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 20 {
+		t.Errorf("fig15 series = %d, want 20 (4 datasets x 5 noise levels)", len(rep.Series))
+	}
+	rep17, err := Figure17(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep17.Series) != 6 {
+		t.Errorf("fig17 series = %d, want 6 (2 variants x 3 noise levels)", len(rep17.Series))
+	}
+}
+
+func TestFigure2Grid(t *testing.T) {
+	rep, err := Figure2(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 35 {
+		t.Errorf("fig2 rows = %d, want 35", len(rep.Rows))
+	}
+	compatible := 0
+	for _, row := range rep.Rows {
+		if row[2] == "yes" {
+			compatible++
+		}
+	}
+	if compatible == 0 || compatible == len(rep.Rows) {
+		t.Errorf("compatibility grid degenerate: %d/%d compatible", compatible, len(rep.Rows))
+	}
+}

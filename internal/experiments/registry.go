@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Driver produces one reproduced table or figure.
+type Driver func(Options) (*Report, error)
+
+// paperRegistry maps the paper's table/figure ids to their drivers.
+var paperRegistry = map[string]Driver{
+	"table1": Table1,
+	"fig2":   Figure2,
+	"fig8":   Figure8,
+	"fig9":   Figure9,
+	"fig10":  Figure10,
+	"fig11":  Figure11,
+	"fig12":  Figure12,
+	"fig13":  Figure13,
+	"table2": Table2,
+	"fig14":  Figure14,
+	"fig15":  Figure15,
+	"fig16":  Figure16,
+	"fig17":  Figure17,
+	"fig18":  Figure18,
+	"fig19":  Figure19,
+}
+
+// ablationRegistry maps the extension sweeps (design-choice ablations,
+// plug-in learner demo) to their drivers.
+var ablationRegistry = map[string]Driver{
+	"ablation-committee":   AblationCommittee,
+	"ablation-batch":       AblationBatch,
+	"ablation-seedset":     AblationSeedSet,
+	"ablation-tau":         AblationTau,
+	"ablation-blockdims":   AblationBlockDims,
+	"ablation-trees":       AblationTrees,
+	"ablation-plugin":      AblationPlugin,
+	"ablation-iwal":        AblationIWAL,
+	"ablation-features":    AblationFeatures,
+	"ablation-treeblock":   AblationTreeBlock,
+	"ablation-majority":    AblationMajority,
+	"ablation-classweight": AblationClassWeight,
+	"ablation-nnensemble":  AblationNNEnsemble,
+	"ablation-stability":   AblationStability,
+	"summary":              Summary,
+}
+
+// IDs returns the paper's table/figure ids in stable order.
+func IDs() []string { return sortedKeys(paperRegistry) }
+
+// AblationIDs returns the extension experiment ids in stable order.
+func AblationIDs() []string { return sortedKeys(ablationRegistry) }
+
+func sortedKeys(m map[string]Driver) []string {
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the driver for a paper or ablation experiment id.
+func Get(id string) (Driver, error) {
+	if d, ok := paperRegistry[id]; ok {
+		return d, nil
+	}
+	if d, ok := ablationRegistry[id]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (have %v + %v)", id, IDs(), AblationIDs())
+}

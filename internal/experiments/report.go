@@ -1,0 +1,237 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§6): each driver assembles datasets, learners,
+// selectors and Oracles from the other packages, runs the protocol the
+// paper describes, and emits the same rows/series the paper reports, with
+// the paper's own numbers alongside where available.
+//
+// Absolute values differ from the paper's (synthetic datasets, different
+// hardware); the reproduction target is the SHAPE: which method wins, by
+// roughly what factor, and where curves cross. See EXPERIMENTS.md.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/alem/alem/internal/eval"
+)
+
+// Options control experiment size so the same drivers serve fast unit
+// tests, the CLI and the full benchmark harness.
+type Options struct {
+	// Scale multiplies dataset profile sizes (1.0 = the paper's
+	// post-blocking sizes). Default 0.1.
+	Scale float64
+	// MaxLabels caps labels per run (the paper's perfect-Oracle figures
+	// stop at 2360). Default 600.
+	MaxLabels int
+	// Runs is the number of random seeds averaged in noisy-Oracle
+	// experiments (the paper uses 5). Default 3.
+	Runs int
+	// Seed is the base RNG seed.
+	Seed int64
+	// Verbose curves print every checkpoint instead of a subsample.
+	Verbose bool
+}
+
+// DefaultOptions returns the defaults, with ALEM_SCALE, ALEM_MAXLABELS,
+// ALEM_RUNS and ALEM_SEED environment overrides so the benchmark harness
+// can be dialed up to paper scale without recompiling.
+func DefaultOptions() Options {
+	o := Options{Scale: 0.1, MaxLabels: 600, Runs: 3, Seed: 42}
+	if v, err := strconv.ParseFloat(os.Getenv("ALEM_SCALE"), 64); err == nil && v > 0 {
+		o.Scale = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("ALEM_MAXLABELS")); err == nil && v > 0 {
+		o.MaxLabels = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("ALEM_RUNS")); err == nil && v > 0 {
+		o.Runs = v
+	}
+	if v, err := strconv.ParseInt(os.Getenv("ALEM_SEED"), 10, 64); err == nil {
+		o.Seed = v
+	}
+	return o
+}
+
+// Metric selects which per-iteration value a Series reports.
+type Metric int
+
+// Series metrics.
+const (
+	MetricF1 Metric = iota
+	MetricPrecision
+	MetricRecall
+	MetricSelectionTime
+	MetricCommitteeTime
+	MetricScoreTime
+	MetricWaitTime
+	MetricTrainTime
+	MetricAtoms
+	MetricDepth
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricF1:
+		return "F1"
+	case MetricPrecision:
+		return "precision"
+	case MetricRecall:
+		return "recall"
+	case MetricSelectionTime:
+		return "selection_ms"
+	case MetricCommitteeTime:
+		return "committee_ms"
+	case MetricScoreTime:
+		return "scoring_ms"
+	case MetricWaitTime:
+		return "wait_ms"
+	case MetricTrainTime:
+		return "train_ms"
+	case MetricAtoms:
+		return "dnf_atoms"
+	case MetricDepth:
+		return "depth"
+	}
+	return "?"
+}
+
+func pointValue(p eval.Point, m Metric) string {
+	ms := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 2, 64)
+	}
+	switch m {
+	case MetricF1:
+		return strconv.FormatFloat(p.F1, 'f', 3, 64)
+	case MetricPrecision:
+		return strconv.FormatFloat(p.Precision, 'f', 3, 64)
+	case MetricRecall:
+		return strconv.FormatFloat(p.Recall, 'f', 3, 64)
+	case MetricSelectionTime:
+		return ms(p.SelectionTime())
+	case MetricCommitteeTime:
+		return ms(p.CommitteeCreateTime)
+	case MetricScoreTime:
+		return ms(p.ScoreTime)
+	case MetricWaitTime:
+		return ms(p.UserWaitTime())
+	case MetricTrainTime:
+		return ms(p.TrainTime)
+	case MetricAtoms:
+		return strconv.Itoa(p.DNFAtoms)
+	case MetricDepth:
+		return strconv.Itoa(p.Depth)
+	}
+	return "?"
+}
+
+// Series is one plotted line of a figure.
+type Series struct {
+	Name   string
+	Metric Metric
+	Curve  eval.Curve
+}
+
+// Report is a reproduced table or figure: tabular rows, plotted series,
+// or both.
+type Report struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Series  []Series
+	Notes   []string
+}
+
+// WriteTo renders the report as aligned text. Long curves are subsampled
+// to at most maxCurveRows checkpoints unless verbose.
+func (r *Report) WriteTo(w io.Writer, verbose bool) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Rows) > 0 {
+		widths := make([]int, len(r.Headers))
+		for i, h := range r.Headers {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		printRow := func(cells []string) {
+			for i, c := range cells {
+				if i > 0 {
+					fmt.Fprint(w, "  ")
+				}
+				fmt.Fprintf(w, "%-*s", widths[i], c)
+			}
+			fmt.Fprintln(w)
+		}
+		printRow(r.Headers)
+		for _, row := range r.Rows {
+			printRow(row)
+		}
+	}
+	const maxCurveRows = 24
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "-- series %s (#labels -> %s)\n", s.Name, s.Metric)
+		stride := 1
+		if !verbose && len(s.Curve) > maxCurveRows {
+			stride = (len(s.Curve) + maxCurveRows - 1) / maxCurveRows
+		}
+		for i := 0; i < len(s.Curve); i += stride {
+			p := s.Curve[i]
+			fmt.Fprintf(w, "   %6d  %s\n", p.Labels, pointValue(p, s.Metric))
+		}
+		if last := len(s.Curve) - 1; last >= 0 && last%stride != 0 {
+			p := s.Curve[last]
+			fmt.Fprintf(w, "   %6d  %s\n", p.Labels, pointValue(p, s.Metric))
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// jsonReport is the machine-readable form of a Report.
+type jsonReport struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Headers []string     `json:"headers,omitempty"`
+	Rows    [][]string   `json:"rows,omitempty"`
+	Series  []jsonSeries `json:"series,omitempty"`
+	Notes   []string     `json:"notes,omitempty"`
+}
+
+type jsonSeries struct {
+	Name   string      `json:"name"`
+	Metric string      `json:"metric"`
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonPoint struct {
+	Labels int    `json:"labels"`
+	Value  string `json:"value"`
+}
+
+// WriteJSON renders the full report (no subsampling) as JSON, for
+// downstream plotting tools.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{ID: r.ID, Title: r.Title, Headers: r.Headers, Rows: r.Rows, Notes: r.Notes}
+	for _, s := range r.Series {
+		js := jsonSeries{Name: s.Name, Metric: s.Metric.String()}
+		for _, p := range s.Curve {
+			js.Points = append(js.Points, jsonPoint{Labels: p.Labels, Value: pointValue(p, s.Metric)})
+		}
+		out.Series = append(out.Series, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/alem/alem/internal/core"
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/linear"
+	"github.com/alem/alem/internal/neural"
+	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/rules"
+	"github.com/alem/alem/internal/tree"
+)
+
+// Learner factories, the wiring between the framework interfaces and the
+// concrete learner packages.
+
+func svmFactory(seed int64) core.Learner { return linear.NewSVM(seed) }
+
+func nnFactory(hidden int) core.Factory {
+	return func(seed int64) core.Learner { return neural.NewNet(hidden, seed) }
+}
+
+func forestFactory(trees int) core.Factory {
+	return func(seed int64) core.Learner { return tree.NewForest(trees, seed) }
+}
+
+// poolCache shares blocked+featurized pools across drivers in one
+// process: featurizing Cora at full scale is the most expensive step of
+// the whole harness and every figure reuses the same pools.
+var poolCache sync.Map // key string -> *core.Pool
+
+type poolKind int
+
+const (
+	floatPool poolKind = iota
+	boolPool
+)
+
+// smallDatasets are already tiny at paper scale (≤ ~450 post-blocking
+// pairs); scaling them down further would leave nothing to learn from,
+// so loadPool never runs them below scale 1.0.
+var smallDatasets = map[string]bool{
+	"amazon-bestbuy": true, "beer": true, "baby-products": true,
+}
+
+// loadPool generates the named dataset at the options' scale and returns
+// its post-blocking pool, cached per (name, kind, scale, seed).
+func loadPool(name string, kind poolKind, opts Options) (*core.Pool, *dataset.Dataset, error) {
+	if smallDatasets[name] && opts.Scale < 1 {
+		opts.Scale = 1
+	}
+	key := fmt.Sprintf("%s/%d/%g/%d", name, kind, opts.Scale, opts.Seed)
+	d, err := dataset.Load(name, opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p, ok := poolCache.Load(key); ok {
+		return p.(*core.Pool), d, nil
+	}
+	var p *core.Pool
+	if kind == boolPool {
+		p = core.NewBoolPool(d)
+	} else {
+		p = core.NewPool(d)
+	}
+	poolCache.Store(key, p)
+	return p, d, nil
+}
+
+// mustPool panics on dataset errors; profiles are compiled in, so an
+// error is a programming bug, not an input problem.
+func mustPool(name string, kind poolKind, opts Options) (*core.Pool, *dataset.Dataset) {
+	p, d, err := loadPool(name, kind, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p, d
+}
+
+// runApproach is the shared harness for one (learner, selector) run.
+func runApproach(pool *core.Pool, learner core.Learner, sel core.Selector,
+	o oracle.Oracle, cfg core.Config) *core.Result {
+	return core.Run(pool, learner, sel, o, cfg)
+}
+
+// rulesLearner builds the rule model for a dataset's schema.
+func rulesLearner(d *dataset.Dataset) *rules.Model {
+	return rules.NewModel(feature.NewBoolExtractor(d.Left.Schema))
+}
+
+// perfectOracle and noisyOracle are tiny aliases keeping driver code
+// readable.
+func perfectOracle(d *dataset.Dataset) oracle.Oracle { return oracle.NewPerfect(d) }
+
+func noisyOracle(d *dataset.Dataset, noise float64, seed int64) oracle.Oracle {
+	if noise <= 0 {
+		return oracle.NewPerfect(d)
+	}
+	return oracle.NewNoisy(d, noise, seed)
+}

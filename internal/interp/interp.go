@@ -1,0 +1,225 @@
+// Package interp implements the interpretability metric of §6.3 (after
+// Singh et al.): a model's interpretability is inversely proportional to
+// the number of atoms in its DNF representation. Rule models report their
+// atom count directly; random forests are converted to DNF by walking
+// every root-to-positive-leaf path — each path is a conjunction of
+// predicates, the disjunction over all such paths (over all trees) is the
+// forest's DNF. Per the paper, DNFs are NOT optimized into more concise
+// Boolean forms, and overlapping atoms are counted with repetition.
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/alem/alem/internal/tree"
+)
+
+// Predicate is one atom of a tree-derived DNF: feature ≤ threshold or
+// feature > threshold.
+type Predicate struct {
+	Feature   int
+	Threshold float64
+	Leq       bool
+}
+
+// String renders the predicate. The optional dimension namer (may be nil)
+// maps feature indices to names such as "jaccard(name)".
+func (p Predicate) String() string { return p.Format(nil) }
+
+// Format renders the predicate using the given dimension namer.
+func (p Predicate) Format(dimName func(int) string) string {
+	name := fmt.Sprintf("f%d", p.Feature)
+	if dimName != nil {
+		name = dimName(p.Feature)
+	}
+	op := ">"
+	if p.Leq {
+		op = "<="
+	}
+	return fmt.Sprintf("%s %s %.3f", name, op, p.Threshold)
+}
+
+// Conjunction is one DNF clause: a root-to-positive-leaf path.
+type Conjunction []Predicate
+
+// TreeToDNF converts a decision tree into the disjunction of its
+// positive-leaf paths.
+func TreeToDNF(t *tree.Tree) []Conjunction {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	var out []Conjunction
+	var walk func(n *tree.Node, path Conjunction)
+	walk = func(n *tree.Node, path Conjunction) {
+		if n.Leaf {
+			if n.Label {
+				out = append(out, append(Conjunction(nil), path...))
+			}
+			return
+		}
+		walk(n.Left, append(path, Predicate{Feature: n.Feature, Threshold: n.Threshold, Leq: true}))
+		walk(n.Right, append(path, Predicate{Feature: n.Feature, Threshold: n.Threshold, Leq: false}))
+	}
+	walk(t.Root, nil)
+	return out
+}
+
+// ForestToDNF converts a whole forest: the union of its trees' DNFs.
+func ForestToDNF(f *tree.Forest) []Conjunction {
+	var out []Conjunction
+	for _, t := range f.Trees() {
+		out = append(out, TreeToDNF(t)...)
+	}
+	return out
+}
+
+// NumAtoms counts the atoms of a DNF with repetition (§6.3).
+func NumAtoms(dnf []Conjunction) int {
+	n := 0
+	for _, c := range dnf {
+		n += len(c)
+	}
+	return n
+}
+
+// ForestAtoms is the Fig. 18a metric: total atoms in the forest's DNF.
+func ForestAtoms(f *tree.Forest) int { return NumAtoms(ForestToDNF(f)) }
+
+// FormatDNF renders a DNF for human inspection.
+func FormatDNF(dnf []Conjunction, dimName func(int) string) string {
+	if len(dnf) == 0 {
+		return "<empty DNF>"
+	}
+	var sb strings.Builder
+	for i, c := range dnf {
+		if i > 0 {
+			sb.WriteString("\n∨\n")
+		}
+		if len(c) == 0 {
+			sb.WriteString("TRUE")
+			continue
+		}
+		for j, p := range c {
+			if j > 0 {
+				sb.WriteString(" ∧ ")
+			}
+			sb.WriteString(p.Format(dimName))
+		}
+	}
+	return sb.String()
+}
+
+// MineBlockingDNF extracts a high-recall blocking predicate from a
+// trained forest, the Corleone idea the paper's §2 describes (forests
+// are interpretable enough to mine blocking functions from). Clauses of
+// the forest's DNF are ranked by how many labeled positives they cover
+// relative to the negatives they admit, and greedily added until the
+// union covers at least targetRecall of the labeled positives. The §5
+// sketch — "blocking during example selection for tree-based models is
+// trivial: execute the blocking predicate on all unlabeled examples" —
+// is realized by evaluating the returned DNF as a pruning filter.
+func MineBlockingDNF(f *tree.Forest, X [][]float64, y []bool, targetRecall float64) []Conjunction {
+	var positives, negatives []int
+	for i, yi := range y {
+		if yi {
+			positives = append(positives, i)
+		} else {
+			negatives = append(negatives, i)
+		}
+	}
+	if len(positives) == 0 {
+		return nil
+	}
+	type scoredClause struct {
+		c        Conjunction
+		pos, neg int
+	}
+	var clauses []scoredClause
+	for _, c := range ForestToDNF(f) {
+		if len(c) == 0 {
+			continue // a TRUE clause blocks nothing
+		}
+		sc := scoredClause{c: c}
+		for _, i := range positives {
+			if clauseCovers(c, X[i]) {
+				sc.pos++
+			}
+		}
+		if sc.pos == 0 {
+			continue
+		}
+		for _, i := range negatives {
+			if clauseCovers(c, X[i]) {
+				sc.neg++
+			}
+		}
+		clauses = append(clauses, sc)
+	}
+	// Highest positive-coverage first; fewer admitted negatives breaks
+	// ties (more selective blocking).
+	sort.Slice(clauses, func(a, b int) bool {
+		if clauses[a].pos != clauses[b].pos {
+			return clauses[a].pos > clauses[b].pos
+		}
+		return clauses[a].neg < clauses[b].neg
+	})
+	covered := make([]bool, len(X))
+	coveredPos := 0
+	var out []Conjunction
+	for _, sc := range clauses {
+		gained := false
+		for _, i := range positives {
+			if !covered[i] && clauseCovers(sc.c, X[i]) {
+				covered[i] = true
+				coveredPos++
+				gained = true
+			}
+		}
+		if !gained {
+			continue
+		}
+		out = append(out, sc.c)
+		if float64(coveredPos) >= targetRecall*float64(len(positives)) {
+			break
+		}
+	}
+	return out
+}
+
+func clauseCovers(c Conjunction, x []float64) bool {
+	for _, p := range c {
+		if p.Leq {
+			if !(x[p.Feature] <= p.Threshold) {
+				return false
+			}
+		} else if !(x[p.Feature] > p.Threshold) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalDNF applies a tree-derived DNF to a vector; used to verify the
+// conversion is semantics-preserving.
+func EvalDNF(dnf []Conjunction, x []float64) bool {
+	for _, c := range dnf {
+		ok := true
+		for _, p := range c {
+			if p.Leq {
+				if !(x[p.Feature] <= p.Threshold) {
+					ok = false
+					break
+				}
+			} else if !(x[p.Feature] > p.Threshold) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

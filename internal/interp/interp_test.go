@@ -1,0 +1,197 @@
+package interp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/tree"
+)
+
+// stump: f0 <= 0.5 -> non-match, else match.
+func stump() *tree.Tree {
+	return &tree.Tree{Root: &tree.Node{
+		Feature: 0, Threshold: 0.5,
+		Left:  &tree.Node{Leaf: true, Label: false},
+		Right: &tree.Node{Leaf: true, Label: true},
+	}}
+}
+
+func TestTreeToDNFStump(t *testing.T) {
+	dnf := TreeToDNF(stump())
+	if len(dnf) != 1 {
+		t.Fatalf("clauses = %d, want 1", len(dnf))
+	}
+	if len(dnf[0]) != 1 {
+		t.Fatalf("atoms = %d, want 1", len(dnf[0]))
+	}
+	p := dnf[0][0]
+	if p.Feature != 0 || p.Threshold != 0.5 || p.Leq {
+		t.Errorf("predicate = %+v, want f0 > 0.5", p)
+	}
+	if NumAtoms(dnf) != 1 {
+		t.Errorf("NumAtoms = %d, want 1", NumAtoms(dnf))
+	}
+}
+
+func TestTreeToDNFDeeper(t *testing.T) {
+	// (f0 > 0.5 AND f1 <= 0.3) OR (f0 <= 0.5 AND f2 > 0.7)
+	tr := &tree.Tree{Root: &tree.Node{
+		Feature: 0, Threshold: 0.5,
+		Left: &tree.Node{
+			Feature: 2, Threshold: 0.7,
+			Left:  &tree.Node{Leaf: true, Label: false},
+			Right: &tree.Node{Leaf: true, Label: true},
+		},
+		Right: &tree.Node{
+			Feature: 1, Threshold: 0.3,
+			Left:  &tree.Node{Leaf: true, Label: true},
+			Right: &tree.Node{Leaf: true, Label: false},
+		},
+	}}
+	dnf := TreeToDNF(tr)
+	if len(dnf) != 2 {
+		t.Fatalf("clauses = %d, want 2", len(dnf))
+	}
+	if NumAtoms(dnf) != 4 {
+		t.Errorf("NumAtoms = %d, want 4", NumAtoms(dnf))
+	}
+}
+
+func TestDNFSemanticsMatchTree(t *testing.T) {
+	// Property: for a trained forest, the DNF must agree with the trees'
+	// own predictions on every probe.
+	r := rand.New(rand.NewSource(1))
+	var X []feature.Vector
+	var y []bool
+	for i := 0; i < 200; i++ {
+		a, b := r.Float64(), r.Float64()
+		X = append(X, feature.Vector{a, b})
+		y = append(y, a > 0.5 != (b > 0.5))
+	}
+	f := tree.NewForest(5, 1)
+	f.Train(X, y)
+	for _, tr := range f.Trees() {
+		dnf := TreeToDNF(tr)
+		for i := 0; i < 100; i++ {
+			x := feature.Vector{r.Float64(), r.Float64()}
+			if got, want := EvalDNF(dnf, x), tr.Predict(x); got != want {
+				t.Fatalf("DNF(%v) = %v, tree = %v", x, got, want)
+			}
+		}
+	}
+}
+
+func TestForestAtomsGrowWithTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var X []feature.Vector
+	var y []bool
+	for i := 0; i < 300; i++ {
+		a, b := r.Float64(), r.Float64()
+		X = append(X, feature.Vector{a, b})
+		y = append(y, a+b > 1)
+	}
+	small := tree.NewForest(2, 2)
+	small.Train(X, y)
+	big := tree.NewForest(20, 2)
+	big.Train(X, y)
+	if ForestAtoms(big) <= ForestAtoms(small) {
+		t.Errorf("atoms: Trees(20)=%d not above Trees(2)=%d (Fig. 18a shape)",
+			ForestAtoms(big), ForestAtoms(small))
+	}
+}
+
+func TestPureLeafTree(t *testing.T) {
+	leaf := &tree.Tree{Root: &tree.Node{Leaf: true, Label: true}}
+	dnf := TreeToDNF(leaf)
+	if len(dnf) != 1 || len(dnf[0]) != 0 {
+		t.Fatalf("pure-positive leaf DNF = %v, want one empty clause", dnf)
+	}
+	if !EvalDNF(dnf, []float64{0}) {
+		t.Error("empty clause should match everything")
+	}
+	negLeaf := &tree.Tree{Root: &tree.Node{Leaf: true, Label: false}}
+	if got := TreeToDNF(negLeaf); len(got) != 0 {
+		t.Errorf("pure-negative leaf DNF = %v, want empty", got)
+	}
+	if TreeToDNF(nil) != nil {
+		t.Error("nil tree should give nil DNF")
+	}
+}
+
+func TestFormatDNF(t *testing.T) {
+	dnf := TreeToDNF(stump())
+	s := FormatDNF(dnf, nil)
+	if !strings.Contains(s, "f0 > 0.500") {
+		t.Errorf("FormatDNF = %q", s)
+	}
+	named := FormatDNF(dnf, func(i int) string { return "jaccard(name)" })
+	if !strings.Contains(named, "jaccard(name) > 0.500") {
+		t.Errorf("named FormatDNF = %q", named)
+	}
+	if got := FormatDNF(nil, nil); got != "<empty DNF>" {
+		t.Errorf("empty FormatDNF = %q", got)
+	}
+}
+
+func TestMineBlockingDNFRecall(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var X []feature.Vector
+	var y []bool
+	for i := 0; i < 400; i++ {
+		match := r.Float64() < 0.25
+		base := 0.2
+		if match {
+			base = 0.8
+		}
+		X = append(X, feature.Vector{base + r.Float64()*0.15, base + r.Float64()*0.15})
+		y = append(y, match)
+	}
+	f := tree.NewForest(10, 3)
+	f.Train(X, y)
+	raw := make([][]float64, len(X))
+	for i := range X {
+		raw[i] = X[i]
+	}
+	dnf := MineBlockingDNF(f, raw, y, 0.95)
+	if len(dnf) == 0 {
+		t.Fatal("no blocking DNF mined")
+	}
+	// The mined DNF must cover >= 95% of positives...
+	pos, covered := 0, 0
+	for i := range X {
+		if !y[i] {
+			continue
+		}
+		pos++
+		if EvalDNF(dnf, raw[i]) {
+			covered++
+		}
+	}
+	if float64(covered) < 0.95*float64(pos) {
+		t.Errorf("mined DNF covers %d/%d positives, want >= 95%%", covered, pos)
+	}
+	// ...and actually prune a meaningful share of negatives.
+	neg, admitted := 0, 0
+	for i := range X {
+		if y[i] {
+			continue
+		}
+		neg++
+		if EvalDNF(dnf, raw[i]) {
+			admitted++
+		}
+	}
+	if admitted >= neg {
+		t.Error("mined DNF admits every negative; it blocks nothing")
+	}
+}
+
+func TestMineBlockingDNFNoPositives(t *testing.T) {
+	f := tree.NewForest(3, 4)
+	f.Train([]feature.Vector{{0.1}, {0.2}}, []bool{false, false})
+	if got := MineBlockingDNF(f, [][]float64{{0.1}, {0.2}}, []bool{false, false}, 0.9); got != nil {
+		t.Errorf("mined %v from a no-positive set", got)
+	}
+}

@@ -1,0 +1,198 @@
+package linear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/alem/alem/internal/feature"
+)
+
+// separableData builds a linearly separable 2-D problem: positives around
+// (0.9, 0.9), negatives around (0.1, 0.1).
+func separableData(n int, seed int64) ([]feature.Vector, []bool) {
+	r := rand.New(rand.NewSource(seed))
+	X := make([]feature.Vector, 0, n)
+	y := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		c := 0.1
+		if pos {
+			c = 0.9
+		}
+		X = append(X, feature.Vector{c + r.Float64()*0.08 - 0.04, c + r.Float64()*0.08 - 0.04})
+		y = append(y, pos)
+	}
+	return X, y
+}
+
+func accuracy(s *SVM, X []feature.Vector, y []bool) float64 {
+	ok := 0
+	for i, x := range X {
+		if s.Predict(x) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(X))
+}
+
+func TestSVMSeparable(t *testing.T) {
+	X, y := separableData(200, 1)
+	s := NewSVM(1)
+	s.Train(X, y)
+	if acc := accuracy(s, X, y); acc < 0.99 {
+		t.Errorf("training accuracy %.3f on separable data, want >= 0.99", acc)
+	}
+}
+
+func TestSVMMarginGeometry(t *testing.T) {
+	X, y := separableData(200, 2)
+	s := NewSVM(2)
+	s.Train(X, y)
+	// A point on the decision boundary midline should have a smaller
+	// margin than cluster centers.
+	mid := s.Margin(feature.Vector{0.5, 0.5})
+	pos := s.Margin(feature.Vector{0.9, 0.9})
+	neg := s.Margin(feature.Vector{0.1, 0.1})
+	if mid >= pos || mid >= neg {
+		t.Errorf("margin(mid)=%.3f not below margin(pos)=%.3f and margin(neg)=%.3f", mid, pos, neg)
+	}
+	if s.Margin(feature.Vector{0.5, 0.5}) < 0 {
+		t.Error("margin must be non-negative")
+	}
+}
+
+func TestSVMEmptyTraining(t *testing.T) {
+	s := NewSVM(1)
+	s.Train(nil, nil)
+	if s.Predict(feature.Vector{1, 2}) {
+		t.Error("untrained SVM should predict negative (decision 0)")
+	}
+	if s.Margin(feature.Vector{1, 2}) != 0 {
+		t.Error("untrained SVM margin should be 0")
+	}
+}
+
+func TestSVMDeterministicGivenSeed(t *testing.T) {
+	X, y := separableData(100, 3)
+	a, b := NewSVM(7), NewSVM(7)
+	a.Train(X, y)
+	b.Train(X, y)
+	for j := range a.Weights() {
+		if a.Weights()[j] != b.Weights()[j] {
+			t.Fatalf("weight %d differs across same-seed runs", j)
+		}
+	}
+	if a.Bias() != b.Bias() {
+		t.Error("bias differs across same-seed runs")
+	}
+}
+
+func TestSVMSingleClassDegenerate(t *testing.T) {
+	// All positive labels: every prediction should be positive.
+	X := []feature.Vector{{0.5, 0.5}, {0.6, 0.4}, {0.4, 0.6}}
+	y := []bool{true, true, true}
+	s := NewSVM(1)
+	s.Train(X, y)
+	if !s.Predict(feature.Vector{0.5, 0.5}) {
+		t.Error("SVM trained on all-positive data should predict positive near data")
+	}
+}
+
+func TestSVMWeightsOrientation(t *testing.T) {
+	// Only dimension 0 is informative; |w0| must dominate |w1|.
+	r := rand.New(rand.NewSource(4))
+	var X []feature.Vector
+	var y []bool
+	for i := 0; i < 300; i++ {
+		pos := i%2 == 0
+		x0 := 0.1
+		if pos {
+			x0 = 0.9
+		}
+		X = append(X, feature.Vector{x0, r.Float64()})
+		y = append(y, pos)
+	}
+	s := NewSVM(4)
+	s.Train(X, y)
+	w := s.Weights()
+	if math.Abs(w[0]) <= math.Abs(w[1]) {
+		t.Errorf("informative dim weight %.3f not above noise dim %.3f", w[0], w[1])
+	}
+}
+
+func TestSVMClone(t *testing.T) {
+	s := NewSVM(1)
+	s.Lambda = 0.5
+	s.Epochs = 7
+	c := s.Clone(2)
+	if c.Lambda != 0.5 || c.Epochs != 7 {
+		t.Error("Clone lost hyper-parameters")
+	}
+	if c.Weights() != nil {
+		t.Error("Clone should be untrained")
+	}
+}
+
+func TestSVMRetrainResets(t *testing.T) {
+	X1, y1 := separableData(100, 5)
+	s := NewSVM(5)
+	s.Train(X1, y1)
+	// Retrain with flipped labels; predictions must flip too.
+	flipped := make([]bool, len(y1))
+	for i := range y1 {
+		flipped[i] = !y1[i]
+	}
+	s.Train(X1, flipped)
+	if acc := accuracy(s, X1, flipped); acc < 0.99 {
+		t.Errorf("accuracy after retraining with flipped labels = %.3f", acc)
+	}
+}
+
+func TestSVMPosWeightShiftsRecall(t *testing.T) {
+	// Skewed data (10% positive) with overlap: up-weighting positives
+	// must raise recall relative to the unweighted model.
+	r := rand.New(rand.NewSource(6))
+	var X []feature.Vector
+	var y []bool
+	for i := 0; i < 1000; i++ {
+		pos := i%10 == 0
+		mu := 0.35
+		if pos {
+			mu = 0.65
+		}
+		X = append(X, feature.Vector{mu + r.NormFloat64()*0.18, mu + r.NormFloat64()*0.18})
+		y = append(y, pos)
+	}
+	recall := func(s *SVM) float64 {
+		tp, fn := 0, 0
+		for i, x := range X {
+			if !y[i] {
+				continue
+			}
+			if s.Predict(x) {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	plain := NewSVM(6)
+	plain.Train(X, y)
+	weighted := NewSVM(6)
+	weighted.PosWeight = 6
+	weighted.Train(X, y)
+	if recall(weighted) <= recall(plain) {
+		t.Errorf("PosWeight=6 recall %.3f not above unweighted %.3f",
+			recall(weighted), recall(plain))
+	}
+}
+
+func TestSVMClonePreservesPosWeight(t *testing.T) {
+	s := NewSVM(1)
+	s.PosWeight = 3
+	if c := s.Clone(2); c.PosWeight != 3 {
+		t.Errorf("Clone lost PosWeight: %v", c.PosWeight)
+	}
+}

@@ -1,0 +1,80 @@
+// Package match is the deployment end of the framework: it applies a
+// trained learner to two fresh tables, running the same
+// blocking-and-featurization pipeline the learner was trained behind.
+// This is the "reusable EM model" §2 of the paper holds up against
+// crowd-sourcing approaches that re-pay labeling cost per EM instance.
+package match
+
+import (
+	"fmt"
+
+	"github.com/alem/alem/internal/blocking"
+	"github.com/alem/alem/internal/core"
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/feature"
+)
+
+// Pair is one predicted match with the record IDs of both sides.
+type Pair struct {
+	LeftID  string
+	RightID string
+}
+
+// Matcher applies a trained learner to new table pairs.
+type Matcher struct {
+	// Learner is the trained model. Its feature space must have been
+	// built from the same schema (attribute list and order) as the
+	// tables given to Match.
+	Learner core.Learner
+	// BlockThreshold is the offline token-Jaccard threshold applied
+	// before featurization.
+	BlockThreshold float64
+	// BoolFeatures selects the rule-learner featurization (Boolean
+	// atoms as 0/1) instead of the 21-metric float features.
+	BoolFeatures bool
+}
+
+// Match blocks left × right, featurizes the candidates, and returns the
+// pairs the learner predicts as matches, plus the number of candidates
+// scored.
+func (m *Matcher) Match(left, right *dataset.Table) ([]Pair, int, error) {
+	if m.Learner == nil {
+		return nil, 0, fmt.Errorf("match: nil learner")
+	}
+	if len(left.Schema) != len(right.Schema) {
+		return nil, 0, fmt.Errorf("match: schema widths differ: %d vs %d",
+			len(left.Schema), len(right.Schema))
+	}
+	d := dataset.NewDataset("match", left, right, nil, m.BlockThreshold)
+	res := blocking.Block(d)
+
+	var X []feature.Vector
+	if m.BoolFeatures {
+		ext := feature.NewBoolExtractor(left.Schema)
+		bits := ext.ExtractPairs(d, res.Pairs)
+		X = make([]feature.Vector, len(bits))
+		for i, row := range bits {
+			v := make(feature.Vector, len(row))
+			for j, b := range row {
+				if b {
+					v[j] = 1
+				}
+			}
+			X[i] = v
+		}
+	} else {
+		ext := feature.NewExtractor(left.Schema)
+		X = ext.ExtractPairs(d, res.Pairs)
+	}
+
+	var out []Pair
+	for i, p := range res.Pairs {
+		if m.Learner.Predict(X[i]) {
+			out = append(out, Pair{
+				LeftID:  left.Rows[p.L].ID,
+				RightID: right.Rows[p.R].ID,
+			})
+		}
+	}
+	return out, len(res.Pairs), nil
+}

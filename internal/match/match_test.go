@@ -1,0 +1,132 @@
+package match
+
+import (
+	"testing"
+
+	"github.com/alem/alem/internal/blocking"
+	"github.com/alem/alem/internal/core"
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/rules"
+	"github.com/alem/alem/internal/tree"
+)
+
+// trainForest actively trains a forest on one seed of the beer dataset.
+func trainForest(t *testing.T, seed int64) (*tree.Forest, *dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Load("beer", 1.0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewPool(d)
+	f := tree.NewForest(10, seed)
+	core.Run(pool, f, core.ForestQBC{}, oracle.NewPerfect(d), core.Config{
+		Seed: seed, TargetF1: 0.99,
+	})
+	return f, d
+}
+
+func TestMatcherOnFreshTables(t *testing.T) {
+	f, train := trainForest(t, 31)
+	// Fresh tables from a different generator seed: unseen records, same
+	// schema and generation process.
+	fresh, err := dataset.Load("beer", 1.0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Matcher{Learner: f, BlockThreshold: train.BlockThreshold}
+	pairs, candidates, err := m.Match(fresh.Left, fresh.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if candidates == 0 {
+		t.Fatal("no candidates after blocking")
+	}
+	// Precision/recall of the deployed model against the fresh truth.
+	pred := map[Pair]bool{}
+	for _, p := range pairs {
+		pred[p] = true
+	}
+	res := blocking.Block(fresh)
+	tp, fp, fn := 0, 0, 0
+	for _, pk := range res.Pairs {
+		pair := Pair{LeftID: fresh.Left.Rows[pk.L].ID, RightID: fresh.Right.Rows[pk.R].ID}
+		switch {
+		case pred[pair] && fresh.IsMatch(pk):
+			tp++
+		case pred[pair] && !fresh.IsMatch(pk):
+			fp++
+		case !pred[pair] && fresh.IsMatch(pk):
+			fn++
+		}
+	}
+	f1 := 0.0
+	if 2*tp+fp+fn > 0 {
+		f1 = 2 * float64(tp) / float64(2*tp+fp+fn)
+	}
+	if f1 < 0.7 {
+		t.Errorf("deployed model F1 = %.3f on fresh tables, want >= 0.7", f1)
+	}
+}
+
+func TestMatcherSchemaMismatch(t *testing.T) {
+	f, _ := trainForest(t, 32)
+	left := &dataset.Table{Schema: []string{"a", "b"}, Rows: []dataset.Record{{ID: "L0", Values: []string{"x", "y"}}}}
+	right := &dataset.Table{Schema: []string{"a"}, Rows: []dataset.Record{{ID: "R0", Values: []string{"x"}}}}
+	m := &Matcher{Learner: f, BlockThreshold: 0.2}
+	if _, _, err := m.Match(left, right); err == nil {
+		t.Error("Match accepted mismatched schemas")
+	}
+}
+
+func TestMatcherNilLearner(t *testing.T) {
+	m := &Matcher{BlockThreshold: 0.2}
+	if _, _, err := m.Match(&dataset.Table{}, &dataset.Table{}); err == nil {
+		t.Error("Match accepted a nil learner")
+	}
+}
+
+func TestMatcherBoolFeaturesWithRules(t *testing.T) {
+	d, err := dataset.Load("dblp-acm", 0.03, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := core.NewBoolPool(d)
+	ext := feature.NewBoolExtractor(d.Left.Schema)
+	model := rules.NewModel(ext)
+	core.Run(pool, model, core.LFPLFN{}, oracle.NewPerfect(d), core.Config{Seed: 33})
+	if len(model.Rules()) == 0 {
+		t.Skip("no rules learned at this scale")
+	}
+	fresh, err := dataset.Load("dblp-acm", 0.03, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Matcher{Learner: model, BlockThreshold: fresh.BlockThreshold, BoolFeatures: true}
+	pairs, candidates, err := m.Match(fresh.Left, fresh.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if candidates == 0 {
+		t.Fatal("no candidates")
+	}
+	if len(pairs) == 0 {
+		t.Error("rule matcher predicted no matches on fresh clean data")
+	}
+	// Spot-check precision against fresh truth.
+	truthByID := map[Pair]bool{}
+	res := blocking.Block(fresh)
+	for _, pk := range res.Pairs {
+		truthByID[Pair{fresh.Left.Rows[pk.L].ID, fresh.Right.Rows[pk.R].ID}] = fresh.IsMatch(pk)
+	}
+	correct := 0
+	for _, p := range pairs {
+		if truthByID[p] {
+			correct++
+		}
+	}
+	if prec := float64(correct) / float64(len(pairs)); prec < 0.6 {
+		t.Errorf("rule matcher precision %.3f on fresh data, want >= 0.6", prec)
+	}
+}

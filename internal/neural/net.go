@@ -1,0 +1,315 @@
+// Package neural implements the benchmark's non-convex non-linear
+// classifier (§4.2.2): a feed-forward network with one ReLU hidden layer,
+// batch normalization, dropout 0.5, a single affine output whose value is
+// the margin (Nguyen & Sanner's non-convex margin), and a sigmoid that
+// turns the margin into a match probability. Training follows the paper's
+// settings: L2 loss, SGD with momentum 0.95, learning rate 0.001 with
+// decay 0.99 per epoch, 50 epochs, mini-batches of 8.
+package neural
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/alem/alem/internal/feature"
+)
+
+// Net is the feed-forward classifier. Construct with NewNet.
+type Net struct {
+	Hidden    int     // hidden layer width
+	Epochs    int     // training epochs
+	BatchSize int     // mini-batch size
+	LR        float64 // initial learning rate
+	Decay     float64 // per-epoch learning-rate decay
+	Momentum  float64 // SGD momentum
+	Dropout   float64 // hidden-unit drop probability
+
+	dim int
+	// Parameters.
+	w1 [][]float64 // [hidden][dim]
+	b1 []float64
+	// Batch-norm scale/shift and running statistics (inference mode).
+	gamma, beta      []float64
+	runMean, runVar  []float64
+	w2               []float64 // [hidden]
+	b2               float64
+	rand             *rand.Rand
+	trained          bool
+	momentW1         [][]float64
+	momentB1         []float64
+	momentG, momentB []float64
+	momentW2         []float64
+	momentB2         float64
+}
+
+// NewNet returns a network with the paper's hyper-parameters and the
+// given hidden width (the paper leaves h unspecified; 16 is the benchmark
+// default). The seed controls weight init, shuffling and dropout.
+func NewNet(hidden int, seed int64) *Net {
+	if hidden <= 0 {
+		hidden = 16
+	}
+	return &Net{
+		Hidden: hidden, Epochs: 50, BatchSize: 8,
+		LR: 0.001, Decay: 0.99, Momentum: 0.95, Dropout: 0.5,
+		rand: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements the learner interface.
+func (n *Net) Name() string { return "neural-net" }
+
+func (n *Net) init(dim int) {
+	n.dim = dim
+	scale := math.Sqrt(2 / float64(dim)) // He init for ReLU
+	n.w1 = make([][]float64, n.Hidden)
+	n.momentW1 = make([][]float64, n.Hidden)
+	for h := range n.w1 {
+		n.w1[h] = make([]float64, dim)
+		n.momentW1[h] = make([]float64, dim)
+		for j := range n.w1[h] {
+			n.w1[h][j] = n.rand.NormFloat64() * scale
+		}
+	}
+	n.b1 = make([]float64, n.Hidden)
+	n.momentB1 = make([]float64, n.Hidden)
+	n.gamma = make([]float64, n.Hidden)
+	n.beta = make([]float64, n.Hidden)
+	n.momentG = make([]float64, n.Hidden)
+	n.momentB = make([]float64, n.Hidden)
+	n.runMean = make([]float64, n.Hidden)
+	n.runVar = make([]float64, n.Hidden)
+	for h := range n.gamma {
+		n.gamma[h] = 1
+		n.runVar[h] = 1
+	}
+	n.w2 = make([]float64, n.Hidden)
+	n.momentW2 = make([]float64, n.Hidden)
+	outScale := math.Sqrt(1 / float64(n.Hidden))
+	for h := range n.w2 {
+		n.w2[h] = n.rand.NormFloat64() * outScale
+	}
+	n.b2 = 0
+	n.momentB2 = 0
+}
+
+const bnEps = 1e-5
+
+// Train fits the network from scratch on the labeled vectors.
+func (n *Net) Train(X []feature.Vector, y []bool) {
+	if len(X) == 0 {
+		n.trained = false
+		return
+	}
+	n.init(len(X[0]))
+	n.trained = true
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	lr := n.LR
+	const bnMomentum = 0.9
+	for epoch := 0; epoch < n.Epochs; epoch++ {
+		n.rand.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += n.BatchSize {
+			end := min(start+n.BatchSize, len(idx))
+			batch := idx[start:end]
+			m := len(batch)
+
+			// Forward.
+			z1 := make([][]float64, m)   // pre-BN ReLU input
+			relu := make([][]float64, m) // post-ReLU (pre-BN)
+			for bi, i := range batch {
+				z1[bi] = make([]float64, n.Hidden)
+				relu[bi] = make([]float64, n.Hidden)
+				for h := 0; h < n.Hidden; h++ {
+					s := n.b1[h]
+					for j, xj := range X[i] {
+						s += n.w1[h][j] * xj
+					}
+					z1[bi][h] = s
+					if s > 0 {
+						relu[bi][h] = s
+					}
+				}
+			}
+			// Batch norm over the mini-batch.
+			mean := make([]float64, n.Hidden)
+			variance := make([]float64, n.Hidden)
+			for h := 0; h < n.Hidden; h++ {
+				for bi := 0; bi < m; bi++ {
+					mean[h] += relu[bi][h]
+				}
+				mean[h] /= float64(m)
+				for bi := 0; bi < m; bi++ {
+					d := relu[bi][h] - mean[h]
+					variance[h] += d * d
+				}
+				variance[h] /= float64(m)
+				n.runMean[h] = bnMomentum*n.runMean[h] + (1-bnMomentum)*mean[h]
+				n.runVar[h] = bnMomentum*n.runVar[h] + (1-bnMomentum)*variance[h]
+			}
+			xhat := make([][]float64, m)
+			bn := make([][]float64, m)
+			drop := make([][]bool, m)
+			for bi := 0; bi < m; bi++ {
+				xhat[bi] = make([]float64, n.Hidden)
+				bn[bi] = make([]float64, n.Hidden)
+				drop[bi] = make([]bool, n.Hidden)
+				for h := 0; h < n.Hidden; h++ {
+					xhat[bi][h] = (relu[bi][h] - mean[h]) / math.Sqrt(variance[h]+bnEps)
+					v := n.gamma[h]*xhat[bi][h] + n.beta[h]
+					// Inverted dropout.
+					if n.rand.Float64() < n.Dropout {
+						drop[bi][h] = true
+						v = 0
+					} else {
+						v /= 1 - n.Dropout
+					}
+					bn[bi][h] = v
+				}
+			}
+			// Output margin and sigmoid probability.
+			dBN := make([][]float64, m) // gradient wrt bn activations
+			var gradW2 []float64 = make([]float64, n.Hidden)
+			gradB2 := 0.0
+			for bi, i := range batch {
+				margin := n.b2
+				for h := 0; h < n.Hidden; h++ {
+					margin += n.w2[h] * bn[bi][h]
+				}
+				p := sigmoid(margin)
+				target := 0.0
+				if y[i] {
+					target = 1
+				}
+				// L2 loss: dL/dmargin = 2(p-t) p (1-p).
+				dMargin := 2 * (p - target) * p * (1 - p)
+				dBN[bi] = make([]float64, n.Hidden)
+				for h := 0; h < n.Hidden; h++ {
+					gradW2[h] += dMargin * bn[bi][h]
+					dBN[bi][h] = dMargin * n.w2[h]
+				}
+				gradB2 += dMargin
+			}
+			// Backprop through dropout and batch norm.
+			gradGamma := make([]float64, n.Hidden)
+			gradBeta := make([]float64, n.Hidden)
+			dXhat := make([][]float64, m)
+			for bi := 0; bi < m; bi++ {
+				dXhat[bi] = make([]float64, n.Hidden)
+				for h := 0; h < n.Hidden; h++ {
+					if drop[bi][h] {
+						continue
+					}
+					g := dBN[bi][h] / (1 - n.Dropout)
+					gradGamma[h] += g * xhat[bi][h]
+					gradBeta[h] += g
+					dXhat[bi][h] = g * n.gamma[h]
+				}
+			}
+			// Standard batch-norm backward pass to pre-BN activations.
+			dRelu := make([][]float64, m)
+			for bi := 0; bi < m; bi++ {
+				dRelu[bi] = make([]float64, n.Hidden)
+			}
+			for h := 0; h < n.Hidden; h++ {
+				invStd := 1 / math.Sqrt(variance[h]+bnEps)
+				var sumDXhat, sumDXhatXhat float64
+				for bi := 0; bi < m; bi++ {
+					sumDXhat += dXhat[bi][h]
+					sumDXhatXhat += dXhat[bi][h] * xhat[bi][h]
+				}
+				for bi := 0; bi < m; bi++ {
+					dRelu[bi][h] = invStd / float64(m) *
+						(float64(m)*dXhat[bi][h] - sumDXhat - xhat[bi][h]*sumDXhatXhat)
+				}
+			}
+			// Through ReLU into first-layer parameters.
+			gradW1 := make([][]float64, n.Hidden)
+			for h := range gradW1 {
+				gradW1[h] = make([]float64, n.dim)
+			}
+			gradB1 := make([]float64, n.Hidden)
+			for bi, i := range batch {
+				for h := 0; h < n.Hidden; h++ {
+					if z1[bi][h] <= 0 {
+						continue
+					}
+					g := dRelu[bi][h]
+					for j, xj := range X[i] {
+						gradW1[h][j] += g * xj
+					}
+					gradB1[h] += g
+				}
+			}
+			// Momentum SGD updates (gradients averaged over the batch).
+			inv := 1 / float64(m)
+			for h := 0; h < n.Hidden; h++ {
+				for j := 0; j < n.dim; j++ {
+					n.momentW1[h][j] = n.Momentum*n.momentW1[h][j] - lr*gradW1[h][j]*inv
+					n.w1[h][j] += n.momentW1[h][j]
+				}
+				n.momentB1[h] = n.Momentum*n.momentB1[h] - lr*gradB1[h]*inv
+				n.b1[h] += n.momentB1[h]
+				n.momentG[h] = n.Momentum*n.momentG[h] - lr*gradGamma[h]*inv
+				n.gamma[h] += n.momentG[h]
+				n.momentB[h] = n.Momentum*n.momentB[h] - lr*gradBeta[h]*inv
+				n.beta[h] += n.momentB[h]
+				n.momentW2[h] = n.Momentum*n.momentW2[h] - lr*gradW2[h]*inv
+				n.w2[h] += n.momentW2[h]
+			}
+			n.momentB2 = n.Momentum*n.momentB2 - lr*gradB2*inv
+			n.b2 += n.momentB2
+		}
+		lr *= n.Decay
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Margin returns the affine output-layer value for x (§4.2.2): the
+// non-convex margin whose magnitude measures classifier confidence.
+// Inference uses batch-norm running statistics and no dropout.
+func (n *Net) Margin(x feature.Vector) float64 {
+	if !n.trained {
+		return 0
+	}
+	m := n.b2
+	for h := 0; h < n.Hidden; h++ {
+		s := n.b1[h]
+		for j, xj := range x {
+			s += n.w1[h][j] * xj
+		}
+		if s < 0 {
+			s = 0
+		}
+		xhat := (s - n.runMean[h]) / math.Sqrt(n.runVar[h]+bnEps)
+		m += n.w2[h] * (n.gamma[h]*xhat + n.beta[h])
+	}
+	return m
+}
+
+// Prob returns the sigmoid match probability of x.
+func (n *Net) Prob(x feature.Vector) float64 { return sigmoid(n.Margin(x)) }
+
+// Predict labels x as matching when Prob(x) > 0.5.
+func (n *Net) Predict(x feature.Vector) bool { return n.Margin(x) > 0 }
+
+// PredictAll classifies a batch.
+func (n *Net) PredictAll(X []feature.Vector) []bool {
+	out := make([]bool, len(X))
+	for i, x := range X {
+		out[i] = n.Predict(x)
+	}
+	return out
+}
+
+// Clone returns an untrained copy with the same hyper-parameters and a
+// fresh RNG; QBC committees use it.
+func (n *Net) Clone(seed int64) *Net {
+	c := NewNet(n.Hidden, seed)
+	c.Epochs, c.BatchSize, c.LR, c.Decay, c.Momentum, c.Dropout =
+		n.Epochs, n.BatchSize, n.LR, n.Decay, n.Momentum, n.Dropout
+	return c
+}

@@ -1,0 +1,62 @@
+package neural
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// netState is the serialized form of a trained network, including the
+// batch-norm running statistics inference depends on.
+type netState struct {
+	Hidden  int         `json:"hidden"`
+	Dim     int         `json:"dim"`
+	W1      [][]float64 `json:"w1"`
+	B1      []float64   `json:"b1"`
+	Gamma   []float64   `json:"gamma"`
+	Beta    []float64   `json:"beta"`
+	RunMean []float64   `json:"run_mean"`
+	RunVar  []float64   `json:"run_var"`
+	W2      []float64   `json:"w2"`
+	B2      float64     `json:"b2"`
+}
+
+// SaveJSON writes the trained network for later reuse.
+func (n *Net) SaveJSON(w io.Writer) error {
+	if !n.trained {
+		return fmt.Errorf("neural: cannot save an untrained network")
+	}
+	st := netState{
+		Hidden: n.Hidden, Dim: n.dim,
+		W1: n.w1, B1: n.b1,
+		Gamma: n.gamma, Beta: n.beta,
+		RunMean: n.runMean, RunVar: n.runVar,
+		W2: n.w2, B2: n.b2,
+	}
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("neural: encoding network: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a network written by SaveJSON. The loaded network
+// predicts immediately; retraining reinitializes it.
+func LoadJSON(r io.Reader) (*Net, error) {
+	var st netState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("neural: decoding network: %w", err)
+	}
+	if len(st.W1) != st.Hidden || len(st.W2) != st.Hidden {
+		return nil, fmt.Errorf("neural: decoding network: inconsistent layer sizes")
+	}
+	n := NewNet(st.Hidden, 0)
+	n.dim = st.Dim
+	n.w1, n.b1 = st.W1, st.B1
+	n.gamma, n.beta = st.Gamma, st.Beta
+	n.runMean, n.runVar = st.RunMean, st.RunVar
+	n.w2, n.b2 = st.W2, st.B2
+	n.rand = rand.New(rand.NewSource(0))
+	n.trained = true
+	return n, nil
+}

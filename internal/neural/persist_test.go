@@ -1,0 +1,45 @@
+package neural
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNetSaveLoadRoundTrip(t *testing.T) {
+	X, y := xorData(200, 61)
+	n := NewNet(8, 61)
+	n.Train(X, y)
+	var buf bytes.Buffer
+	if err := n.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if got.Margin(x) != n.Margin(x) {
+			t.Fatalf("margin differs after round trip: %v vs %v", got.Margin(x), n.Margin(x))
+		}
+		if got.Predict(x) != n.Predict(x) {
+			t.Fatal("prediction differs after round trip")
+		}
+	}
+}
+
+func TestNetSaveUntrainedFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewNet(8, 1).SaveJSON(&buf); err == nil {
+		t.Error("SaveJSON accepted an untrained network")
+	}
+}
+
+func TestNetLoadRejectsInconsistent(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader(`{"hidden":4,"w1":[[1]],"w2":[1]}`)); err == nil {
+		t.Error("LoadJSON accepted inconsistent layer sizes")
+	}
+	if _, err := LoadJSON(strings.NewReader("garbage")); err == nil {
+		t.Error("LoadJSON accepted garbage")
+	}
+}

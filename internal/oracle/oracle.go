@@ -1,0 +1,106 @@
+// Package oracle models the labeler an active learner queries (§3, §6.2):
+// a perfect Oracle answering from ground truth, and an imperfect Oracle
+// that flips the true label with a fixed probability, emulating
+// crowd-sourced noise without majority voting or label inference —
+// deliberately harsher than real crowd pipelines, as the paper notes.
+package oracle
+
+import (
+	"math/rand"
+
+	"github.com/alem/alem/internal/dataset"
+)
+
+// Oracle labels candidate pairs on demand and counts the queries issued,
+// which is the #labels evaluation metric.
+type Oracle interface {
+	// Label returns the (possibly perturbed) label of a pair.
+	Label(p dataset.PairKey) bool
+	// Queries returns how many labels have been requested so far.
+	Queries() int
+}
+
+// Perfect answers every query from ground truth.
+type Perfect struct {
+	d       *dataset.Dataset
+	queries int
+}
+
+// NewPerfect builds a perfect Oracle over the dataset's ground truth.
+func NewPerfect(d *dataset.Dataset) *Perfect { return &Perfect{d: d} }
+
+// Label implements Oracle.
+func (o *Perfect) Label(p dataset.PairKey) bool {
+	o.queries++
+	return o.d.IsMatch(p)
+}
+
+// Queries implements Oracle.
+func (o *Perfect) Queries() int { return o.queries }
+
+// Noisy flips the true label with probability Noise on every query.
+// Repeated queries of the same pair are perturbed independently, the
+// paper's "always perturb when the random draw falls within the noise
+// threshold" criterion.
+type Noisy struct {
+	d       *dataset.Dataset
+	noise   float64
+	rand    *rand.Rand
+	queries int
+}
+
+// NewNoisy builds an Oracle with the given flip probability in [0,1].
+func NewNoisy(d *dataset.Dataset, noise float64, seed int64) *Noisy {
+	return &Noisy{d: d, noise: noise, rand: rand.New(rand.NewSource(seed))}
+}
+
+// Label implements Oracle.
+func (o *Noisy) Label(p dataset.PairKey) bool {
+	o.queries++
+	l := o.d.IsMatch(p)
+	if o.rand.Float64() < o.noise {
+		return !l
+	}
+	return l
+}
+
+// Queries implements Oracle.
+func (o *Noisy) Queries() int { return o.queries }
+
+// MajorityVote wraps a noisy Oracle with the label-correction technique
+// §6.2 deliberately leaves out: each label request is answered by K
+// independent workers (K odd) and the majority wins. Real crowd
+// pipelines pay K× the labels for a much lower effective error rate —
+// flipping a majority of K independent p-noisy votes needs ⌈K/2⌉
+// simultaneous errors. Queries counts every worker response, so the
+// #labels metric reflects the true crowd cost.
+type MajorityVote struct {
+	inner Oracle
+	k     int
+}
+
+// NewMajorityVote wraps inner with k-worker voting; even k is rounded up
+// to the next odd value so ties cannot occur.
+func NewMajorityVote(inner Oracle, k int) *MajorityVote {
+	if k < 1 {
+		k = 1
+	}
+	if k%2 == 0 {
+		k++
+	}
+	return &MajorityVote{inner: inner, k: k}
+}
+
+// Label implements Oracle.
+func (o *MajorityVote) Label(p dataset.PairKey) bool {
+	pos := 0
+	for i := 0; i < o.k; i++ {
+		if o.inner.Label(p) {
+			pos++
+		}
+	}
+	return 2*pos > o.k
+}
+
+// Queries implements Oracle: the total worker responses paid for.
+func (o *MajorityVote) Queries() int { return o.inner.Queries() }

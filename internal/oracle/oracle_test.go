@@ -1,0 +1,129 @@
+package oracle
+
+import (
+	"testing"
+
+	"github.com/alem/alem/internal/dataset"
+)
+
+func toyDataset() *dataset.Dataset {
+	l := &dataset.Table{Rows: make([]dataset.Record, 10)}
+	r := &dataset.Table{Rows: make([]dataset.Record, 10)}
+	var matches []dataset.PairKey
+	for i := 0; i < 10; i++ {
+		matches = append(matches, dataset.PairKey{L: i, R: i})
+	}
+	return dataset.NewDataset("toy", l, r, matches, 0.2)
+}
+
+func TestPerfectOracle(t *testing.T) {
+	d := toyDataset()
+	o := NewPerfect(d)
+	if !o.Label(dataset.PairKey{L: 3, R: 3}) {
+		t.Error("perfect oracle mislabeled a match")
+	}
+	if o.Label(dataset.PairKey{L: 3, R: 4}) {
+		t.Error("perfect oracle mislabeled a non-match")
+	}
+	if o.Queries() != 2 {
+		t.Errorf("Queries = %d, want 2", o.Queries())
+	}
+}
+
+func TestNoisyOracleZeroNoiseIsPerfect(t *testing.T) {
+	d := toyDataset()
+	o := NewNoisy(d, 0, 1)
+	for i := 0; i < 10; i++ {
+		if !o.Label(dataset.PairKey{L: i, R: i}) {
+			t.Fatal("0%-noise oracle flipped a label")
+		}
+	}
+}
+
+func TestNoisyOracleFlipRate(t *testing.T) {
+	d := toyDataset()
+	o := NewNoisy(d, 0.3, 42)
+	flips := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if !o.Label(dataset.PairKey{L: i % 10, R: i % 10}) {
+			flips++
+		}
+	}
+	rate := float64(flips) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("flip rate = %.3f, want ~0.30", rate)
+	}
+	if o.Queries() != n {
+		t.Errorf("Queries = %d, want %d", o.Queries(), n)
+	}
+}
+
+func TestNoisyOracleDeterministicSeed(t *testing.T) {
+	d := toyDataset()
+	a := NewNoisy(d, 0.4, 7)
+	b := NewNoisy(d, 0.4, 7)
+	for i := 0; i < 100; i++ {
+		p := dataset.PairKey{L: i % 10, R: (i + i%2) % 10}
+		if a.Label(p) != b.Label(p) {
+			t.Fatal("same-seed noisy oracles disagree")
+		}
+	}
+}
+
+func TestNoisyOracleFullNoiseInvertsEverything(t *testing.T) {
+	d := toyDataset()
+	o := NewNoisy(d, 1.0, 3)
+	if o.Label(dataset.PairKey{L: 0, R: 0}) {
+		t.Error("100%-noise oracle should always flip")
+	}
+	if !o.Label(dataset.PairKey{L: 0, R: 1}) {
+		t.Error("100%-noise oracle should always flip")
+	}
+}
+
+func TestMajorityVoteReducesEffectiveNoise(t *testing.T) {
+	d := toyDataset()
+	inner := NewNoisy(d, 0.3, 9)
+	mv := NewMajorityVote(inner, 5)
+	flips := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !mv.Label(dataset.PairKey{L: i % 10, R: i % 10}) {
+			flips++
+		}
+	}
+	rate := float64(flips) / n
+	// P(>=3 of 5 votes flipped at p=0.3) ≈ 0.163 — far below 0.3.
+	if rate > 0.22 {
+		t.Errorf("majority-vote flip rate %.3f, want well below the raw 0.30", rate)
+	}
+	if mv.Queries() != 5*n {
+		t.Errorf("Queries = %d, want %d (crowd pays per worker)", mv.Queries(), 5*n)
+	}
+}
+
+func TestMajorityVoteRoundsEvenK(t *testing.T) {
+	d := toyDataset()
+	mv := NewMajorityVote(NewNoisy(d, 0, 1), 4)
+	mv.Label(dataset.PairKey{L: 0, R: 0})
+	if mv.Queries() != 5 {
+		t.Errorf("even k should round up to 5, queries = %d", mv.Queries())
+	}
+	one := NewMajorityVote(NewNoisy(d, 0, 1), 0)
+	one.Label(dataset.PairKey{L: 0, R: 0})
+	if one.Queries() != 1 {
+		t.Errorf("k=0 should clamp to 1, queries = %d", one.Queries())
+	}
+}
+
+func TestMajorityVotePerfectInnerIsPerfect(t *testing.T) {
+	d := toyDataset()
+	mv := NewMajorityVote(NewPerfect(d), 3)
+	if !mv.Label(dataset.PairKey{L: 2, R: 2}) {
+		t.Error("majority of perfect votes mislabeled a match")
+	}
+	if mv.Label(dataset.PairKey{L: 2, R: 3}) {
+		t.Error("majority of perfect votes mislabeled a non-match")
+	}
+}

@@ -1,0 +1,56 @@
+package rules
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/alem/alem/internal/feature"
+)
+
+// modelState is the serialized form of a learned DNF. Atom indices are
+// meaningful only relative to the BoolExtractor schema the model was
+// trained with, so the schema's dimensionality is stored for validation.
+type modelState struct {
+	MinPrecision float64 `json:"min_precision"`
+	MaxAtoms     int     `json:"max_atoms"`
+	Dim          int     `json:"dim"`
+	Rules        [][]int `json:"rules"`
+}
+
+// SaveJSON writes the learned DNF for later reuse. dim is the Boolean
+// feature dimensionality of the extractor the model was trained with.
+func (m *Model) SaveJSON(w io.Writer, dim int) error {
+	st := modelState{MinPrecision: m.MinPrecision, MaxAtoms: m.MaxAtoms, Dim: dim}
+	for _, r := range m.rules {
+		st.Rules = append(st.Rules, r.Atoms)
+	}
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("rules: encoding model: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a model written by SaveJSON, re-binding it to ext,
+// which must have the same dimensionality as the extractor the model was
+// trained with (same schema, metrics and thresholds).
+func LoadJSON(r io.Reader, ext *feature.BoolExtractor) (*Model, error) {
+	var st modelState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("rules: decoding model: %w", err)
+	}
+	if ext.Dim() != st.Dim {
+		return nil, fmt.Errorf("rules: extractor dim %d does not match saved dim %d", ext.Dim(), st.Dim)
+	}
+	m := NewModel(ext)
+	m.MinPrecision, m.MaxAtoms = st.MinPrecision, st.MaxAtoms
+	for _, atoms := range st.Rules {
+		for _, a := range atoms {
+			if a < 0 || a >= st.Dim {
+				return nil, fmt.Errorf("rules: atom index %d out of range [0,%d)", a, st.Dim)
+			}
+		}
+		m.rules = append(m.rules, Rule{Atoms: atoms})
+	}
+	return m, nil
+}

@@ -1,0 +1,61 @@
+package rules
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/alem/alem/internal/feature"
+)
+
+func TestRulesSaveLoadRoundTrip(t *testing.T) {
+	X, y := singleAtomData()
+	ext := testExtractor()
+	m := NewModel(ext)
+	m.Train(X, y)
+	var buf bytes.Buffer
+	if err := m.SaveJSON(&buf, ext.Dim()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if got.Predict(x) != m.Predict(x) {
+			t.Fatalf("prediction %d differs after round trip", i)
+		}
+	}
+	if got.NumAtoms() != m.NumAtoms() {
+		t.Errorf("atoms %d != original %d", got.NumAtoms(), m.NumAtoms())
+	}
+	if got.String() != m.String() {
+		t.Errorf("rendered DNF differs:\n%s\nvs\n%s", got.String(), m.String())
+	}
+}
+
+func TestRulesLoadRejectsDimMismatch(t *testing.T) {
+	X, y := singleAtomData()
+	ext := testExtractor()
+	m := NewModel(ext)
+	m.Train(X, y)
+	var buf bytes.Buffer
+	if err := m.SaveJSON(&buf, ext.Dim()); err != nil {
+		t.Fatal(err)
+	}
+	other := feature.NewBoolExtractor([]string{"a", "b"}) // different dim
+	if _, err := LoadJSON(&buf, other); err == nil {
+		t.Error("LoadJSON accepted an extractor with mismatched dimensionality")
+	}
+}
+
+func TestRulesLoadRejectsOutOfRangeAtom(t *testing.T) {
+	ext := testExtractor()
+	bad := `{"min_precision":0.85,"max_atoms":4,"dim":30,"rules":[[999]]}`
+	if _, err := LoadJSON(strings.NewReader(bad), ext); err == nil {
+		t.Error("LoadJSON accepted an out-of-range atom index")
+	}
+	if _, err := LoadJSON(strings.NewReader("{"), ext); err == nil {
+		t.Error("LoadJSON accepted truncated JSON")
+	}
+}

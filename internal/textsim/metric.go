@@ -1,0 +1,86 @@
+package textsim
+
+// Metric is a normalized string-similarity function. Compare returns a
+// score in [0, 1]; 1 means identical under the metric. Implementations are
+// stateless values, safe for concurrent use.
+type Metric interface {
+	Name() string
+	Compare(a, b string) float64
+}
+
+// Identity is exact (case-insensitive, trimmed) string equality: 1 or 0.
+// It is one of the three metrics supported by the rule-based learner (§3).
+type Identity struct{}
+
+// Name implements Metric.
+func (Identity) Name() string { return "identity" }
+
+// Compare implements Metric.
+func (Identity) Compare(a, b string) float64 {
+	if normalizeIdentity(a) == normalizeIdentity(b) {
+		return 1
+	}
+	return 0
+}
+
+func normalizeIdentity(s string) string {
+	tokens := Whitespace{}.Tokens(s)
+	out := make([]byte, 0, len(s))
+	for i, t := range tokens {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, t...)
+	}
+	return string(out)
+}
+
+// All returns the 21 similarity functions applied to every aligned
+// attribute pair by the feature extractor (§3), in a fixed, documented
+// order. Feature dimension i*21+k corresponds to attribute pair i and
+// metric All()[k].
+func All() []Metric {
+	return []Metric{
+		Identity{},
+		Levenshtein{},
+		DamerauLevenshtein{},
+		Jaro{},
+		JaroWinkler{},
+		NeedlemanWunsch{},
+		SmithWaterman{},
+		SmithWatermanGotoh{},
+		LongestCommonSubsequence{},
+		LongestCommonSubstring{},
+		QGram{},
+		Jaccard{},
+		Dice{},
+		SimonWhite{},
+		Cosine{},
+		Overlap{},
+		MatchingCoefficient{},
+		BlockDistance{},
+		Euclidean{},
+		MongeElkan{},
+		Soundex{},
+	}
+}
+
+// ForRules returns the three metrics the rule-based learner supports (§3):
+// equality (identity), Jaro-Winkler and Jaccard.
+func ForRules() []Metric {
+	return []Metric{Identity{}, JaroWinkler{}, Jaccard{}}
+}
+
+// ByName returns the metric with the given Name from All() plus
+// GeneralizedJaccard, or nil if unknown.
+func ByName(name string) Metric {
+	for _, m := range All() {
+		if m.Name() == name {
+			return m
+		}
+	}
+	if g := (GeneralizedJaccard{}); g.Name() == name {
+		return g
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package textsim
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %.4f, want %.4f (±%.4f)", msg, got, want, tol)
+	}
+}
+
+func TestAllReturns21Metrics(t *testing.T) {
+	metrics := All()
+	if len(metrics) != 21 {
+		t.Fatalf("All() returned %d metrics, want 21 (paper §3)", len(metrics))
+	}
+	seen := map[string]bool{}
+	for _, m := range metrics {
+		if m.Name() == "" {
+			t.Errorf("metric %T has empty name", m)
+		}
+		if seen[m.Name()] {
+			t.Errorf("duplicate metric name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+func TestForRules(t *testing.T) {
+	rm := ForRules()
+	if len(rm) != 3 {
+		t.Fatalf("ForRules() returned %d metrics, want 3", len(rm))
+	}
+	want := []string{"identity", "jaro_winkler", "jaccard"}
+	for i, m := range rm {
+		if m.Name() != want[i] {
+			t.Errorf("ForRules()[%d] = %q, want %q", i, m.Name(), want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if m := ByName("jaccard"); m == nil || m.Name() != "jaccard" {
+		t.Errorf("ByName(jaccard) = %v", m)
+	}
+	if m := ByName("generalized_jaccard"); m == nil {
+		t.Error("ByName(generalized_jaccard) = nil, want metric")
+	}
+	if m := ByName("nope"); m != nil {
+		t.Errorf("ByName(nope) = %v, want nil", m)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"abc", "abc", 1},
+		{"ABC", "abc", 1},
+		{"  a  b ", "a b", 1},
+		{"a,b", "a b", 1},
+		{"abc", "abd", 0},
+		{"", "", 1},
+		{"x", "", 0},
+	}
+	for _, c := range cases {
+		if got := id.Compare(c.a, c.b); got != c.want {
+			t.Errorf("Identity(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	lv := Levenshtein{}
+	approx(t, lv.Compare("kitten", "sitting"), 1-3.0/7, 1e-9, "kitten/sitting")
+	approx(t, lv.Compare("abc", "abc"), 1, 0, "equal")
+	approx(t, lv.Compare("", ""), 1, 0, "both empty")
+	approx(t, lv.Compare("abc", ""), 0, 0, "one empty")
+	approx(t, lv.Compare("a", "b"), 0, 0, "single sub")
+}
+
+func TestDamerauLevenshtein(t *testing.T) {
+	dl := DamerauLevenshtein{}
+	// Transposition counts as one edit: "ca" vs "ac".
+	approx(t, dl.Compare("ca", "ac"), 0.5, 1e-9, "transposition")
+	// Plain Levenshtein would need two edits.
+	approx(t, Levenshtein{}.Compare("ca", "ac"), 0, 1e-9, "lev transposition")
+	approx(t, dl.Compare("abcdef", "abcdfe"), 1-1.0/6, 1e-9, "tail transposition")
+	approx(t, dl.Compare("", ""), 1, 0, "both empty")
+}
+
+func TestJaro(t *testing.T) {
+	j := Jaro{}
+	// Classic textbook values.
+	approx(t, j.Compare("MARTHA", "MARHTA"), 0.9444, 1e-3, "martha")
+	approx(t, j.Compare("DIXON", "DICKSONX"), 0.7667, 1e-3, "dixon")
+	approx(t, j.Compare("abc", "abc"), 1, 0, "equal")
+	approx(t, j.Compare("abc", "xyz"), 0, 0, "disjoint")
+}
+
+func TestJaroWinkler(t *testing.T) {
+	jw := JaroWinkler{}
+	approx(t, jw.Compare("MARTHA", "MARHTA"), 0.9611, 1e-3, "martha")
+	approx(t, jw.Compare("DWAYNE", "DUANE"), 0.84, 1e-2, "dwayne")
+	if jw.Compare("prefix_same", "prefix_diff") <= (Jaro{}).Compare("prefix_same", "prefix_diff") {
+		t.Error("Jaro-Winkler should boost shared prefixes above Jaro")
+	}
+}
+
+func TestNeedlemanWunsch(t *testing.T) {
+	nw := NeedlemanWunsch{}
+	approx(t, nw.Compare("abc", "abc"), 1, 0, "equal")
+	approx(t, nw.Compare("", ""), 1, 0, "both empty")
+	approx(t, nw.Compare("abc", ""), 0, 0, "one empty")
+	if s := nw.Compare("abcdef", "abcxef"); s <= 0 || s >= 1 {
+		t.Errorf("NW(abcdef,abcxef) = %v, want in (0,1)", s)
+	}
+	approx(t, nw.Compare("abc", "xyz"), 0, 0, "all mismatch clamps to 0")
+}
+
+func TestSmithWaterman(t *testing.T) {
+	sw := SmithWaterman{}
+	approx(t, sw.Compare("abc", "abc"), 1, 0, "equal")
+	// Shared local region normalized by the shorter string.
+	approx(t, sw.Compare("xxabcxx", "abc"), 1, 1e-9, "embedded")
+	approx(t, sw.Compare("abc", "xyz"), 0, 0, "disjoint")
+}
+
+func TestSmithWatermanGotoh(t *testing.T) {
+	swg := SmithWatermanGotoh{}
+	sw := SmithWaterman{}
+	// Cheaper gaps mean a gapped alignment scores at least as high.
+	a, b := "hello world program", "hello program"
+	if swg.Compare(a, b) < sw.Compare(a, b)-1e-9 {
+		t.Errorf("SWG (%v) should be >= SW (%v) with cheaper gaps",
+			swg.Compare(a, b), sw.Compare(a, b))
+	}
+	approx(t, swg.Compare("abc", "abc"), 1, 0, "equal")
+}
+
+func TestLongestCommonSubsequence(t *testing.T) {
+	lcs := LongestCommonSubsequence{}
+	approx(t, lcs.Compare("ABCBDAB", "BDCAB"), 4.0/7, 1e-9, "textbook")
+	approx(t, lcs.Compare("abc", "abc"), 1, 0, "equal")
+	approx(t, lcs.Compare("abc", "xyz"), 0, 0, "disjoint")
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	l := LongestCommonSubstring{}
+	approx(t, l.Compare("abcdxyz", "xyzabcd"), 4.0/7, 1e-9, "abcd run")
+	approx(t, l.Compare("abc", "abc"), 1, 0, "equal")
+	approx(t, l.Compare("", "x"), 0, 0, "one empty")
+}
+
+func TestQGram(t *testing.T) {
+	q := QGram{}
+	approx(t, q.Compare("abc", "abc"), 1, 0, "equal")
+	approx(t, q.Compare("", ""), 1, 0, "both empty")
+	approx(t, q.Compare("abc", ""), 0, 0, "one empty")
+	if s := q.Compare("nike air max", "nike airmax"); s <= 0.3 {
+		t.Errorf("QGram near-duplicates = %v, want > 0.3", s)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	j := Jaccard{}
+	approx(t, j.Compare("a b c", "b c d"), 2.0/4, 1e-9, "2 of 4")
+	approx(t, j.Compare("a b", "a b"), 1, 0, "equal")
+	approx(t, j.Compare("a", "b"), 0, 0, "disjoint")
+	// Case and duplicate insensitivity.
+	approx(t, j.Compare("A a b", "a b"), 1, 1e-9, "dup + case")
+}
+
+func TestJaccardTokens(t *testing.T) {
+	approx(t, JaccardTokens([]string{"a", "b"}, []string{"b", "c"}), 1.0/3, 1e-9, "tokens")
+	approx(t, JaccardTokens(nil, nil), 1, 0, "both nil")
+	approx(t, JaccardTokens([]string{"a"}, nil), 0, 0, "one nil")
+}
+
+func TestDice(t *testing.T) {
+	d := Dice{}
+	approx(t, d.Compare("a b c", "b c d"), 2*2.0/6, 1e-9, "2 shared of 3+3")
+	approx(t, d.Compare("x", "x"), 1, 0, "equal")
+}
+
+func TestSimonWhite(t *testing.T) {
+	sw := SimonWhite{}
+	approx(t, sw.Compare("healed", "healed"), 1, 1e-9, "equal")
+	// Classic Simon White example: sealed vs healed share 4 of 5+5 bigrams.
+	approx(t, sw.Compare("healed", "sealed"), 0.8, 1e-9, "healed/sealed")
+	approx(t, sw.Compare("", ""), 1, 0, "both empty")
+}
+
+func TestCosine(t *testing.T) {
+	c := Cosine{}
+	approx(t, c.Compare("a b", "a b"), 1, 1e-9, "equal")
+	approx(t, c.Compare("a b", "c d"), 0, 1e-9, "disjoint")
+	approx(t, c.Compare("a b c d", "a b"), 2/math.Sqrt(8), 1e-9, "partial")
+}
+
+func TestOverlap(t *testing.T) {
+	o := Overlap{}
+	// Containment scores 1.
+	approx(t, o.Compare("nike air max 90", "air max"), 1, 1e-9, "containment")
+	approx(t, o.Compare("a b", "c d"), 0, 0, "disjoint")
+}
+
+func TestMatchingCoefficient(t *testing.T) {
+	m := MatchingCoefficient{}
+	approx(t, m.Compare("a b c d", "a b"), 0.5, 1e-9, "half")
+	approx(t, m.Compare("a", "a"), 1, 0, "equal")
+}
+
+func TestBlockDistance(t *testing.T) {
+	bd := BlockDistance{}
+	approx(t, bd.Compare("a b", "a b"), 1, 1e-9, "equal")
+	approx(t, bd.Compare("a b", "a c"), 0.5, 1e-9, "half")
+	approx(t, bd.Compare("a a b", "a b"), 1-1.0/5, 1e-9, "multiset count")
+}
+
+func TestEuclidean(t *testing.T) {
+	e := Euclidean{}
+	approx(t, e.Compare("a b", "a b"), 1, 1e-9, "equal")
+	if s := e.Compare("a b", "c d"); s <= 0 || s >= 0.5 {
+		t.Errorf("Euclidean disjoint = %v, want in (0, 0.5)", s)
+	}
+}
+
+func TestGeneralizedJaccard(t *testing.T) {
+	gj := GeneralizedJaccard{}
+	j := Jaccard{}
+	// Token typos: soft matching should beat exact Jaccard.
+	a, b := "apple iphone charger", "aple iphone chargr"
+	if gj.Compare(a, b) <= j.Compare(a, b) {
+		t.Errorf("GeneralizedJaccard (%v) should exceed Jaccard (%v) on token typos",
+			gj.Compare(a, b), j.Compare(a, b))
+	}
+	approx(t, gj.Compare("a b", "a b"), 1, 1e-9, "equal")
+}
+
+func TestMongeElkan(t *testing.T) {
+	me := MongeElkan{}
+	approx(t, me.Compare("paul johnson", "paul johnson"), 1, 1e-9, "equal")
+	if s := me.Compare("paul johnson", "johson paule"); s < 0.7 {
+		t.Errorf("MongeElkan fuzzy reorder = %v, want >= 0.7", s)
+	}
+	// Symmetry by construction.
+	a, b := "ibm research almaden", "almaden ibm"
+	approx(t, me.Compare(a, b), me.Compare(b, a), 1e-12, "symmetric")
+}
+
+func TestSoundex(t *testing.T) {
+	s := Soundex{}
+	approx(t, s.Compare("Robert", "Rupert"), 1, 1e-9, "classic same code R163")
+	if got := soundexCode("Robert"); got != "R163" {
+		t.Errorf("soundexCode(Robert) = %q, want R163", got)
+	}
+	if got := soundexCode("Tymczak"); got != "T522" {
+		t.Errorf("soundexCode(Tymczak) = %q, want T522", got)
+	}
+	if got := soundexCode("Pfister"); got != "P236" {
+		t.Errorf("soundexCode(Pfister) = %q, want P236 (NARA rules)", got)
+	}
+	if got := soundexCode("Honeyman"); got != "H555" {
+		t.Errorf("soundexCode(Honeyman) = %q, want H555", got)
+	}
+	approx(t, s.Compare("", ""), 1, 0, "both empty")
+	approx(t, s.Compare("abc", ""), 0, 0, "one empty")
+}

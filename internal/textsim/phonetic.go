@@ -1,0 +1,89 @@
+package textsim
+
+import "strings"
+
+// Soundex compares American Soundex codes of the two strings' first words
+// with Jaro-Winkler, mirroring the Simmetrics SoundexSimilarity wrapper.
+// It is forgiving of spelling variants that preserve pronunciation
+// ("Kopcke" vs "Koepcke").
+type Soundex struct{}
+
+// Name implements Metric.
+func (Soundex) Name() string { return "soundex" }
+
+// Compare implements Metric.
+func (Soundex) Compare(a, b string) float64 {
+	ca, cb := soundexCode(a), soundexCode(b)
+	if ca == "" && cb == "" {
+		return 1
+	}
+	if ca == "" || cb == "" {
+		return 0
+	}
+	return JaroWinkler{}.Compare(ca, cb)
+}
+
+// soundexCode computes the 4-character American Soundex code of the first
+// alphabetic word in s; non-ASCII letters are skipped.
+func soundexCode(s string) string {
+	s = strings.ToUpper(s)
+	var first byte
+	var rest []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 'A' || c > 'Z' {
+			if first != 0 {
+				break // stop at end of first word
+			}
+			continue
+		}
+		if first == 0 {
+			first = c
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	if first == 0 {
+		return ""
+	}
+	code := []byte{first}
+	prev := soundexDigit(first)
+	for _, c := range rest {
+		d := soundexDigit(c)
+		switch {
+		case d == 0:
+			// h, w do not reset the previous digit; vowels do.
+			if c != 'H' && c != 'W' {
+				prev = 0
+			}
+		case d != prev:
+			code = append(code, '0'+d)
+			prev = d
+		}
+		if len(code) == 4 {
+			break
+		}
+	}
+	for len(code) < 4 {
+		code = append(code, '0')
+	}
+	return string(code)
+}
+
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	}
+	return 0
+}

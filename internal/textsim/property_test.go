@@ -1,0 +1,141 @@
+package textsim
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomString draws a printable ASCII string biased toward word-like
+// content so token metrics see non-trivial inputs.
+func randomString(r *rand.Rand) string {
+	words := r.Intn(5)
+	var sb strings.Builder
+	for w := 0; w <= words; w++ {
+		if w > 0 {
+			sb.WriteByte(' ')
+		}
+		n := r.Intn(8)
+		for i := 0; i <= n; i++ {
+			sb.WriteByte(byte('a' + r.Intn(26)))
+		}
+	}
+	return sb.String()
+}
+
+// TestMetricProperties checks, for every metric in the registry, the three
+// invariants the feature extractor relies on: range [0,1], reflexivity
+// (sim(a,a)=1) and symmetry (sim(a,b)=sim(b,a)).
+func TestMetricProperties(t *testing.T) {
+	metrics := append(All(), GeneralizedJaccard{})
+	for _, m := range metrics {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			cfg := &quick.Config{
+				MaxCount: 200,
+				Values: func(args []reflect.Value, r *rand.Rand) {
+					args[0] = reflect.ValueOf(randomString(r))
+					args[1] = reflect.ValueOf(randomString(r))
+				},
+			}
+			prop := func(a, b string) bool {
+				s := m.Compare(a, b)
+				if s < 0 || s > 1+1e-12 {
+					t.Logf("%s(%q,%q) = %v out of [0,1]", m.Name(), a, b, s)
+					return false
+				}
+				if refl := m.Compare(a, a); refl != 1 && refl < 1-1e-12 {
+					t.Logf("%s(%q,%q) = %v, want 1 (reflexivity)", m.Name(), a, a, refl)
+					return false
+				}
+				ba := m.Compare(b, a)
+				if diff := s - ba; diff > 1e-9 || diff < -1e-9 {
+					t.Logf("%s asymmetric: (%q,%q)=%v vs %v", m.Name(), a, b, s, ba)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestTokenizerProperties checks tokenizers never panic and produce
+// lower-case tokens.
+func TestTokenizerProperties(t *testing.T) {
+	toks := []Tokenizer{
+		Whitespace{},
+		QGramTokenizer{Q: 2},
+		QGramTokenizer{Q: 3, Pad: true},
+		WordShingle{N: 2},
+	}
+	for _, tok := range toks {
+		tok := tok
+		prop := func(s string) bool {
+			for _, tk := range tok.Tokens(s) {
+				if tk == "" {
+					return false
+				}
+				if tk != strings.ToLower(tk) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%T: %v", tok, err)
+		}
+	}
+}
+
+func TestQGramTokenizer(t *testing.T) {
+	tok := QGramTokenizer{Q: 3, Pad: true}
+	got := tok.Tokens("ab")
+	// Padded: ##ab$$ -> ##a, #ab, ab$, b$$.
+	want := []string{"##a", "#ab", "ab$", "b$$"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens(ab) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Tokens(ab)[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if n := len((QGramTokenizer{Q: 3}).Tokens("hello")); n != 3 {
+		t.Errorf("unpadded trigrams of hello = %d, want 3", n)
+	}
+	if got := (QGramTokenizer{Q: 3}).Tokens("ab"); len(got) != 1 || got[0] != "ab" {
+		t.Errorf("short string tokens = %v, want [ab]", got)
+	}
+	if got := (QGramTokenizer{}).Tokens(""); got != nil {
+		t.Errorf("empty string tokens = %v, want nil", got)
+	}
+}
+
+func TestWhitespaceTokenizer(t *testing.T) {
+	got := Whitespace{}.Tokens("Hello, World!  foo-bar")
+	want := []string{"hello", "world", "foo", "bar"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWordShingle(t *testing.T) {
+	got := WordShingle{N: 2}.Tokens("a b c")
+	want := []string{"a b", "b c"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("shingles = %v, want %v", got, want)
+	}
+	if got := (WordShingle{N: 3}).Tokens("a b"); len(got) != 1 || got[0] != "a b" {
+		t.Errorf("short shingles = %v, want [a b]", got)
+	}
+}

@@ -1,0 +1,200 @@
+package textsim
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Corpus holds document-frequency statistics over a record collection,
+// enabling the corpus-weighted metrics (TF-IDF cosine, SoftTFIDF) that
+// EM systems like Magellan offer beyond the 21 per-pair functions. Build
+// one with NewCorpus; it is immutable afterwards and safe for concurrent
+// use.
+type Corpus struct {
+	docs int
+	df   map[string]int
+	tok  Tokenizer
+}
+
+// NewCorpus indexes the given documents (typically the concatenated
+// attribute values of every record on both sides of an EM instance).
+func NewCorpus(docs []string) *Corpus {
+	c := &Corpus{df: make(map[string]int), tok: Whitespace{}}
+	for _, d := range docs {
+		c.docs++
+		seen := map[string]struct{}{}
+		for _, t := range c.tok.Tokens(d) {
+			if _, ok := seen[t]; ok {
+				continue
+			}
+			seen[t] = struct{}{}
+			c.df[t]++
+		}
+	}
+	return c
+}
+
+// NumDocs returns the number of indexed documents.
+func (c *Corpus) NumDocs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of a token.
+// Unseen tokens get the maximum IDF.
+func (c *Corpus) IDF(token string) float64 {
+	return math.Log(float64(c.docs+1) / float64(c.df[token]+1))
+}
+
+// TFIDFCosine is cosine similarity between TF-IDF-weighted token
+// vectors: tokens frequent across the corpus (stop words, shared brand
+// names) contribute little, rare discriminative tokens dominate.
+type TFIDFCosine struct {
+	Corpus *Corpus
+}
+
+// Name implements Metric.
+func (TFIDFCosine) Name() string { return "tfidf_cosine" }
+
+// Compare implements Metric.
+func (m TFIDFCosine) Compare(a, b string) float64 {
+	if m.Corpus == nil {
+		return Cosine{}.Compare(a, b)
+	}
+	wa := m.weights(a)
+	wb := m.weights(b)
+	if len(wa) == 0 && len(wb) == 0 {
+		return 1
+	}
+	if len(wa) == 0 || len(wb) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for t, x := range wa {
+		dot += x * wb[t]
+		na += x * x
+	}
+	for _, y := range wb {
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func (m TFIDFCosine) weights(s string) map[string]float64 {
+	counts := map[string]float64{}
+	for _, t := range (Whitespace{}).Tokens(s) {
+		counts[t]++
+	}
+	for t := range counts {
+		counts[t] *= m.Corpus.IDF(t)
+	}
+	return counts
+}
+
+// SoftTFIDF is Cohen, Ravikumar & Fienberg's hybrid metric: TF-IDF
+// weighting over tokens matched softly by Jaro-Winkler at threshold θ
+// (0.9 in the original paper), symmetrized. It scores typo'd rare tokens
+// almost as highly as exact ones.
+type SoftTFIDF struct {
+	Corpus    *Corpus
+	Threshold float64
+}
+
+// Name implements Metric.
+func (SoftTFIDF) Name() string { return "soft_tfidf" }
+
+// Compare implements Metric.
+func (m SoftTFIDF) Compare(a, b string) float64 {
+	if m.Corpus == nil {
+		return GeneralizedJaccard{}.Compare(a, b)
+	}
+	th := m.Threshold
+	if th == 0 {
+		th = 0.9
+	}
+	ta := setSlice((Whitespace{}).Tokens(a))
+	tb := setSlice((Whitespace{}).Tokens(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return (m.directed(ta, tb, th) + m.directed(tb, ta, th)) / 2
+}
+
+func (m SoftTFIDF) directed(ta, tb []string, th float64) float64 {
+	jw := JaroWinkler{}
+	var num, denom float64
+	for _, x := range ta {
+		wx := m.Corpus.IDF(x)
+		denom += wx * wx
+		best, bestTok := 0.0, ""
+		for _, y := range tb {
+			if s := jw.Compare(x, y); s > best {
+				best, bestTok = s, y
+			}
+		}
+		if best >= th {
+			num += wx * m.Corpus.IDF(bestTok) * best
+		}
+	}
+	var denomB float64
+	for _, y := range tb {
+		wy := m.Corpus.IDF(y)
+		denomB += wy * wy
+	}
+	if denom == 0 || denomB == 0 {
+		return 0
+	}
+	return num / (math.Sqrt(denom) * math.Sqrt(denomB))
+}
+
+// NumericSim compares two numeric strings by relative difference:
+// 1 − |a−b| / max(|a|, |b|), clamped to [0,1]; non-numeric inputs fall
+// back to Levenshtein. Price and measurement attributes benefit from it
+// where string metrics see "49.99" vs "47.50" as near-disjoint.
+type NumericSim struct{}
+
+// Name implements Metric.
+func (NumericSim) Name() string { return "numeric" }
+
+// Compare implements Metric.
+func (NumericSim) Compare(a, b string) float64 {
+	va, oka := parseNumeric(a)
+	vb, okb := parseNumeric(b)
+	if !oka || !okb {
+		return Levenshtein{}.Compare(a, b)
+	}
+	if va == vb {
+		return 1
+	}
+	den := math.Max(math.Abs(va), math.Abs(vb))
+	if den == 0 {
+		return 1
+	}
+	sim := 1 - math.Abs(va-vb)/den
+	if sim < 0 {
+		return 0
+	}
+	return sim
+}
+
+func parseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "$"))
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// Extended returns the corpus-aware and numeric metrics beyond the
+// standard 21, bound to the given corpus. The feature extractor accepts
+// them via NewExtractorWithMetrics.
+func Extended(c *Corpus) []Metric {
+	return []Metric{
+		TFIDFCosine{Corpus: c},
+		SoftTFIDF{Corpus: c},
+		NumericSim{},
+		GeneralizedJaccard{},
+	}
+}

@@ -1,0 +1,115 @@
+// Package textsim implements the string-similarity substrate used by the
+// feature extractor: 21 similarity functions equivalent to the Java
+// Simmetrics library referenced by the paper (§3), plus the tokenizers they
+// depend on. Every metric returns a score in [0, 1], where 1 means the two
+// strings are identical under that metric's notion of similarity.
+//
+// The package is pure and allocation-conscious: metrics are stateless values
+// and safe for concurrent use.
+package textsim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer splits a string into tokens. Implementations must be stateless
+// and safe for concurrent use.
+type Tokenizer interface {
+	// Tokens returns the token multiset of s, in order of occurrence.
+	Tokens(s string) []string
+}
+
+// Whitespace tokenizes on Unicode whitespace and punctuation boundaries,
+// lower-casing each token. It is the default word tokenizer for token-based
+// metrics and for the offline blocking step.
+type Whitespace struct{}
+
+// Tokens implements Tokenizer.
+func (Whitespace) Tokens(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return unicode.IsSpace(r) || unicode.IsPunct(r)
+	})
+}
+
+// QGramTokenizer produces overlapping character q-grams. When Pad is true
+// the string is padded with Q-1 leading and trailing sentinel runes so that
+// boundary characters participate in Q grams each, matching the Simmetrics
+// QGram3Extended behaviour.
+type QGramTokenizer struct {
+	Q   int
+	Pad bool
+}
+
+// Tokens implements Tokenizer.
+func (t QGramTokenizer) Tokens(s string) []string {
+	q := t.Q
+	if q <= 0 {
+		q = 3
+	}
+	r := []rune(strings.ToLower(s))
+	if t.Pad && len(r) > 0 {
+		padded := make([]rune, 0, len(r)+2*(q-1))
+		for i := 0; i < q-1; i++ {
+			padded = append(padded, '#')
+		}
+		padded = append(padded, r...)
+		for i := 0; i < q-1; i++ {
+			padded = append(padded, '$')
+		}
+		r = padded
+	}
+	if len(r) < q {
+		if len(r) == 0 {
+			return nil
+		}
+		return []string{string(r)}
+	}
+	out := make([]string, 0, len(r)-q+1)
+	for i := 0; i+q <= len(r); i++ {
+		out = append(out, string(r[i:i+q]))
+	}
+	return out
+}
+
+// WordShingle produces shingles of N consecutive whitespace tokens. It is
+// used by dataset profiles that key blocking on multi-word names.
+type WordShingle struct{ N int }
+
+// Tokens implements Tokenizer.
+func (t WordShingle) Tokens(s string) []string {
+	n := t.N
+	if n <= 0 {
+		n = 2
+	}
+	words := Whitespace{}.Tokens(s)
+	if len(words) < n {
+		if len(words) == 0 {
+			return nil
+		}
+		return []string{strings.Join(words, " ")}
+	}
+	out := make([]string, 0, len(words)-n+1)
+	for i := 0; i+n <= len(words); i++ {
+		out = append(out, strings.Join(words[i:i+n], " "))
+	}
+	return out
+}
+
+// counts folds a token slice into a multiset representation.
+func counts(tokens []string) map[string]int {
+	m := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		m[t]++
+	}
+	return m
+}
+
+// set folds a token slice into a set representation.
+func set(tokens []string) map[string]struct{} {
+	m := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		m[t] = struct{}{}
+	}
+	return m
+}

@@ -1,0 +1,180 @@
+package textsim
+
+import "math"
+
+// TokenMetric is the fast path for word-token metrics: the caller
+// tokenizes each attribute value once and reuses the tokens across every
+// metric that can consume them. The feature extractor applies 21 metrics
+// per attribute pair; without this, each of the ~10 token-set metrics
+// re-tokenizes both strings.
+//
+// CompareTokens must equal Compare on the same inputs when the tokens
+// come from the Whitespace tokenizer — TestTokenMetricEquivalence pins
+// that down for every implementation.
+type TokenMetric interface {
+	Metric
+	CompareTokens(ta, tb []string) float64
+}
+
+// CompareTokens implements TokenMetric.
+func (Jaccard) CompareTokens(ta, tb []string) float64 { return JaccardTokens(ta, tb) }
+
+// CompareTokens implements TokenMetric.
+func (Dice) CompareTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	sa, sb := set(ta), set(tb)
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(sa)+len(sb))
+}
+
+// CompareTokens implements TokenMetric.
+func (Cosine) CompareTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return cosineCounts(counts(ta), counts(tb))
+}
+
+// CompareTokens implements TokenMetric.
+func (Overlap) CompareTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	sa, sb := set(ta), set(tb)
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(min(len(sa), len(sb)))
+}
+
+// CompareTokens implements TokenMetric.
+func (MatchingCoefficient) CompareTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	sa, sb := set(ta), set(tb)
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(max(len(sa), len(sb)))
+}
+
+// CompareTokens implements TokenMetric.
+func (BlockDistance) CompareTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	ca, cb := counts(ta), counts(tb)
+	diff := 0
+	for t, x := range ca {
+		diff += abs(x - cb[t])
+	}
+	for t, y := range cb {
+		if _, ok := ca[t]; !ok {
+			diff += y
+		}
+	}
+	return 1 - float64(diff)/float64(len(ta)+len(tb))
+}
+
+// CompareTokens implements TokenMetric.
+func (Euclidean) CompareTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return euclideanCounts(counts(ta), counts(tb))
+}
+
+// CompareTokens implements TokenMetric.
+func (MongeElkan) CompareTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return (mongeElkanDirected(ta, tb) + mongeElkanDirected(tb, ta)) / 2
+}
+
+// CompareTokens implements TokenMetric.
+func (g GeneralizedJaccard) CompareTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	sa := setSlice(ta)
+	sb := setSlice(tb)
+	return (softJaccardDirected(sa, sb) + softJaccardDirected(sb, sa)) / 2
+}
+
+// cosineCounts and euclideanCounts hold the arithmetic shared by the
+// string and token entry points.
+func cosineCounts(ca, cb map[string]int) float64 {
+	var dot, na, nb float64
+	for t, x := range ca {
+		dot += float64(x * cb[t])
+		na += float64(x * x)
+	}
+	for _, y := range cb {
+		nb += float64(y * y)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (sqrt(na) * sqrt(nb))
+}
+
+func euclideanCounts(ca, cb map[string]int) float64 {
+	var dd, na, nb float64
+	for t, x := range ca {
+		d := float64(x - cb[t])
+		dd += d * d
+		na += float64(x * x)
+	}
+	for t, y := range cb {
+		if _, ok := ca[t]; !ok {
+			dd += float64(y * y)
+		}
+		nb += float64(y * y)
+	}
+	denom := sqrt(na) + sqrt(nb)
+	if denom == 0 {
+		return 1
+	}
+	return 1 - sqrt(dd)/denom
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

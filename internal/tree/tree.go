@@ -1,0 +1,291 @@
+// Package tree implements the benchmark's tree-based learner (§4.1.1):
+// CART-style random decision trees of unlimited depth that consider a
+// random subset of log2(Dim+1) features at each split, assembled into a
+// random forest — the Corleone settings the paper adopts. The forest's
+// trees double as a learner-aware QBC committee: Votes exposes the
+// per-tree label counts the variance selector needs.
+package tree
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/alem/alem/internal/feature"
+)
+
+// Node is one decision-tree node. Exported so the interp package can walk
+// trees to produce DNF formulae and depth statistics (§6.3).
+type Node struct {
+	// Leaf nodes predict Label; internal nodes route on Feature <= Threshold
+	// to Left, else Right.
+	Leaf      bool
+	Label     bool
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+}
+
+// Tree is a single CART decision tree.
+type Tree struct {
+	Root *Node
+}
+
+// Predict classifies one vector.
+func (t *Tree) Predict(x feature.Vector) bool {
+	n := t.Root
+	for !n.Leaf {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Label
+}
+
+// Depth returns the maximum root-to-leaf depth (a single leaf is depth 1).
+func (t *Tree) Depth() int { return depth(t.Root) }
+
+func depth(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return 1 + max(depth(n.Left), depth(n.Right))
+}
+
+// growConfig carries the hyper-parameters down the recursive build.
+type growConfig struct {
+	maxFeatures int
+	rand        *rand.Rand
+	X           []feature.Vector
+	y           []bool
+}
+
+// grow builds a tree on the row subset idx. Depth is unlimited; recursion
+// stops only on pure nodes or when no split improves Gini impurity.
+func grow(cfg *growConfig, idx []int) *Node {
+	pos := 0
+	for _, i := range idx {
+		if cfg.y[i] {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(idx) {
+		return &Node{Leaf: true, Label: pos > 0}
+	}
+
+	dim := len(cfg.X[0])
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	parentImp := gini(pos, len(idx))
+
+	// Random feature subset of size log2(Dim+1), per Corleone.
+	feats := cfg.rand.Perm(dim)[:cfg.maxFeatures]
+	for _, f := range feats {
+		// Candidate thresholds: midpoints between distinct sorted values.
+		vals := make([]float64, 0, len(idx))
+		for _, i := range idx {
+			vals = append(vals, cfg.X[i][f])
+		}
+		sortFloats(vals)
+		prev := vals[0]
+		for _, v := range vals[1:] {
+			if v == prev {
+				continue
+			}
+			th := (prev + v) / 2
+			prev = v
+			lp, ln, rp, rn := 0, 0, 0, 0
+			for _, i := range idx {
+				if cfg.X[i][f] <= th {
+					if cfg.y[i] {
+						lp++
+					} else {
+						ln++
+					}
+				} else {
+					if cfg.y[i] {
+						rp++
+					} else {
+						rn++
+					}
+				}
+			}
+			l, r := lp+ln, rp+rn
+			if l == 0 || r == 0 {
+				continue
+			}
+			w := float64(l) / float64(len(idx))
+			childImp := w*gini(lp, l) + (1-w)*gini(rp, r)
+			if gain := parentImp - childImp; gain > bestGain+1e-12 {
+				bestGain, bestFeat, bestThresh = gain, f, th
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &Node{Leaf: true, Label: 2*pos >= len(idx)}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if cfg.X[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &Node{
+		Feature:   bestFeat,
+		Threshold: bestThresh,
+		Left:      grow(cfg, li),
+		Right:     grow(cfg, ri),
+	}
+}
+
+func gini(pos, n int) float64 {
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// sortFloats is an insertion/quick hybrid avoiding the sort package's
+// interface overhead in the hot split loop.
+func sortFloats(v []float64) {
+	if len(v) < 24 {
+		for i := 1; i < len(v); i++ {
+			x := v[i]
+			j := i - 1
+			for j >= 0 && v[j] > x {
+				v[j+1] = v[j]
+				j--
+			}
+			v[j+1] = x
+		}
+		return
+	}
+	pivot := v[len(v)/2]
+	lo, hi := 0, len(v)-1
+	for lo <= hi {
+		for v[lo] < pivot {
+			lo++
+		}
+		for v[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			v[lo], v[hi] = v[hi], v[lo]
+			lo++
+			hi--
+		}
+	}
+	sortFloats(v[:hi+1])
+	sortFloats(v[lo:])
+}
+
+// Forest is a random forest of CART trees. Construct with NewForest.
+type Forest struct {
+	// NumTrees is the committee size (Corleone uses 10; the paper
+	// parameterizes it as Trees(2/10/20)).
+	NumTrees int
+	// VoteThreshold is the fraction of positive votes required to
+	// predict a match; 0 means majority (0.5). Lowering it trades
+	// precision for recall under EM class skew.
+	VoteThreshold float64
+
+	trees []*Tree
+	rand  *rand.Rand
+}
+
+// NewForest returns a forest with the given committee size.
+func NewForest(numTrees int, seed int64) *Forest {
+	if numTrees <= 0 {
+		numTrees = 10
+	}
+	return &Forest{NumTrees: numTrees, rand: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements the learner interface.
+func (f *Forest) Name() string { return "random-forest" }
+
+// Train grows NumTrees trees on bootstrap resamples of the labeled data,
+// each split drawing log2(Dim+1) random features.
+func (f *Forest) Train(X []feature.Vector, y []bool) {
+	f.trees = nil
+	if len(X) == 0 {
+		return
+	}
+	dim := len(X[0])
+	maxFeatures := int(math.Log2(float64(dim) + 1))
+	if maxFeatures < 1 {
+		maxFeatures = 1
+	}
+	if maxFeatures > dim {
+		maxFeatures = dim
+	}
+	for t := 0; t < f.NumTrees; t++ {
+		idx := make([]int, len(X))
+		for i := range idx {
+			idx[i] = f.rand.Intn(len(X))
+		}
+		cfg := &growConfig{maxFeatures: maxFeatures, rand: f.rand, X: X, y: y}
+		f.trees = append(f.trees, &Tree{Root: grow(cfg, idx)})
+	}
+}
+
+// Predict labels x as matching when the positive vote fraction exceeds
+// VoteThreshold (majority by default).
+func (f *Forest) Predict(x feature.Vector) bool {
+	pos, total := f.Votes(x)
+	if total == 0 {
+		return false
+	}
+	th := f.VoteThreshold
+	if th <= 0 {
+		th = 0.5
+	}
+	return float64(pos)/float64(total) > th
+}
+
+// PredictAll classifies a batch.
+func (f *Forest) PredictAll(X []feature.Vector) []bool {
+	out := make([]bool, len(X))
+	for i, x := range X {
+		out[i] = f.Predict(x)
+	}
+	return out
+}
+
+// Votes returns how many trees label x as matching, out of how many. The
+// learner-aware QBC selector computes its variance Pi/C·(1−Pi/C) from
+// these counts (§4.1.1) — the forest's own trees are the committee, no
+// bootstrap committee construction needed.
+func (f *Forest) Votes(x feature.Vector) (pos, total int) {
+	for _, t := range f.trees {
+		if t.Predict(x) {
+			pos++
+		}
+	}
+	return pos, len(f.trees)
+}
+
+// Trees exposes the grown trees for interpretability analysis (§6.3).
+func (f *Forest) Trees() []*Tree { return f.trees }
+
+// Depth returns the maximum depth across the ensemble (Fig. 18b).
+func (f *Forest) Depth() int {
+	d := 0
+	for _, t := range f.trees {
+		d = max(d, t.Depth())
+	}
+	return d
+}
+
+// Clone returns an untrained forest with the same size, threshold and a
+// fresh RNG.
+func (f *Forest) Clone(seed int64) *Forest {
+	c := NewForest(f.NumTrees, seed)
+	c.VoteThreshold = f.VoteThreshold
+	return c
+}
