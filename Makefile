@@ -1,0 +1,24 @@
+# Development targets. `make check` is the full pre-merge gate: static
+# vetting, a clean build of every package, and the test suite under the
+# race detector (the Session engine's cancellation paths are concurrent).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x .

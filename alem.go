@@ -24,6 +24,7 @@
 package alem
 
 import (
+	"context"
 	"io"
 
 	"github.com/alem/alem/internal/blocking"
@@ -228,6 +229,88 @@ func Run(pool *Pool, l Learner, s Selector, o Oracle, cfg Config) *Result {
 func RunEnsemble(pool *Pool, o Oracle, cfg EnsembleConfig) *EnsembleResult {
 	return core.RunEnsemble(pool, o, cfg)
 }
+
+// RunEnsembleContext is RunEnsemble with cancellation and observers.
+func RunEnsembleContext(ctx context.Context, pool *Pool, o Oracle,
+	cfg EnsembleConfig, obs ...Observer) (*EnsembleResult, error) {
+	return core.RunEnsembleContext(ctx, pool, o, cfg, obs...)
+}
+
+// Session engine: the decomposed, cancellable, observable form of the
+// Fig. 1a loop. Run is a thin wrapper over it; construct a Session
+// directly for context cancellation, the typed event stream, or
+// checkpoint/resume.
+type (
+	// Session is one active-learning run as an explicit state machine.
+	Session = core.Session
+	// SessionSnapshot is a serializable checkpoint of a Session.
+	SessionSnapshot = core.Snapshot
+	// StopReason explains why a run terminated.
+	StopReason = core.StopReason
+	// Observer receives a Session's typed event stream.
+	Observer = core.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = core.ObserverFunc
+	// Event is one notification from the stream; concrete types follow.
+	Event = core.Event
+	// IterationStart opens one train→evaluate→select→label iteration.
+	IterationStart = core.IterationStart
+	// TrainDone closes the train phase.
+	TrainDone = core.TrainDone
+	// EvalDone closes the evaluate phase and carries the curve point.
+	EvalDone = core.EvalDone
+	// BatchSelected closes the select phase.
+	BatchSelected = core.BatchSelected
+	// CandidateAccepted reports an ensemble acceptance (§5.2).
+	CandidateAccepted = core.CandidateAccepted
+	// RunEnd closes the run with its StopReason.
+	RunEnd = core.RunEnd
+	// CurveBuilder accumulates curve points incrementally.
+	CurveBuilder = eval.CurveBuilder
+	// EventLog renders the event stream as a timestamped trace.
+	EventLog = diag.EventLog
+)
+
+// Stop reasons.
+const (
+	// StopNone: the run has not terminated yet.
+	StopNone = core.StopNone
+	// StopBudget: the MaxLabels budget is exhausted.
+	StopBudget = core.StopBudget
+	// StopPoolExhausted: no unlabeled candidates remain.
+	StopPoolExhausted = core.StopPoolExhausted
+	// StopTargetF1: the evaluated F1 reached Config.TargetF1.
+	StopTargetF1 = core.StopTargetF1
+	// StopStability: predictions stabilized for StabilityWindow iterations.
+	StopStability = core.StopStability
+	// StopSelectorEmpty: the selector returned no examples.
+	StopSelectorEmpty = core.StopSelectorEmpty
+	// StopCancelled: the run's context was cancelled.
+	StopCancelled = core.StopCancelled
+)
+
+// NewSession validates cfg and prepares a run without starting it.
+func NewSession(pool *Pool, l Learner, s Selector, o Oracle, cfg Config) (*Session, error) {
+	return core.NewSession(pool, l, s, o, cfg)
+}
+
+// RestoreSession rebuilds a Session from a snapshot; see
+// core.Restore for the learner-state contract.
+func RestoreSession(pool *Pool, l Learner, s Selector, o Oracle, sn *SessionSnapshot) (*Session, error) {
+	return core.Restore(pool, l, s, o, sn)
+}
+
+// ReadSessionSnapshot deserializes a snapshot written by
+// (*SessionSnapshot).Encode.
+func ReadSessionSnapshot(r io.Reader) (*SessionSnapshot, error) {
+	return core.ReadSnapshot(r)
+}
+
+// NewCurveObserver adapts a CurveBuilder to the event stream.
+func NewCurveObserver(b *CurveBuilder) Observer { return core.NewCurveObserver(b) }
+
+// NewEventLog returns an EventLog writing to w.
+func NewEventLog(w io.Writer) *EventLog { return diag.NewEventLog(w) }
 
 // Learners.
 type (

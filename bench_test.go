@@ -12,6 +12,7 @@
 package alem_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -181,6 +182,40 @@ func BenchmarkMarginScoring(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Margin(X[i%len(X)])
+	}
+}
+
+// BenchmarkSessionIteration measures one full train→evaluate→select→label
+// step of the Session engine (SVM + margin, beer at paper scale) — the
+// per-iteration overhead the engine adds over the monolithic loop is what
+// this guards.
+func BenchmarkSessionIteration(b *testing.B) {
+	d, err := alem.LoadDataset("beer", 1.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := alem.NewPool(d)
+	o := alem.NewPerfectOracle(d)
+	newSession := func() *alem.Session {
+		s, err := alem.NewSession(pool, alem.NewSVM(1), alem.MarginSelector{}, o,
+			alem.Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s := newSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := s.Step(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done {
+			b.StopTimer()
+			s = newSession()
+			b.StartTimer()
+		}
 	}
 }
 

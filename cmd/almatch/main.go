@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/alem/alem"
 )
@@ -34,13 +37,14 @@ func main() {
 		rightPath = flag.String("right", "", "right table CSV (apply mode)")
 		threshold = flag.Float64("threshold", 0.16, "blocking Jaccard threshold (apply mode)")
 		outPath   = flag.String("out", "", "output matches CSV (apply mode; default stdout)")
+		progress  = flag.Bool("progress", false, "stream per-iteration progress to stderr (train mode)")
 	)
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "train":
-		err = train(*datasetN, *scale, *seed, *modelPath, *trees, *maxLabels)
+		err = train(*datasetN, *scale, *seed, *modelPath, *trees, *maxLabels, *progress)
 	case "apply":
 		err = apply(*modelPath, *leftPath, *rightPath, *threshold, *outPath)
 	default:
@@ -54,18 +58,39 @@ func main() {
 	}
 }
 
-func train(name string, scale float64, seed int64, modelPath string, trees, maxLabels int) error {
+func train(name string, scale float64, seed int64, modelPath string, trees, maxLabels int, progress bool) error {
 	d, err := alem.LoadDataset(name, scale, seed)
 	if err != nil {
 		return err
 	}
 	pool := alem.NewPool(d)
 	forest := alem.NewRandomForest(trees, seed)
-	res := alem.Run(pool, forest, alem.ForestQBC{}, alem.NewPerfectOracle(d), alem.Config{
+	session, err := alem.NewSession(pool, forest, alem.ForestQBC{}, alem.NewPerfectOracle(d), alem.Config{
 		Seed: seed, MaxLabels: maxLabels, TargetF1: 0.99,
 	})
-	fmt.Printf("trained Trees(%d) on %s: best F1 %.3f with %d labels\n",
-		trees, name, res.Curve.BestF1(), res.LabelsUsed)
+	if err != nil {
+		return err
+	}
+	if progress {
+		session.AddObserver(alem.ObserverFunc(func(e alem.Event) {
+			if ed, ok := e.(alem.EvalDone); ok {
+				fmt.Fprintf(os.Stderr, "iter %3d: labels=%d F1=%.3f\n",
+					ed.Iteration, ed.Point.Labels, ed.Point.F1)
+			}
+		}))
+	}
+	// Ctrl-C stops labeling but still saves the model trained so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := session.Run(ctx)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "interrupted; saving the model as of iteration %d\n", len(res.Curve))
+	}
+	fmt.Printf("trained Trees(%d) on %s: best F1 %.3f with %d labels (%s)\n",
+		trees, name, res.Curve.BestF1(), res.LabelsUsed, res.Reason)
 	f, err := os.Create(modelPath)
 	if err != nil {
 		return err

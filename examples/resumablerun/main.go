@@ -1,0 +1,83 @@
+// Resumablerun: drive active learning through the Session engine —
+// observe per-iteration events, checkpoint the run to disk half-way, and
+// resume it in a "second process" to the identical curve an
+// uninterrupted run would have produced.
+//
+// This is the workflow for expensive labeling campaigns: a crashed or
+// cancelled run costs none of the Oracle labels already paid for.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/alem/alem"
+)
+
+func main() {
+	d, err := alem.LoadDataset("beer", 1.0, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := alem.NewPool(d)
+	cfg := alem.Config{Seed: 1, MaxLabels: 150}
+
+	// Phase 1: run a few iterations, then checkpoint. An observer prints
+	// the event stream as it happens.
+	session, err := alem.NewSession(pool, alem.NewSVM(1), alem.MarginSelector{},
+		alem.NewPerfectOracle(d), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session.AddObserver(alem.ObserverFunc(func(e alem.Event) {
+		if ed, ok := e.(alem.EvalDone); ok {
+			fmt.Printf("  iter %d: labels=%d F1=%.3f\n", ed.Iteration, ed.Point.Labels, ed.Point.F1)
+		}
+	}))
+	fmt.Println("first process: 5 iterations, then checkpoint")
+	for i := 0; i < 5; i++ {
+		if done, err := session.Step(context.Background()); done || err != nil {
+			log.Fatalf("run ended early: done=%v err=%v", done, err)
+		}
+	}
+
+	// Serialize the checkpoint. In a real deployment this is a file; a
+	// buffer keeps the example self-contained.
+	var checkpoint bytes.Buffer
+	if err := session.Snapshot().Encode(&checkpoint); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %d bytes\n\n", checkpoint.Len())
+
+	// Phase 2: "another process" reloads the checkpoint. The learner is
+	// freshly constructed with the same constructor seed; Restore replays
+	// its training history so the model picks up exactly where it left
+	// off.
+	sn, err := alem.ReadSessionSnapshot(&checkpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := alem.RestoreSession(pool, alem.NewSVM(1), alem.MarginSelector{},
+		alem.NewPerfectOracle(d), sn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("second process: resuming from the checkpoint")
+	res, err := resumed.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed run: %d labels, best F1 %.3f, stopped because %s\n",
+		res.LabelsUsed, res.Curve.BestF1(), res.Reason)
+
+	// The resumed curve is identical to an uninterrupted run's.
+	uninterrupted := alem.Run(pool, alem.NewSVM(1), alem.MarginSelector{},
+		alem.NewPerfectOracle(d), cfg)
+	identical := len(res.Curve) == len(uninterrupted.Curve)
+	for i := 0; identical && i < len(res.Curve); i++ {
+		identical = res.Curve[i].F1 == uninterrupted.Curve[i].F1
+	}
+	fmt.Printf("identical to an uninterrupted run: %v\n", identical)
+}

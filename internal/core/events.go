@@ -1,0 +1,156 @@
+package core
+
+import (
+	"time"
+
+	"github.com/alem/alem/internal/eval"
+)
+
+// Event is one typed notification from a Session's event stream. The
+// engine emits events at every phase boundary of the Fig. 1a loop, so a
+// run can be observed in flight — live progress in the CLIs, event logs
+// in diag, curve building in eval — without the observer having to poll
+// or wrap the learner.
+//
+// The concrete event types are IterationStart, TrainDone, EvalDone,
+// BatchSelected, CandidateAccepted and RunEnd.
+type Event interface{ isEvent() }
+
+// IterationStart marks the beginning of one train→evaluate→select→label
+// iteration.
+type IterationStart struct {
+	// Iteration is the zero-based iteration index.
+	Iteration int
+	// LabelsUsed is the cumulative Oracle-label count entering the
+	// iteration (the seed bootstrap included).
+	LabelsUsed int
+	// PoolRemaining is the number of still-unlabeled candidates.
+	PoolRemaining int
+}
+
+// TrainDone marks the end of the train phase.
+type TrainDone struct {
+	Iteration int
+	// Labels is the size of the cumulative training set.
+	Labels int
+	// Elapsed is the wall-clock training time.
+	Elapsed time.Duration
+}
+
+// EvalDone marks the end of the evaluate phase. Point carries the
+// iteration's quality metrics and training time; the selector's latency
+// breakdown is not known yet and arrives with BatchSelected.
+type EvalDone struct {
+	Iteration int
+	Point     eval.Point
+	// Elapsed is the wall-clock evaluation (prediction) time, which the
+	// recorded curve point does not carry.
+	Elapsed time.Duration
+}
+
+// BatchSelected marks the end of the select phase. It is not emitted on
+// the final iteration (a finished run selects nothing).
+type BatchSelected struct {
+	Iteration int
+	// Batch holds the pool indices about to be sent to the Oracle.
+	Batch []int
+	// CommitteeCreate and Score are the selector's latency breakdown,
+	// matching the §3 latency metric.
+	CommitteeCreate time.Duration
+	Score           time.Duration
+}
+
+// CandidateAccepted is emitted by ensemble runs (§5.2) when a candidate
+// classifier passes the precision acceptance test.
+type CandidateAccepted struct {
+	Iteration int
+	// Accepted is the ensemble size after this acceptance.
+	Accepted int
+}
+
+// RunEnd marks the end of a run, successful or cancelled.
+type RunEnd struct {
+	// Iterations is the number of completed iterations (curve points).
+	Iterations int
+	LabelsUsed int
+	Reason     StopReason
+	// Err is the context error when Reason is StopCancelled, nil
+	// otherwise.
+	Err error
+}
+
+func (IterationStart) isEvent()    {}
+func (TrainDone) isEvent()         {}
+func (EvalDone) isEvent()          {}
+func (BatchSelected) isEvent()     {}
+func (CandidateAccepted) isEvent() {}
+func (RunEnd) isEvent()            {}
+
+// StopReason explains why a run terminated.
+type StopReason int
+
+const (
+	// StopNone means the run has not terminated yet.
+	StopNone StopReason = iota
+	// StopBudget: the MaxLabels budget is exhausted.
+	StopBudget
+	// StopPoolExhausted: no unlabeled candidates remain.
+	StopPoolExhausted
+	// StopTargetF1: the evaluated F1 reached Config.TargetF1.
+	StopTargetF1
+	// StopStability: predictions churned below StabilityEpsilon for
+	// StabilityWindow consecutive iterations.
+	StopStability
+	// StopSelectorEmpty: the selector returned no examples (rule
+	// learners terminate this way).
+	StopSelectorEmpty
+	// StopCancelled: the run's context was cancelled or timed out.
+	StopCancelled
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "running"
+	case StopBudget:
+		return "label budget exhausted"
+	case StopPoolExhausted:
+		return "pool exhausted"
+	case StopTargetF1:
+		return "target F1 reached"
+	case StopStability:
+		return "predictions stable"
+	case StopSelectorEmpty:
+		return "selector returned no examples"
+	case StopCancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
+
+// Observer receives a Session's event stream. Observe is called
+// synchronously from the engine goroutine, in phase order, so
+// implementations see a consistent sequence but must return promptly.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// NewCurveObserver adapts an eval.CurveBuilder to the event stream: every
+// EvalDone point is appended to the builder, giving consumers a live
+// quality curve while the run is still in flight. (The builder's points
+// carry training time but not selector latencies, which are only known
+// after BatchSelected; the Session's Result curve has both.)
+func NewCurveObserver(b *eval.CurveBuilder) Observer {
+	return ObserverFunc(func(e Event) {
+		if ed, ok := e.(EvalDone); ok {
+			b.Add(ed.Point)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -267,14 +268,20 @@ func TestParallelPredictMatchesSequential(t *testing.T) {
 	svm := linear.NewSVM(32)
 	svm.Train(pool.X[:100], pool.Truth[:100])
 	idx := seqInts(1000)
-	par := parallelPredict(svm.Predict, pool, idx)
+	par, err := parallelPredict(context.Background(), svm.Predict, pool, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for j, i := range idx {
 		if par[j] != svm.Predict(pool.X[i]) {
 			t.Fatalf("parallel prediction %d differs", j)
 		}
 	}
 	// Small input takes the sequential path; same contract.
-	small := parallelPredict(svm.Predict, pool, idx[:10])
+	small, err := parallelPredict(context.Background(), svm.Predict, pool, idx[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
 	for j := 0; j < 10; j++ {
 		if small[j] != svm.Predict(pool.X[j]) {
 			t.Fatalf("sequential-path prediction %d differs", j)

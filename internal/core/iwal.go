@@ -58,9 +58,12 @@ func (iw IWAL) Select(ctx *SelectContext, k int) []int {
 	// exhausted): each example is accepted with its own probability, so
 	// low-information examples still consume label budget at rate PMin.
 	out := make([]int, 0, k)
-	for _, j := range ctx.Rand.Perm(len(ctx.Unlabeled)) {
+	for n, j := range ctx.Rand.Perm(len(ctx.Unlabeled)) {
 		if len(out) == k {
 			break
+		}
+		if n%cancelCheckStride == 0 && ctx.Cancelled() {
+			return nil
 		}
 		ambiguity := 1 - margins[j]/maxM
 		p := pmin + (1-pmin)*ambiguity

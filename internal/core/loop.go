@@ -1,10 +1,10 @@
 package core
 
 import (
-	"math/rand"
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
-	"time"
 
 	"github.com/alem/alem/internal/eval"
 	"github.com/alem/alem/internal/feature"
@@ -23,12 +23,32 @@ const (
 	HeldOut
 )
 
+// Defaults substituted for zero-valued Config fields. A zero value means
+// "unset, use the paper's setting" — Config cannot express a literal
+// zero for these fields (a zero seed set, batch, holdout fraction or
+// stability epsilon would be degenerate anyway; Validate documents the
+// accepted ranges).
+const (
+	// DefaultSeedLabels is the paper's initial labeled sample (~30, §3).
+	DefaultSeedLabels = 30
+	// DefaultBatchSize is the paper's per-iteration batch (10, §6).
+	DefaultBatchSize = 10
+	// DefaultHoldoutFrac is the held-out fraction under HeldOut.
+	DefaultHoldoutFrac = 0.2
+	// DefaultStabilityEpsilon is the churn threshold when a
+	// StabilityWindow is set.
+	DefaultStabilityEpsilon = 0.002
+)
+
 // Config is the protocol of one active-learning run. Zero values pick the
-// paper's settings (seed 30, batch 10).
+// paper's settings (seed 30, batch 10); see the Default* constants and
+// Validate for the accepted ranges.
 type Config struct {
-	// SeedLabels is the size of the initial labeled sample (~30, §3).
+	// SeedLabels is the size of the initial labeled sample. 0 means
+	// DefaultSeedLabels (30).
 	SeedLabels int
-	// BatchSize is the number of examples labeled per iteration (10, §6).
+	// BatchSize is the number of examples labeled per iteration. 0 means
+	// DefaultBatchSize (10).
 	BatchSize int
 	// MaxLabels terminates the run after this many Oracle queries; 0
 	// means the whole pool may be labeled (the noisy-Oracle criterion).
@@ -38,13 +58,16 @@ type Config struct {
 	TargetF1 float64
 	// Mode chooses the evaluation protocol.
 	Mode EvalMode
-	// HoldoutFrac is the held-out fraction under HeldOut (default 0.2).
+	// HoldoutFrac is the held-out fraction under HeldOut, in (0, 1).
+	// 0 means DefaultHoldoutFrac (0.2).
 	HoldoutFrac float64
 	// Seed makes the run deterministic.
 	Seed int64
 	// OnIteration, if set, can enrich each recorded point (the
 	// interpretability experiments attach #DNF atoms and tree depth).
-	OnIteration func(learner Learner, pt *eval.Point)
+	// New code should prefer a Session Observer, which subsumes it.
+	// It is not serialized into Snapshots.
+	OnIteration func(learner Learner, pt *eval.Point) `json:"-"`
 	// StabilityWindow enables a ground-truth-free stopping criterion the
 	// paper's §6.2 motivates ("the sweet spot in terms of when to
 	// terminate active learning ... may differ across datasets"): stop
@@ -52,20 +75,48 @@ type Config struct {
 	// StabilityEpsilon (fraction of flipped predictions) for this many
 	// consecutive iterations. 0 disables.
 	StabilityWindow int
-	// StabilityEpsilon is the churn threshold (default 0.002 when a
-	// window is set).
+	// StabilityEpsilon is the churn threshold, in (0, 1]. 0 means
+	// DefaultStabilityEpsilon (0.002).
 	StabilityEpsilon float64
+}
+
+// Validate rejects configs whose fields are outside their documented
+// ranges: negative counts, fractions outside [0, 1), a TargetF1 or
+// StabilityEpsilon above 1. A zero value is always valid and means "use
+// the default" (see the Default* constants); Validate is how a caller
+// distinguishes a deliberate out-of-range value from an unset field.
+func (c Config) Validate() error {
+	switch {
+	case c.SeedLabels < 0:
+		return fmt.Errorf("core: Config.SeedLabels %d is negative", c.SeedLabels)
+	case c.BatchSize < 0:
+		return fmt.Errorf("core: Config.BatchSize %d is negative", c.BatchSize)
+	case c.MaxLabels < 0:
+		return fmt.Errorf("core: Config.MaxLabels %d is negative", c.MaxLabels)
+	case c.TargetF1 < 0 || c.TargetF1 > 1:
+		return fmt.Errorf("core: Config.TargetF1 %g outside [0, 1]", c.TargetF1)
+	case c.HoldoutFrac < 0 || c.HoldoutFrac >= 1:
+		return fmt.Errorf("core: Config.HoldoutFrac %g outside [0, 1)", c.HoldoutFrac)
+	case c.StabilityWindow < 0:
+		return fmt.Errorf("core: Config.StabilityWindow %d is negative", c.StabilityWindow)
+	case c.StabilityEpsilon < 0 || c.StabilityEpsilon > 1:
+		return fmt.Errorf("core: Config.StabilityEpsilon %g outside [0, 1]", c.StabilityEpsilon)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
 	if c.SeedLabels == 0 {
-		c.SeedLabels = 30
+		c.SeedLabels = DefaultSeedLabels
 	}
 	if c.BatchSize == 0 {
-		c.BatchSize = 10
+		c.BatchSize = DefaultBatchSize
 	}
 	if c.HoldoutFrac == 0 {
-		c.HoldoutFrac = 0.2
+		c.HoldoutFrac = DefaultHoldoutFrac
+	}
+	if c.StabilityEpsilon == 0 {
+		c.StabilityEpsilon = DefaultStabilityEpsilon
 	}
 	return c
 }
@@ -76,168 +127,61 @@ type Result struct {
 	LabelsUsed int
 	// TestSize is the number of pairs each curve point was evaluated on.
 	TestSize int
+	// Reason records why the run terminated (StopNone on results from
+	// sources that predate the Session engine, e.g. deserialized data).
+	Reason StopReason
 }
 
 // Run executes the active-learning loop of Fig. 1a: train on the
 // cumulative labeled set, evaluate, select a batch with the example
 // selector, query the Oracle, repeat. It terminates on TargetF1,
-// MaxLabels, an empty selection (rule learners), or pool exhaustion.
+// MaxLabels, an empty selection (rule learners), stability, or pool
+// exhaustion.
+//
+// Run is a compatibility wrapper over the Session engine and produces
+// bit-identical curves to the pre-Session implementation; use a Session
+// directly for cancellation, the event stream, or checkpoint/resume. It
+// panics on an invalid Config (NewSession returns the error instead).
 func Run(pool *Pool, learner Learner, sel Selector, o oracle.Oracle, cfg Config) *Result {
-	cfg = cfg.withDefaults()
-	r := rand.New(rand.NewSource(cfg.Seed))
-
-	// Build the selection universe and the test set.
-	all := r.Perm(pool.Len())
-	var testIdx, universe []int
-	switch cfg.Mode {
-	case HeldOut:
-		cut := int(float64(pool.Len()) * cfg.HoldoutFrac)
-		testIdx, universe = all[:cut], all[cut:]
-	default:
-		testIdx = make([]int, pool.Len())
-		for i := range testIdx {
-			testIdx[i] = i
-		}
-		universe = all
+	s, err := NewSession(pool, learner, sel, o, cfg)
+	if err != nil {
+		panic(err)
 	}
-	maxLabels := cfg.MaxLabels
-	if maxLabels <= 0 || maxLabels > len(universe) {
-		maxLabels = len(universe)
-	}
-
-	// Initial seed sample. If a single class comes back, keep drawing
-	// batches until both classes are present (a degenerate training set
-	// cannot bootstrap any learner).
-	labeled := make([]int, 0, maxLabels)
-	labels := make([]bool, 0, maxLabels)
-	unlabeled := append([]int(nil), universe...)
-	take := func(k int) []int {
-		if k > len(unlabeled) {
-			k = len(unlabeled)
-		}
-		out := unlabeled[:k]
-		unlabeled = unlabeled[k:]
-		return out
-	}
-	for _, i := range take(min(cfg.SeedLabels, maxLabels)) {
-		labeled = append(labeled, i)
-		labels = append(labels, o.Label(pool.Pairs[i]))
-	}
-	for !bothClasses(labels) && len(unlabeled) > 0 && len(labeled) < maxLabels {
-		for _, i := range take(cfg.BatchSize) {
-			labeled = append(labeled, i)
-			labels = append(labels, o.Label(pool.Pairs[i]))
-		}
-	}
-
-	res := &Result{TestSize: len(testIdx)}
-	var prevPred []bool
-	stableIters := 0
-	stabilityEps := cfg.StabilityEpsilon
-	if stabilityEps == 0 {
-		stabilityEps = 0.002
-	}
-	for {
-		// Train on the cumulative labeled set (timed).
-		trainX := make([]feature.Vector, len(labeled))
-		trainY := make([]bool, len(labeled))
-		for j, i := range labeled {
-			trainX[j] = pool.X[i]
-			trainY[j] = labels[j]
-		}
-		start := time.Now()
-		learner.Train(trainX, trainY)
-		trainTime := time.Since(start)
-
-		// Evaluate on the test universe (prediction is read-only on every
-		// learner, so it parallelizes safely).
-		pred := parallelPredict(learner.Predict, pool, testIdx)
-		truth := make([]bool, len(testIdx))
-		for j, i := range testIdx {
-			truth[j] = pool.Truth[i]
-		}
-		conf := eval.Evaluate(pred, truth)
-		pt := eval.Point{
-			Labels:    len(labeled),
-			F1:        conf.F1(),
-			Precision: conf.Precision(),
-			Recall:    conf.Recall(),
-			TrainTime: trainTime,
-		}
-
-		// Select the next batch (selector records its own latencies).
-		ctx := &SelectContext{
-			Learner: learner, Pool: pool,
-			LabeledIdx: labeled, Labels: labels,
-			Unlabeled: unlabeled, Rand: r,
-		}
-		// Ground-truth-free stability stop: track prediction churn.
-		if cfg.StabilityWindow > 0 {
-			if prevPred != nil {
-				flips := 0
-				for j := range pred {
-					if pred[j] != prevPred[j] {
-						flips++
-					}
-				}
-				if float64(flips) <= stabilityEps*float64(len(pred)) {
-					stableIters++
-				} else {
-					stableIters = 0
-				}
-			}
-			prevPred = pred
-		}
-
-		var batch []int
-		done := len(labeled) >= maxLabels || len(unlabeled) == 0 ||
-			(cfg.TargetF1 > 0 && pt.F1 >= cfg.TargetF1) ||
-			(cfg.StabilityWindow > 0 && stableIters >= cfg.StabilityWindow)
-		if !done {
-			k := min(cfg.BatchSize, maxLabels-len(labeled))
-			batch = sel.Select(ctx, k)
-			done = len(batch) == 0
-		}
-		pt.CommitteeCreateTime = ctx.CommitteeCreate
-		pt.ScoreTime = ctx.Score
-		if cfg.OnIteration != nil {
-			cfg.OnIteration(learner, &pt)
-		}
-		res.Curve = append(res.Curve, pt)
-		if done {
-			break
-		}
-
-		// Query the Oracle and move the batch into the labeled set.
-		inBatch := make(map[int]struct{}, len(batch))
-		for _, i := range batch {
-			inBatch[i] = struct{}{}
-			labeled = append(labeled, i)
-			labels = append(labels, o.Label(pool.Pairs[i]))
-		}
-		next := unlabeled[:0]
-		for _, i := range unlabeled {
-			if _, ok := inBatch[i]; !ok {
-				next = append(next, i)
-			}
-		}
-		unlabeled = next
-	}
-	res.LabelsUsed = len(labeled)
+	res, _ := s.Run(context.Background())
 	return res
 }
 
+// parallelPredictCutoff is the test-universe size below which parallel
+// prediction is not worth the goroutine fan-out and the serial path is
+// taken instead.
+const parallelPredictCutoff = 256
+
+// cancelCheckStride bounds how many predictions a worker makes between
+// context checks, so cancellation latency stays small without paying a
+// per-prediction context read.
+const cancelCheckStride = 64
+
 // parallelPredict evaluates predict over pool.X[idx...] with one worker
 // per CPU, preserving order. Learner Predict methods only read model
-// state, so concurrent evaluation is safe.
-func parallelPredict(predict func(feature.Vector) bool, pool *Pool, idx []int) []bool {
+// state, so concurrent evaluation is safe. Cancelling ctx makes every
+// worker stop within cancelCheckStride predictions; the partial output
+// is discarded and ctx's error returned.
+func parallelPredict(ctx context.Context, predict func(feature.Vector) bool, pool *Pool, idx []int) ([]bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]bool, len(idx))
 	nWorkers := runtime.GOMAXPROCS(0)
-	if len(idx) < 256 || nWorkers == 1 {
+	if len(idx) < parallelPredictCutoff || nWorkers == 1 {
 		for j, i := range idx {
+			if j%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			out[j] = predict(pool.X[i])
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	chunk := (len(idx) + nWorkers - 1) / nWorkers
@@ -250,12 +194,18 @@ func parallelPredict(predict func(feature.Vector) bool, pool *Pool, idx []int) [
 		go func(lo, hi int) {
 			defer wg.Done()
 			for j := lo; j < hi; j++ {
+				if (j-lo)%cancelCheckStride == 0 && ctx.Err() != nil {
+					return
+				}
 				out[j] = predict(pool.X[idx[j]])
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func bothClasses(labels []bool) bool {

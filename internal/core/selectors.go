@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -15,6 +16,13 @@ import (
 // tie-breaking. Selectors write their latency breakdown into it, matching
 // the §3 latency metric (committee creation vs example scoring).
 type SelectContext struct {
+	// Ctx, when non-nil, carries the run's cancellation signal. Slow
+	// selectors (QBC's committee training, large scoring sweeps) should
+	// poll Cancelled and bail out with a nil batch; the engine discards
+	// the batch of a cancelled iteration, so a partial result is never
+	// recorded.
+	Ctx context.Context
+
 	Learner    Learner
 	Pool       *Pool
 	LabeledIdx []int
@@ -25,6 +33,13 @@ type SelectContext struct {
 	// Filled by Select.
 	CommitteeCreate time.Duration
 	Score           time.Duration
+}
+
+// Cancelled reports whether the run's context has been cancelled. It is
+// nil-safe so selectors work unchanged when invoked without an engine
+// (direct Select calls in tests pass no context).
+func (ctx *SelectContext) Cancelled() bool {
+	return ctx.Ctx != nil && ctx.Ctx.Err() != nil
 }
 
 // Selector is the example-selector component of Fig. 2. Select returns up
@@ -92,6 +107,10 @@ func (q QBC) Select(ctx *SelectContext, k int) []int {
 	committee := make([]Learner, q.B)
 	n := len(ctx.LabeledIdx)
 	for b := 0; b < q.B; b++ {
+		if ctx.Cancelled() {
+			ctx.CommitteeCreate = time.Since(start)
+			return nil
+		}
 		X := make([]feature.Vector, 0, n)
 		y := make([]bool, 0, n)
 		for i := 0; i < n; i++ {
@@ -109,6 +128,10 @@ func (q QBC) Select(ctx *SelectContext, k int) []int {
 	start = time.Now()
 	variance := make([]float64, len(ctx.Unlabeled))
 	for j, i := range ctx.Unlabeled {
+		if j%cancelCheckStride == 0 && ctx.Cancelled() {
+			ctx.Score = time.Since(start)
+			return nil
+		}
 		pos := 0
 		for _, m := range committee {
 			if m.Predict(ctx.Pool.X[i]) {

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"github.com/alem/alem/internal/eval"
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/oracle"
+)
+
+// Session is the active-learning loop of Fig. 1a decomposed into explicit
+// phases — seed, train, evaluate, select, label — with three cross-cutting
+// capabilities the monolithic core.Run never had:
+//
+//   - cancellation: Run and Step honor a context.Context, checked at every
+//     phase boundary, inside parallel prediction, before every Oracle
+//     query, and (via SelectContext.Ctx) inside the slow selectors, so a
+//     run aborts within one iteration without losing its partial curve;
+//   - observation: a typed event stream (Observer) reports phase
+//     transitions with per-phase timings while the run is in flight;
+//   - checkpointing: Snapshot/Restore serialize the labeled set, RNG
+//     position and stability counters so long runs survive restarts (see
+//     snapshot.go).
+//
+// A Session produces bit-identical curves to the core.Run it replaces:
+// the engine draws from the same RNG in the same order, and core.Run is
+// now a thin wrapper over it.
+//
+// A Session is single-use: construct with NewSession (or Restore), drive
+// with Run or Step, then read Result. It is not safe for concurrent use;
+// run concurrent sessions instead (they share nothing).
+type Session struct {
+	pool    *Pool
+	learner Learner
+	sel     Selector
+	oracle  oracle.Oracle
+	cfg     Config
+
+	src *countingSource
+	rng *rand.Rand
+
+	observers []Observer
+
+	// Universe split and labeled-set bookkeeping, valid after the seed
+	// phase.
+	maxLabels int
+	testIdx   []int
+	labeled   []int
+	labels    []bool
+	unlabeled []int
+
+	seeded      bool
+	iter        int
+	prevPred    []bool
+	stableIters int
+
+	res    *Result
+	reason StopReason
+	done   bool
+	err    error
+}
+
+// NewSession validates the config and prepares a session. No Oracle
+// queries are issued until the first Run or Step call (the seed phase is
+// lazy), so construction is side-effect free.
+func NewSession(pool *Pool, learner Learner, sel Selector, o oracle.Oracle, cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	src := newCountingSource(cfg.Seed)
+	return &Session{
+		pool:    pool,
+		learner: learner,
+		sel:     sel,
+		oracle:  o,
+		cfg:     cfg,
+		src:     src,
+		rng:     rand.New(src),
+		res:     &Result{},
+	}, nil
+}
+
+// AddObserver subscribes obs to the session's event stream. Call before
+// Run/Step; events already emitted are not replayed.
+func (s *Session) AddObserver(obs ...Observer) {
+	s.observers = append(s.observers, obs...)
+}
+
+func (s *Session) emit(e Event) {
+	for _, o := range s.observers {
+		o.Observe(e)
+	}
+}
+
+// Result returns the run's (possibly partial) outcome. The curve holds
+// one point per completed iteration; LabelsUsed is only set once the run
+// has finished or been cancelled.
+func (s *Session) Result() *Result { return s.res }
+
+// Reason returns why the run stopped (StopNone while still running).
+func (s *Session) Reason() StopReason { return s.reason }
+
+// Done reports whether the run has terminated.
+func (s *Session) Done() bool { return s.done }
+
+// Run drives the session to completion: seed once, then iterate
+// train→evaluate→select→label until a stopping criterion fires. On
+// cancellation it returns the partial Result together with the context's
+// error; the session remains snapshottable, so the curve is not lost.
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	for {
+		done, err := s.Step(ctx)
+		if done || err != nil {
+			return s.res, err
+		}
+	}
+}
+
+// Step executes the seed phase if needed, then exactly one
+// train→evaluate→select→label iteration. It returns done=true once a
+// stopping criterion fires (calling Step again is a no-op). Snapshots
+// taken between Step calls are exact checkpoints.
+func (s *Session) Step(ctx context.Context) (bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.done {
+		return true, s.err
+	}
+	if !s.seeded {
+		if err := s.seedPhase(ctx); err != nil {
+			return true, err
+		}
+	}
+
+	s.emit(IterationStart{
+		Iteration:     s.iter,
+		LabelsUsed:    len(s.labeled),
+		PoolRemaining: len(s.unlabeled),
+	})
+	if err := ctx.Err(); err != nil {
+		return true, s.cancel(err)
+	}
+
+	trainTime := s.trainPhase()
+	s.emit(TrainDone{Iteration: s.iter, Labels: len(s.labeled), Elapsed: trainTime})
+	if err := ctx.Err(); err != nil {
+		return true, s.cancel(err)
+	}
+
+	pt, pred, err := s.evalPhase(ctx, trainTime)
+	if err != nil {
+		return true, s.cancel(err)
+	}
+
+	// Ground-truth-free stability stop: track prediction churn.
+	if s.cfg.StabilityWindow > 0 {
+		if s.prevPred != nil {
+			flips := 0
+			for j := range pred {
+				if pred[j] != s.prevPred[j] {
+					flips++
+				}
+			}
+			if float64(flips) <= s.cfg.StabilityEpsilon*float64(len(pred)) {
+				s.stableIters++
+			} else {
+				s.stableIters = 0
+			}
+		}
+		s.prevPred = pred
+	}
+
+	batch, reason := s.selectPhase(ctx, &pt)
+	if err := ctx.Err(); err != nil {
+		// Cancelled inside the selector: the iteration is incomplete, so
+		// its point is not recorded.
+		return true, s.cancel(err)
+	}
+	if s.cfg.OnIteration != nil {
+		s.cfg.OnIteration(s.learner, &pt)
+	}
+	s.res.Curve = append(s.res.Curve, pt)
+	if reason != StopNone {
+		s.finish(reason, nil)
+		return true, nil
+	}
+	s.emit(BatchSelected{
+		Iteration:       s.iter,
+		Batch:           batch,
+		CommitteeCreate: pt.CommitteeCreateTime,
+		Score:           pt.ScoreTime,
+	})
+
+	if err := s.labelPhase(ctx, batch); err != nil {
+		return true, s.cancel(err)
+	}
+	s.iter++
+	return false, nil
+}
+
+// seedPhase builds the selection universe and draws the initial labeled
+// sample. If a single class comes back, it keeps drawing batches until
+// both classes are present (a degenerate training set cannot bootstrap
+// any learner); each extra draw is clamped to the remaining budget so the
+// bootstrap can never overshoot MaxLabels.
+func (s *Session) seedPhase(ctx context.Context) error {
+	all := s.rng.Perm(s.pool.Len())
+	var universe []int
+	switch s.cfg.Mode {
+	case HeldOut:
+		cut := int(float64(s.pool.Len()) * s.cfg.HoldoutFrac)
+		s.testIdx, universe = all[:cut], all[cut:]
+	default:
+		s.testIdx = make([]int, s.pool.Len())
+		for i := range s.testIdx {
+			s.testIdx[i] = i
+		}
+		universe = all
+	}
+	s.maxLabels = s.cfg.MaxLabels
+	if s.maxLabels <= 0 || s.maxLabels > len(universe) {
+		s.maxLabels = len(universe)
+	}
+	s.labeled = make([]int, 0, s.maxLabels)
+	s.labels = make([]bool, 0, s.maxLabels)
+	s.unlabeled = append([]int(nil), universe...)
+	s.res.TestSize = len(s.testIdx)
+	s.seeded = true
+
+	if err := s.labelFront(ctx, min(s.cfg.SeedLabels, s.maxLabels)); err != nil {
+		return s.cancel(err)
+	}
+	for !bothClasses(s.labels) && len(s.unlabeled) > 0 && len(s.labeled) < s.maxLabels {
+		if err := s.labelFront(ctx, min(s.cfg.BatchSize, s.maxLabels-len(s.labeled))); err != nil {
+			return s.cancel(err)
+		}
+	}
+	return nil
+}
+
+// labelFront labels the next k unlabeled examples in universe order,
+// checking the context before every Oracle query.
+func (s *Session) labelFront(ctx context.Context, k int) error {
+	if k > len(s.unlabeled) {
+		k = len(s.unlabeled)
+	}
+	for j := 0; j < k; j++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		i := s.unlabeled[0]
+		s.unlabeled = s.unlabeled[1:]
+		s.labeled = append(s.labeled, i)
+		s.labels = append(s.labels, s.oracle.Label(s.pool.Pairs[i]))
+	}
+	return nil
+}
+
+// trainPhase retrains the learner from scratch on the cumulative labeled
+// set (the benchmark's retrain protocol) and returns the wall time.
+func (s *Session) trainPhase() time.Duration {
+	trainX, trainY := gatherTraining(s.pool, s.labeled, s.labels, len(s.labeled))
+	start := time.Now()
+	s.learner.Train(trainX, trainY)
+	return time.Since(start)
+}
+
+// evalPhase predicts over the test universe in parallel and scores the
+// confusion matrix.
+func (s *Session) evalPhase(ctx context.Context, trainTime time.Duration) (eval.Point, []bool, error) {
+	start := time.Now()
+	pred, err := parallelPredict(ctx, s.learner.Predict, s.pool, s.testIdx)
+	if err != nil {
+		return eval.Point{}, nil, err
+	}
+	pt := evalPoint(s.pool, s.testIdx, pred, len(s.labeled), trainTime)
+	s.emit(EvalDone{Iteration: s.iter, Point: pt, Elapsed: time.Since(start)})
+	return pt, pred, nil
+}
+
+// selectPhase checks the stopping criteria and, if the run continues,
+// asks the selector for the next batch. It writes the selector's latency
+// breakdown into pt and returns the stop reason (StopNone to continue).
+func (s *Session) selectPhase(ctx context.Context, pt *eval.Point) ([]int, StopReason) {
+	sctx := &SelectContext{
+		Ctx:     ctx,
+		Learner: s.learner, Pool: s.pool,
+		LabeledIdx: s.labeled, Labels: s.labels,
+		Unlabeled: s.unlabeled, Rand: s.rng,
+	}
+	var batch []int
+	reason := StopNone
+	switch {
+	case len(s.labeled) >= s.maxLabels:
+		reason = StopBudget
+	case len(s.unlabeled) == 0:
+		reason = StopPoolExhausted
+	case s.cfg.TargetF1 > 0 && pt.F1 >= s.cfg.TargetF1:
+		reason = StopTargetF1
+	case s.cfg.StabilityWindow > 0 && s.stableIters >= s.cfg.StabilityWindow:
+		reason = StopStability
+	default:
+		k := min(s.cfg.BatchSize, s.maxLabels-len(s.labeled))
+		batch = s.sel.Select(sctx, k)
+		if len(batch) == 0 {
+			reason = StopSelectorEmpty
+		}
+	}
+	pt.CommitteeCreateTime = sctx.CommitteeCreate
+	pt.ScoreTime = sctx.Score
+	return batch, reason
+}
+
+// labelPhase queries the Oracle for the batch and moves it into the
+// labeled set. The context is checked before every query; on
+// cancellation the already-labeled prefix stays consistent (removed from
+// the unlabeled pool) so the session remains snapshottable.
+func (s *Session) labelPhase(ctx context.Context, batch []int) error {
+	taken := 0
+	var err error
+	for _, i := range batch {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		s.labeled = append(s.labeled, i)
+		s.labels = append(s.labels, s.oracle.Label(s.pool.Pairs[i]))
+		taken++
+	}
+	removeFromPool(&s.unlabeled, batch[:taken])
+	return err
+}
+
+func (s *Session) finish(reason StopReason, err error) {
+	s.done = true
+	s.reason = reason
+	s.err = err
+	s.res.LabelsUsed = len(s.labeled)
+	s.res.Reason = reason
+	s.emit(RunEnd{
+		Iterations: len(s.res.Curve),
+		LabelsUsed: s.res.LabelsUsed,
+		Reason:     reason,
+		Err:        err,
+	})
+}
+
+func (s *Session) cancel(err error) error {
+	s.finish(StopCancelled, err)
+	return err
+}
+
+// ---- shared phase helpers (used by Session and RunEnsemble) ----
+
+// gatherTraining copies the labeled set's vectors and labels into
+// training slices. n caps the prefix taken (Restore replays historical
+// prefixes; live phases pass len(labeled)).
+func gatherTraining(pool *Pool, labeled []int, labels []bool, n int) ([]feature.Vector, []bool) {
+	trainX := make([]feature.Vector, n)
+	trainY := make([]bool, n)
+	for j := 0; j < n; j++ {
+		trainX[j] = pool.X[labeled[j]]
+		trainY[j] = labels[j]
+	}
+	return trainX, trainY
+}
+
+// evalPoint scores predictions over the test universe into a curve point.
+func evalPoint(pool *Pool, testIdx []int, pred []bool, labels int, trainTime time.Duration) eval.Point {
+	truth := make([]bool, len(testIdx))
+	for j, i := range testIdx {
+		truth[j] = pool.Truth[i]
+	}
+	conf := eval.Evaluate(pred, truth)
+	return eval.Point{
+		Labels:    labels,
+		F1:        conf.F1(),
+		Precision: conf.Precision(),
+		Recall:    conf.Recall(),
+		TrainTime: trainTime,
+	}
+}
+
+// removeFromPool deletes the batch's indices from the unlabeled pool,
+// preserving order.
+func removeFromPool(unlabeled *[]int, batch []int) {
+	if len(batch) == 0 {
+		return
+	}
+	inBatch := make(map[int]struct{}, len(batch))
+	for _, i := range batch {
+		inBatch[i] = struct{}{}
+	}
+	next := (*unlabeled)[:0]
+	for _, i := range *unlabeled {
+		if _, ok := inBatch[i]; !ok {
+			next = append(next, i)
+		}
+	}
+	*unlabeled = next
+}
+
+// ---- serializable RNG ----
+
+// countingSource wraps the standard math/rand source with draw counters,
+// making the RNG position serializable: a Snapshot records how many
+// values were drawn, and Restore replays that many draws on a fresh
+// source with the same seed. Every draw advances the underlying state
+// exactly once, so the replayed source is state-identical — and because
+// the wrapped source is rand.NewSource itself, Session runs are
+// bit-identical to the old core.Run.
+type countingSource struct {
+	src      rand.Source64
+	n63, n64 uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: asSource64(rand.NewSource(seed))}
+}
+
+// Int63 implements rand.Source.
+func (c *countingSource) Int63() int64 {
+	c.n63++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *countingSource) Uint64() uint64 {
+	c.n64++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source.
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n63, c.n64 = 0, 0
+}
+
+// replay advances a freshly seeded source to a snapshotted position. The
+// final state depends only on the number of draws of each kind, not on
+// how they were interleaved.
+func (c *countingSource) replay(n63, n64 uint64) {
+	for i := uint64(0); i < n63; i++ {
+		c.src.Int63()
+	}
+	for i := uint64(0); i < n64; i++ {
+		c.src.Uint64()
+	}
+	c.n63, c.n64 = n63, n64
+}
+
+// asSource64 upgrades a rand.Source to rand.Source64. rand.NewSource has
+// returned a Source64 since Go 1.8; the shim covers hypothetical plain
+// sources.
+func asSource64(src rand.Source) rand.Source64 {
+	if s64, ok := src.(rand.Source64); ok {
+		return s64
+	}
+	return int63Source{src}
+}
+
+type int63Source struct{ rand.Source }
+
+func (s int63Source) Uint64() uint64 {
+	return uint64(s.Int63())>>31 | uint64(s.Int63())<<32
+}

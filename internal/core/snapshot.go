@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/alem/alem/internal/eval"
+	"github.com/alem/alem/internal/oracle"
+)
+
+// Snapshot is a serializable checkpoint of a Session: the labeled set,
+// the RNG position (draw counters over the seeded source), the stability
+// counters and the curve so far. A snapshot is always a consistent,
+// resumable state; one taken between Step calls (or after a run cancelled
+// at a phase boundary) is exact — Restore followed by Run produces the
+// same curve the uninterrupted run would have — because
+//
+//   - the RNG is replayed draw-for-draw on the same seed,
+//   - the learner is retrained on every historical labeled prefix (the
+//     curve records each iteration's training-set size), reproducing both
+//     its model state and its internal RNG position under the benchmark's
+//     retrain-from-scratch protocol.
+//
+// The one exception is a run cancelled mid-way through labeling a batch:
+// the already-paid Oracle labels are kept (they cost money; rolling them
+// back would discard them), so the resumed run continues from a labeled
+// set the uninterrupted run never had — a consistent but different
+// trajectory.
+//
+// The pool, learner, selector and Oracle are wiring, not state: Restore
+// takes them as arguments. Pass a learner freshly constructed with the
+// same constructor seed as the original; a Noisy Oracle keeps its own
+// RNG, which is outside the snapshot's scope.
+type Snapshot struct {
+	// Config is the run's protocol with defaults applied. OnIteration is
+	// a function and is not serialized; re-set it after Restore if used.
+	Config Config `json:"config"`
+	// Draws63 and Draws64 are the RNG draw counters.
+	Draws63 uint64 `json:"draws63"`
+	Draws64 uint64 `json:"draws64"`
+	// Seeded records whether the seed phase has run.
+	Seeded    bool `json:"seeded"`
+	Iteration int  `json:"iteration"`
+	MaxLabels int  `json:"max_labels"`
+	// TestIdx is the evaluation universe; Labeled/Labels/Unlabeled are
+	// the labeled-set bookkeeping, in draw order.
+	TestIdx   []int  `json:"test_idx"`
+	Labeled   []int  `json:"labeled"`
+	Labels    []bool `json:"labels"`
+	Unlabeled []int  `json:"unlabeled"`
+	// PrevPred and StableIters are the stability-stop counters.
+	PrevPred    []bool `json:"prev_pred,omitempty"`
+	StableIters int    `json:"stable_iters"`
+	// Curve is the partial learning curve.
+	Curve eval.Curve `json:"curve"`
+}
+
+// Snapshot captures the session's current state. Call between Step
+// invocations (or after Run returned, cancelled or not) for an exact
+// checkpoint; the receiver keeps running independently afterwards.
+func (s *Session) Snapshot() *Snapshot {
+	return &Snapshot{
+		Config:      s.cfg,
+		Draws63:     s.src.n63,
+		Draws64:     s.src.n64,
+		Seeded:      s.seeded,
+		Iteration:   s.iter,
+		MaxLabels:   s.maxLabels,
+		TestIdx:     append([]int(nil), s.testIdx...),
+		Labeled:     append([]int(nil), s.labeled...),
+		Labels:      append([]bool(nil), s.labels...),
+		Unlabeled:   append([]int(nil), s.unlabeled...),
+		PrevPred:    append([]bool(nil), s.prevPred...),
+		StableIters: s.stableIters,
+		Curve:       append(eval.Curve(nil), s.res.Curve...),
+	}
+}
+
+// Encode serializes the snapshot as JSON.
+func (sn *Snapshot) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sn)
+}
+
+// ReadSnapshot deserializes a snapshot written by Encode.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var sn Snapshot
+	if err := json.NewDecoder(r).Decode(&sn); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot: %w", err)
+	}
+	return &sn, nil
+}
+
+// Restore rebuilds a Session from a snapshot so an interrupted run can
+// continue where it left off. The learner must be freshly constructed
+// with the same constructor seed as the original run's; Restore replays
+// every historical training on it (one per curve point, on the recorded
+// labeled prefix), which reproduces the learner's model and internal RNG
+// state exactly — see Snapshot for why the resumed curve is then
+// identical to an uninterrupted run.
+func Restore(pool *Pool, learner Learner, sel Selector, o oracle.Oracle, sn *Snapshot) (*Session, error) {
+	if err := sn.validate(pool); err != nil {
+		return nil, err
+	}
+	s, err := NewSession(pool, learner, sel, o, sn.Config)
+	if err != nil {
+		return nil, err
+	}
+	s.src.replay(sn.Draws63, sn.Draws64)
+	s.seeded = sn.Seeded
+	s.iter = sn.Iteration
+	s.maxLabels = sn.MaxLabels
+	s.testIdx = append([]int(nil), sn.TestIdx...)
+	s.labeled = append([]int(nil), sn.Labeled...)
+	s.labels = append([]bool(nil), sn.Labels...)
+	s.unlabeled = append([]int(nil), sn.Unlabeled...)
+	s.prevPred = append([]bool(nil), sn.PrevPred...)
+	s.stableIters = sn.StableIters
+	s.res.Curve = append(eval.Curve(nil), sn.Curve...)
+	s.res.TestSize = len(s.testIdx)
+
+	// Replay historical trainings: iteration i trained on the first
+	// Curve[i].Labels draws of the labeled set (labels are cumulative and
+	// append-only, so the prefix is the exact historical training set).
+	for _, pt := range sn.Curve {
+		trainX, trainY := gatherTraining(pool, s.labeled, s.labels, pt.Labels)
+		learner.Train(trainX, trainY)
+	}
+	return s, nil
+}
+
+// validate rejects snapshots that are internally inconsistent or do not
+// fit the pool they are being restored against.
+func (sn *Snapshot) validate(pool *Pool) error {
+	if len(sn.Labeled) != len(sn.Labels) {
+		return fmt.Errorf("core: snapshot labeled/labels length mismatch: %d vs %d",
+			len(sn.Labeled), len(sn.Labels))
+	}
+	for _, idx := range [][]int{sn.Labeled, sn.Unlabeled, sn.TestIdx} {
+		for _, i := range idx {
+			if i < 0 || i >= pool.Len() {
+				return fmt.Errorf("core: snapshot index %d outside pool of %d pairs", i, pool.Len())
+			}
+		}
+	}
+	for _, pt := range sn.Curve {
+		if pt.Labels > len(sn.Labeled) {
+			return fmt.Errorf("core: snapshot curve point trained on %d labels but only %d are recorded",
+				pt.Labels, len(sn.Labeled))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package diag
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/alem/alem/internal/core"
+)
+
+// EventLog is a core.Observer that renders a Session's event stream as a
+// human-readable, timestamped trace — the diagnostic companion to the
+// live progress lines in the CLIs. One line per event, relative
+// timestamps since the log was created, so a slow phase is visible as a
+// gap between its start and done lines.
+//
+// EventLog serializes writes with a mutex, so one log may observe
+// several concurrent runs (interleaved lines, consistent formatting).
+type EventLog struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	now   func() time.Time
+}
+
+// NewEventLog returns an EventLog writing to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return newEventLog(w, time.Now)
+}
+
+// newEventLog injects the clock for deterministic tests.
+func newEventLog(w io.Writer, now func() time.Time) *EventLog {
+	return &EventLog{w: w, start: now(), now: now}
+}
+
+// Observe implements core.Observer.
+func (l *EventLog) Observe(e core.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	elapsed := l.now().Sub(l.start).Round(time.Millisecond)
+	switch ev := e.(type) {
+	case core.IterationStart:
+		fmt.Fprintf(l.w, "[%8s] iter %3d  start      labels=%d pool=%d\n",
+			elapsed, ev.Iteration, ev.LabelsUsed, ev.PoolRemaining)
+	case core.TrainDone:
+		fmt.Fprintf(l.w, "[%8s] iter %3d  train      n=%d in %s\n",
+			elapsed, ev.Iteration, ev.Labels, ev.Elapsed.Round(time.Microsecond))
+	case core.EvalDone:
+		fmt.Fprintf(l.w, "[%8s] iter %3d  eval       F1=%.4f P=%.4f R=%.4f in %s\n",
+			elapsed, ev.Iteration, ev.Point.F1, ev.Point.Precision, ev.Point.Recall,
+			ev.Elapsed.Round(time.Microsecond))
+	case core.BatchSelected:
+		fmt.Fprintf(l.w, "[%8s] iter %3d  select     batch=%d committee=%s score=%s\n",
+			elapsed, ev.Iteration, len(ev.Batch),
+			ev.CommitteeCreate.Round(time.Microsecond), ev.Score.Round(time.Microsecond))
+	case core.CandidateAccepted:
+		fmt.Fprintf(l.w, "[%8s] iter %3d  ensemble   accepted classifier #%d\n",
+			elapsed, ev.Iteration, ev.Accepted)
+	case core.RunEnd:
+		fmt.Fprintf(l.w, "[%8s] run end: %s after %d iterations, %d labels\n",
+			elapsed, ev.Reason, ev.Iterations, ev.LabelsUsed)
+	default:
+		fmt.Fprintf(l.w, "[%8s] %T%+v\n", elapsed, e, e)
+	}
+}

@@ -1,0 +1,39 @@
+package eval
+
+// CurveBuilder accumulates Points into a Curve incrementally, one
+// iteration at a time. It is the eval-side adapter for the core engine's
+// event stream (core.NewCurveObserver feeds it every EvalDone point), but
+// works equally for any producer that measures iterations as they happen:
+// the builder gives consumers a live view of the curve — BestF1,
+// convergence labels — while the run is still in flight.
+//
+// The zero value is ready to use. A CurveBuilder is not safe for
+// concurrent use; the engine calls observers synchronously, so none is
+// needed there.
+type CurveBuilder struct {
+	curve Curve
+}
+
+// Add appends one iteration's measurement.
+func (b *CurveBuilder) Add(p Point) {
+	b.curve = append(b.curve, p)
+}
+
+// Len reports how many points have been added.
+func (b *CurveBuilder) Len() int {
+	return len(b.curve)
+}
+
+// Curve returns a copy of the accumulated curve, safe to retain across
+// further Add calls.
+func (b *CurveBuilder) Curve() Curve {
+	return append(Curve(nil), b.curve...)
+}
+
+// Last returns the most recent point, or a zero Point when empty.
+func (b *CurveBuilder) Last() Point {
+	if len(b.curve) == 0 {
+		return Point{}
+	}
+	return b.curve[len(b.curve)-1]
+}

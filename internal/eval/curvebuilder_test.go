@@ -1,0 +1,34 @@
+package eval
+
+import "testing"
+
+func TestCurveBuilder(t *testing.T) {
+	var b CurveBuilder
+	if b.Len() != 0 {
+		t.Fatalf("zero builder has %d points", b.Len())
+	}
+	if got := b.Last(); got != (Point{}) {
+		t.Fatalf("empty Last = %+v, want zero Point", got)
+	}
+	b.Add(Point{Labels: 30, F1: 0.5})
+	b.Add(Point{Labels: 40, F1: 0.7})
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if got := b.Last(); got.Labels != 40 || got.F1 != 0.7 {
+		t.Fatalf("Last = %+v", got)
+	}
+	// Curve methods work on the accumulated prefix mid-run.
+	if got := b.Curve().BestF1(); got != 0.7 {
+		t.Fatalf("BestF1 = %v, want 0.7", got)
+	}
+	// The returned curve is a copy: later Adds must not alias into it.
+	snapshot := b.Curve()
+	b.Add(Point{Labels: 50, F1: 0.9})
+	if len(snapshot) != 2 {
+		t.Fatal("Curve() result grew after a later Add")
+	}
+	if b.Len() != 3 || b.Curve().FinalF1() != 0.9 {
+		t.Fatalf("builder state after third Add: len=%d final=%v", b.Len(), b.Curve().FinalF1())
+	}
+}

@@ -33,7 +33,7 @@ func AblationCommittee(opts Options) (*Report, error) {
 		Headers: []string{"B", "best F1", "#labels to converge", "total committee-creation (ms)"},
 	}
 	for _, b := range []int{2, 5, 10, 20, 40} {
-		res := core.Run(pool, svmFactory(opts.Seed), core.QBC{B: b, Factory: svmFactory},
+		res := runApproach(opts, pool, svmFactory(opts.Seed), core.QBC{B: b, Factory: svmFactory},
 			perfectOracle(d), mkCfg(opts))
 		var cc float64
 		for _, p := range res.Curve {
@@ -64,7 +64,7 @@ func AblationBatch(opts Options) (*Report, error) {
 	for _, batch := range []int{1, 5, 10, 25, 50} {
 		cfg := mkCfg(opts)
 		cfg.BatchSize = batch
-		res := core.Run(pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
+		res := runApproach(opts, pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
 		r.Rows = append(r.Rows, []string{
 			fmt.Sprintf("%d", batch),
 			fmt.Sprintf("%.3f", res.Curve.BestF1()),
@@ -90,7 +90,7 @@ func AblationSeedSet(opts Options) (*Report, error) {
 	for _, seedSet := range []int{10, 30, 60, 120} {
 		cfg := mkCfg(opts)
 		cfg.SeedLabels = seedSet
-		res := core.Run(pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
+		res := runApproach(opts, pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
 		r.Rows = append(r.Rows, []string{
 			fmt.Sprintf("%d", seedSet),
 			fmt.Sprintf("%.3f", res.Curve.BestF1()),
@@ -116,7 +116,7 @@ func AblationTau(opts Options) (*Report, error) {
 			return nil, err
 		}
 		for _, tau := range []float64{0.7, 0.85, 0.95} {
-			ens := core.RunEnsemble(pool, perfectOracle(d), core.EnsembleConfig{
+			ens := runEnsembleApproach(opts, pool, perfectOracle(d), core.EnsembleConfig{
 				Config: mkCfg(opts), Tau: tau, Factory: svmFactory, Selector: core.Margin{},
 			})
 			r.Rows = append(r.Rows, []string{
@@ -146,7 +146,7 @@ func AblationBlockDims(opts Options) (*Report, error) {
 		Headers: []string{"K", "best F1", "total scoring (ms)"},
 	}
 	for _, k := range []int{1, 3, 10, dim} {
-		res := core.Run(pool, svmFactory(opts.Seed), core.BlockedMargin{TopK: k},
+		res := runApproach(opts, pool, svmFactory(opts.Seed), core.BlockedMargin{TopK: k},
 			perfectOracle(d), mkCfg(opts))
 		var sc float64
 		for _, p := range res.Curve {
@@ -177,7 +177,7 @@ func AblationTrees(opts Options) (*Report, error) {
 		Headers: []string{"#trees", "best F1", "#labels to converge", "total train (ms)"},
 	}
 	for _, nt := range []int{2, 5, 10, 20, 40} {
-		res := core.Run(pool, tree.NewForest(nt, opts.Seed), core.ForestQBC{}, perfectOracle(d), mkCfg(opts))
+		res := runApproach(opts, pool, tree.NewForest(nt, opts.Seed), core.ForestQBC{}, perfectOracle(d), mkCfg(opts))
 		var tt float64
 		for _, p := range res.Curve {
 			tt += float64(p.TrainTime.Milliseconds())
@@ -216,7 +216,7 @@ func AblationPlugin(opts Options) (*Report, error) {
 		{"QBC(10)", core.QBC{B: 10, Factory: nbFactory}},
 		{"random (supervised)", core.Random{}},
 	} {
-		res := core.Run(pool, bayes.New(), c.sel, perfectOracle(d), mkCfg(opts))
+		res := runApproach(opts, pool, bayes.New(), c.sel, perfectOracle(d), mkCfg(opts))
 		r.Rows = append(r.Rows, []string{
 			c.name,
 			fmt.Sprintf("%.3f", res.Curve.BestF1()),
@@ -252,7 +252,7 @@ func AblationIWAL(opts Options) (*Report, error) {
 		{"IWAL(pmin=0.1)", core.IWAL{PMin: 0.1}},
 		{"IWAL(pmin=0.3)", core.IWAL{PMin: 0.3}},
 	} {
-		res := core.Run(pool, svmFactory(opts.Seed), c.sel, perfectOracle(d), mkCfg(opts))
+		res := runApproach(opts, pool, svmFactory(opts.Seed), c.sel, perfectOracle(d), mkCfg(opts))
 		r.Rows = append(r.Rows, []string{
 			c.name,
 			fmt.Sprintf("%.3f", res.Curve.BestF1()),
@@ -287,11 +287,11 @@ func AblationFeatures(opts Options) (*Report, error) {
 		pool *core.Pool
 	}
 	for _, c := range []combo{{"standard-21", standard}, {"extended-25", extended}} {
-		res := core.Run(c.pool, svmFactory(opts.Seed), core.Margin{}, perfectOracle(d), mkCfg(opts))
+		res := runApproach(opts, c.pool, svmFactory(opts.Seed), core.Margin{}, perfectOracle(d), mkCfg(opts))
 		r.Rows = append(r.Rows, []string{c.name, "SVM-margin",
 			fmt.Sprintf("%.3f", res.Curve.BestF1()),
 			fmt.Sprintf("%d", res.Curve.ConvergenceLabels(0.01))})
-		res = core.Run(c.pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, perfectOracle(d), mkCfg(opts))
+		res = runApproach(opts, c.pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, perfectOracle(d), mkCfg(opts))
 		r.Rows = append(r.Rows, []string{c.name, "Trees(20)",
 			fmt.Sprintf("%.3f", res.Curve.BestF1()),
 			fmt.Sprintf("%d", res.Curve.ConvergenceLabels(0.01))})
@@ -323,7 +323,7 @@ func AblationTreeBlock(opts Options) (*Report, error) {
 		{"BlockedForestQBC(recall=0.95)", core.BlockedForestQBC{TargetRecall: 0.95}},
 		{"BlockedForestQBC(recall=0.8)", core.BlockedForestQBC{TargetRecall: 0.8}},
 	} {
-		res := core.Run(pool, tree.NewForest(20, opts.Seed), c.sel, perfectOracle(d), mkCfg(opts))
+		res := runApproach(opts, pool, tree.NewForest(20, opts.Seed), c.sel, perfectOracle(d), mkCfg(opts))
 		var sc float64
 		for _, p := range res.Curve {
 			sc += float64(p.ScoreTime.Microseconds()) / 1000
@@ -358,7 +358,7 @@ func AblationMajority(opts Options) (*Report, error) {
 			if k > 1 {
 				o = oracle.NewMajorityVote(o, k)
 			}
-			res := core.Run(pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, o, mkCfg(opts))
+			res := runApproach(opts, pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, o, mkCfg(opts))
 			r.Rows = append(r.Rows, []string{
 				fmt.Sprintf("%.0f%%", noise*100),
 				fmt.Sprintf("%d", k),
@@ -393,7 +393,7 @@ func AblationClassWeight(opts Options) (*Report, error) {
 			s.PosWeight = w
 			return s
 		}
-		res := core.Run(pool, factory(opts.Seed), core.Margin{}, perfectOracle(d), mkCfg(opts))
+		res := runApproach(opts, pool, factory(opts.Seed), core.Margin{}, perfectOracle(d), mkCfg(opts))
 		last := res.Curve[len(res.Curve)-1]
 		r.Rows = append(r.Rows, []string{
 			fmt.Sprintf("%.0f", w),
@@ -418,10 +418,10 @@ func AblationNNEnsemble(opts Options) (*Report, error) {
 		Title:   "Extension: active ensemble of neural networks (§5.2 sketch, Abt-Buy)",
 		Headers: []string{"approach", "best F1", "#accepted", "labels used"},
 	}
-	single := core.Run(pool, neural.NewNet(16, opts.Seed), core.Margin{}, perfectOracle(d), mkCfg(opts))
+	single := runApproach(opts, pool, neural.NewNet(16, opts.Seed), core.Margin{}, perfectOracle(d), mkCfg(opts))
 	r.Rows = append(r.Rows, []string{"single NN + margin",
 		fmt.Sprintf("%.3f", single.Curve.BestF1()), "-", fmt.Sprintf("%d", single.LabelsUsed)})
-	ens := core.RunEnsemble(pool, perfectOracle(d), core.EnsembleConfig{
+	ens := runEnsembleApproach(opts, pool, perfectOracle(d), core.EnsembleConfig{
 		Config: mkCfg(opts), Tau: 0.85,
 		Factory:  nnFactory(16),
 		Selector: core.Margin{},
@@ -449,13 +449,13 @@ func AblationStability(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		full := core.Run(pool, tree.NewForest(20, opts.Seed), core.ForestQBC{},
+		full := runApproach(opts, pool, tree.NewForest(20, opts.Seed), core.ForestQBC{},
 			perfectOracle(d), mkCfg(opts))
 		r.Rows = append(r.Rows, []string{ds, "full budget",
 			fmt.Sprintf("%.3f", full.Curve.FinalF1()), fmt.Sprintf("%d", full.LabelsUsed)})
 		cfg := mkCfg(opts)
 		cfg.StabilityWindow = 3
-		stopped := core.Run(pool, tree.NewForest(20, opts.Seed), core.ForestQBC{},
+		stopped := runApproach(opts, pool, tree.NewForest(20, opts.Seed), core.ForestQBC{},
 			perfectOracle(d), cfg)
 		r.Rows = append(r.Rows, []string{ds, "stability(3 iters)",
 			fmt.Sprintf("%.3f", stopped.Curve.FinalF1()), fmt.Sprintf("%d", stopped.LabelsUsed)})

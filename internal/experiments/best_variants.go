@@ -38,13 +38,13 @@ var (
 	apTrees20 = approach{"Trees(20)", func(ds string, opts Options) *core.Result {
 		return runCached(fmt.Sprintf("%s/trees20/%g/%d/%d", ds, opts.Scale, opts.Seed, opts.MaxLabels), func() *core.Result {
 			pool, d := mustPool(ds, floatPool, opts)
-			return core.Run(pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, perfectOracle(d), mkCfg(opts))
+			return runApproach(opts, pool, tree.NewForest(20, opts.Seed), core.ForestQBC{}, perfectOracle(d), mkCfg(opts))
 		})
 	}}
 	apLinearEnsemble = approach{"Linear-Margin(Ensemble)", func(ds string, opts Options) *core.Result {
 		return runCached(fmt.Sprintf("%s/linear-ens/%g/%d/%d", ds, opts.Scale, opts.Seed, opts.MaxLabels), func() *core.Result {
 			pool, d := mustPool(ds, floatPool, opts)
-			ens := core.RunEnsemble(pool, perfectOracle(d), core.EnsembleConfig{
+			ens := runEnsembleApproach(opts, pool, perfectOracle(d), core.EnsembleConfig{
 				Config: mkCfg(opts), Tau: 0.85, Factory: svmFactory, Selector: core.Margin{},
 			})
 			return &ens.Result
@@ -53,37 +53,37 @@ var (
 	apLinearBlocking = approach{"Linear-Margin(Blocking)", func(ds string, opts Options) *core.Result {
 		return runCached(fmt.Sprintf("%s/linear-1dim/%g/%d/%d", ds, opts.Scale, opts.Seed, opts.MaxLabels), func() *core.Result {
 			pool, d := mustPool(ds, floatPool, opts)
-			return core.Run(pool, svmFactory(opts.Seed), core.BlockedMargin{TopK: 1}, perfectOracle(d), mkCfg(opts))
+			return runApproach(opts, pool, svmFactory(opts.Seed), core.BlockedMargin{TopK: 1}, perfectOracle(d), mkCfg(opts))
 		})
 	}}
 	apLinearQBC2 = approach{"Linear-QBC(2)", func(ds string, opts Options) *core.Result {
 		return runCached(fmt.Sprintf("%s/linear-qbc2/%g/%d/%d", ds, opts.Scale, opts.Seed, opts.MaxLabels), func() *core.Result {
 			pool, d := mustPool(ds, floatPool, opts)
-			return core.Run(pool, svmFactory(opts.Seed), core.QBC{B: 2, Factory: svmFactory}, perfectOracle(d), mkCfg(opts))
+			return runApproach(opts, pool, svmFactory(opts.Seed), core.QBC{B: 2, Factory: svmFactory}, perfectOracle(d), mkCfg(opts))
 		})
 	}}
 	apLinearQBC20 = approach{"Linear-QBC(20)", func(ds string, opts Options) *core.Result {
 		return runCached(fmt.Sprintf("%s/linear-qbc20/%g/%d/%d", ds, opts.Scale, opts.Seed, opts.MaxLabels), func() *core.Result {
 			pool, d := mustPool(ds, floatPool, opts)
-			return core.Run(pool, svmFactory(opts.Seed), core.QBC{B: 20, Factory: svmFactory}, perfectOracle(d), mkCfg(opts))
+			return runApproach(opts, pool, svmFactory(opts.Seed), core.QBC{B: 20, Factory: svmFactory}, perfectOracle(d), mkCfg(opts))
 		})
 	}}
 	apNNMargin = approach{"Non-Convex Non-Linear-Margin", func(ds string, opts Options) *core.Result {
 		return runCached(fmt.Sprintf("%s/nn-margin/%g/%d/%d", ds, opts.Scale, opts.Seed, opts.MaxLabels), func() *core.Result {
 			pool, d := mustPool(ds, floatPool, opts)
-			return core.Run(pool, neural.NewNet(16, opts.Seed), core.Margin{}, perfectOracle(d), mkCfg(opts))
+			return runApproach(opts, pool, neural.NewNet(16, opts.Seed), core.Margin{}, perfectOracle(d), mkCfg(opts))
 		})
 	}}
 	apNNQBC2 = approach{"Non-Convex Non-Linear-QBC(2)", func(ds string, opts Options) *core.Result {
 		return runCached(fmt.Sprintf("%s/nn-qbc2/%g/%d/%d", ds, opts.Scale, opts.Seed, opts.MaxLabels), func() *core.Result {
 			pool, d := mustPool(ds, floatPool, opts)
-			return core.Run(pool, neural.NewNet(16, opts.Seed), core.QBC{B: 2, Factory: nnFactory(16)}, perfectOracle(d), mkCfg(opts))
+			return runApproach(opts, pool, neural.NewNet(16, opts.Seed), core.QBC{B: 2, Factory: nnFactory(16)}, perfectOracle(d), mkCfg(opts))
 		})
 	}}
 	apRules = approach{"Rules(LFP/LFN)", func(ds string, opts Options) *core.Result {
 		return runCached(fmt.Sprintf("%s/rules/%g/%d/%d", ds, opts.Scale, opts.Seed, opts.MaxLabels), func() *core.Result {
 			pool, d := mustPool(ds, boolPool, opts)
-			return core.Run(pool, rulesLearner(d), core.LFPLFN{}, perfectOracle(d), mkCfg(opts))
+			return runApproach(opts, pool, rulesLearner(d), core.LFPLFN{}, perfectOracle(d), mkCfg(opts))
 		})
 	}}
 )

@@ -23,13 +23,13 @@ func Figure11(opts Options) (*Report, error) {
 		cfg := core.Config{Seed: opts.Seed, MaxLabels: opts.MaxLabels}
 		dim := len(pool.X[0])
 
-		res := core.Run(pool, svmFactory(opts.Seed), core.BlockedMargin{TopK: 1}, perfectOracle(d), cfg)
+		res := runApproach(opts, pool, svmFactory(opts.Seed), core.BlockedMargin{TopK: 1}, perfectOracle(d), cfg)
 		r.Series = append(r.Series, Series{Name: ds + " Margin(1Dim)", Metric: MetricF1, Curve: res.Curve})
 
-		res = core.Run(pool, svmFactory(opts.Seed), core.Margin{}, perfectOracle(d), cfg)
+		res = runApproach(opts, pool, svmFactory(opts.Seed), core.Margin{}, perfectOracle(d), cfg)
 		r.Series = append(r.Series, Series{Name: fmt.Sprintf("%s Margin(%dDim)", ds, dim), Metric: MetricF1, Curve: res.Curve})
 
-		ens := core.RunEnsemble(pool, perfectOracle(d), core.EnsembleConfig{
+		ens := runEnsembleApproach(opts, pool, perfectOracle(d), core.EnsembleConfig{
 			Config: cfg, Tau: 0.85, Factory: svmFactory, Selector: core.Margin{},
 		})
 		r.Series = append(r.Series, Series{

@@ -31,7 +31,7 @@ func Figure18(opts Options) (*Report, error) {
 				}
 			},
 		}
-		res := core.Run(pool, tree.NewForest(nt, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
+		res := runApproach(opts, pool, tree.NewForest(nt, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
 		r.Series = append(r.Series,
 			Series{Name: fmt.Sprintf("Trees(%d) atoms", nt), Metric: MetricAtoms, Curve: res.Curve},
 			Series{Name: fmt.Sprintf("Trees(%d) depth", nt), Metric: MetricDepth, Curve: res.Curve})
@@ -48,7 +48,7 @@ func Figure18(opts Options) (*Report, error) {
 			}
 		},
 	}
-	res := core.Run(bpool, model, core.LFPLFN{}, perfectOracle(d), cfg)
+	res := runApproach(opts, bpool, model, core.LFPLFN{}, perfectOracle(d), cfg)
 	r.Series = append(r.Series, Series{Name: "Rules(LFP/LFN) atoms", Metric: MetricAtoms, Curve: res.Curve})
 
 	r.Notes = append(r.Notes,

@@ -23,34 +23,34 @@ func Figure10(opts Options) (*Report, error) {
 	dim := len(pool.X[0])
 
 	// (a) Non-convex non-linear: QBC(2) creation+scoring vs margin scoring.
-	res := core.Run(pool, neural.NewNet(16, opts.Seed), core.QBC{B: 2, Factory: nnFactory(16)}, perfectOracle(d), cfg)
+	res := runApproach(opts, pool, neural.NewNet(16, opts.Seed), core.QBC{B: 2, Factory: nnFactory(16)}, perfectOracle(d), cfg)
 	r.Series = append(r.Series,
 		Series{Name: "NN createQBC(2)", Metric: MetricCommitteeTime, Curve: res.Curve},
 		Series{Name: "NN scoreQBC(2)", Metric: MetricScoreTime, Curve: res.Curve})
-	res = core.Run(pool, neural.NewNet(16, opts.Seed), core.Margin{}, perfectOracle(d), cfg)
+	res = runApproach(opts, pool, neural.NewNet(16, opts.Seed), core.Margin{}, perfectOracle(d), cfg)
 	r.Series = append(r.Series, Series{Name: "NN scoreMargin", Metric: MetricScoreTime, Curve: res.Curve})
 
 	// (b) Linear: QBC(2), QBC(20) vs margin.
 	for _, b := range []int{2, 20} {
-		res = core.Run(pool, svmFactory(opts.Seed), core.QBC{B: b, Factory: svmFactory}, perfectOracle(d), cfg)
+		res = runApproach(opts, pool, svmFactory(opts.Seed), core.QBC{B: b, Factory: svmFactory}, perfectOracle(d), cfg)
 		r.Series = append(r.Series,
 			Series{Name: fmt.Sprintf("Linear createQBC(%d)", b), Metric: MetricCommitteeTime, Curve: res.Curve},
 			Series{Name: fmt.Sprintf("Linear scoreQBC(%d)", b), Metric: MetricScoreTime, Curve: res.Curve})
 	}
-	res = core.Run(pool, svmFactory(opts.Seed), core.Margin{}, perfectOracle(d), cfg)
+	res = runApproach(opts, pool, svmFactory(opts.Seed), core.Margin{}, perfectOracle(d), cfg)
 	marginCurve := res.Curve
 	r.Series = append(r.Series, Series{Name: fmt.Sprintf("Linear scoreMargin(%dDim)", dim), Metric: MetricScoreTime, Curve: marginCurve})
 
 	// (c) Tree ensembles: scoring only (committee grown during training).
 	for _, nt := range []int{2, 10, 20} {
-		res = core.Run(pool, tree.NewForest(nt, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
+		res = runApproach(opts, pool, tree.NewForest(nt, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
 		r.Series = append(r.Series, Series{Name: fmt.Sprintf("scoreTrees(%d)", nt), Metric: MetricScoreTime, Curve: res.Curve})
 	}
 
 	// (d) Enhancements: single blocking dimension and active ensemble.
-	res = core.Run(pool, svmFactory(opts.Seed), core.BlockedMargin{TopK: 1}, perfectOracle(d), cfg)
+	res = runApproach(opts, pool, svmFactory(opts.Seed), core.BlockedMargin{TopK: 1}, perfectOracle(d), cfg)
 	r.Series = append(r.Series, Series{Name: "scoreMargin(1Dim)", Metric: MetricScoreTime, Curve: res.Curve})
-	ens := core.RunEnsemble(pool, perfectOracle(d), core.EnsembleConfig{
+	ens := runEnsembleApproach(opts, pool, perfectOracle(d), core.EnsembleConfig{
 		Config: cfg, Factory: svmFactory, Selector: core.Margin{},
 	})
 	r.Series = append(r.Series, Series{Name: "scoreMargin(Ensemble)", Metric: MetricScoreTime, Curve: ens.Curve})

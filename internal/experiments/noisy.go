@@ -47,19 +47,19 @@ func Figure14(opts Options) (*Report, error) {
 	}
 	variants := []variant{
 		{"Trees(20)", func(seed int64, o oracle.Oracle) *core.Result {
-			return core.Run(pool, tree.NewForest(20, seed), core.ForestQBC{}, o, cfg(seed))
+			return runApproach(opts, pool, tree.NewForest(20, seed), core.ForestQBC{}, o, cfg(seed))
 		}},
 		{"NN(Margin)", func(seed int64, o oracle.Oracle) *core.Result {
-			return core.Run(pool, neural.NewNet(16, seed), core.Margin{}, o, cfg(seed))
+			return runApproach(opts, pool, neural.NewNet(16, seed), core.Margin{}, o, cfg(seed))
 		}},
 		{"Linear-Margin(Ensemble)", func(seed int64, o oracle.Oracle) *core.Result {
-			ens := core.RunEnsemble(pool, o, core.EnsembleConfig{
+			ens := runEnsembleApproach(opts, pool, o, core.EnsembleConfig{
 				Config: cfg(seed), Tau: 0.85, Factory: svmFactory, Selector: core.Margin{},
 			})
 			return &ens.Result
 		}},
 		{"Linear-Margin(1Dim)", func(seed int64, o oracle.Oracle) *core.Result {
-			return core.Run(pool, svmFactory(seed), core.BlockedMargin{TopK: 1}, o, cfg(seed))
+			return runApproach(opts, pool, svmFactory(seed), core.BlockedMargin{TopK: 1}, o, cfg(seed))
 		}},
 	}
 	for _, v := range variants {
@@ -96,7 +96,7 @@ func Figure15(opts Options) (*Report, error) {
 		for _, noise := range noiseLevels {
 			noise := noise
 			curve := averagedRun(opts, func(seed int64, o oracle.Oracle) *core.Result {
-				return core.Run(pool, tree.NewForest(20, seed), core.ForestQBC{}, o,
+				return runApproach(opts, pool, tree.NewForest(20, seed), core.ForestQBC{}, o,
 					core.Config{Seed: seed, MaxLabels: opts.MaxLabels})
 			}, func(seed int64) oracle.Oracle {
 				return noisyOracle(d, noise, seed)

@@ -30,22 +30,22 @@ func qbcVsMargin(id, title, ds string, opts Options) (*Report, error) {
 	dim := len(pool.X[0])
 
 	// (a) Non-convex non-linear: QBC(2) vs margin.
-	res := core.Run(pool, neural.NewNet(16, opts.Seed), core.QBC{B: 2, Factory: nnFactory(16)}, perfectOracle(d), cfg)
+	res := runApproach(opts, pool, neural.NewNet(16, opts.Seed), core.QBC{B: 2, Factory: nnFactory(16)}, perfectOracle(d), cfg)
 	r.Series = append(r.Series, Series{Name: "NN QBC(2)", Metric: MetricF1, Curve: res.Curve})
-	res = core.Run(pool, neural.NewNet(16, opts.Seed), core.Margin{}, perfectOracle(d), cfg)
+	res = runApproach(opts, pool, neural.NewNet(16, opts.Seed), core.Margin{}, perfectOracle(d), cfg)
 	r.Series = append(r.Series, Series{Name: "NN Margin", Metric: MetricF1, Curve: res.Curve})
 
 	// (b) Linear: QBC(2), QBC(20), margin over all dimensions.
-	res = core.Run(pool, svmFactory(opts.Seed), core.QBC{B: 2, Factory: svmFactory}, perfectOracle(d), cfg)
+	res = runApproach(opts, pool, svmFactory(opts.Seed), core.QBC{B: 2, Factory: svmFactory}, perfectOracle(d), cfg)
 	r.Series = append(r.Series, Series{Name: "Linear QBC(2)", Metric: MetricF1, Curve: res.Curve})
-	res = core.Run(pool, svmFactory(opts.Seed), core.QBC{B: 20, Factory: svmFactory}, perfectOracle(d), cfg)
+	res = runApproach(opts, pool, svmFactory(opts.Seed), core.QBC{B: 20, Factory: svmFactory}, perfectOracle(d), cfg)
 	r.Series = append(r.Series, Series{Name: "Linear QBC(20)", Metric: MetricF1, Curve: res.Curve})
-	res = core.Run(pool, svmFactory(opts.Seed), core.Margin{}, perfectOracle(d), cfg)
+	res = runApproach(opts, pool, svmFactory(opts.Seed), core.Margin{}, perfectOracle(d), cfg)
 	r.Series = append(r.Series, Series{Name: fmt.Sprintf("Linear Margin(%dDim)", dim), Metric: MetricF1, Curve: res.Curve})
 
 	// (c) Tree-based: learner-aware QBC with 2, 10, 20 trees.
 	for _, nt := range []int{2, 10, 20} {
-		res = core.Run(pool, tree.NewForest(nt, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
+		res = runApproach(opts, pool, tree.NewForest(nt, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg)
 		r.Series = append(r.Series, Series{Name: fmt.Sprintf("Trees(%d)", nt), Metric: MetricF1, Curve: res.Curve})
 	}
 	r.Notes = append(r.Notes, fmt.Sprintf("pool=%d pairs, dim=%d, scale=%g", pool.Len(), dim, opts.Scale))

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/alem/alem/internal/core"
 	"github.com/alem/alem/internal/eval"
 )
 
@@ -36,6 +38,21 @@ type Options struct {
 	Seed int64
 	// Verbose curves print every checkpoint instead of a subsample.
 	Verbose bool
+	// Context, when non-nil, cancels in-flight runs: a driver returns its
+	// report early with whatever curves the cancelled runs produced. Not
+	// serialized.
+	Context context.Context
+	// Observer, when non-nil, receives the Session event stream of every
+	// run a driver starts — live progress for the CLIs. Not serialized.
+	Observer core.Observer
+}
+
+// ctx returns the options' context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // DefaultOptions returns the defaults, with ALEM_SCALE, ALEM_MAXLABELS,

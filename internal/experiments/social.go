@@ -43,7 +43,7 @@ func Figure19(opts Options) (*Report, error) {
 
 	for _, s := range strategies {
 		model := rules.NewModel(ext)
-		res := core.Run(pool, model, s.sel, perfectOracle(d), core.Config{
+		res := runApproach(opts, pool, model, s.sel, perfectOracle(d), core.Config{
 			Seed: opts.Seed, MaxLabels: opts.MaxLabels,
 		})
 		valid, coverage := validateRules(model, pool)

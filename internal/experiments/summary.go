@@ -41,19 +41,19 @@ func Summary(opts Options) (*Report, error) {
 	}
 
 	// Q1: best selector per classifier (quality and latency).
-	row("Trees(20) + learner-aware QBC", core.Run(pool,
+	row("Trees(20) + learner-aware QBC", runApproach(opts, pool,
 		tree.NewForest(20, opts.Seed), core.ForestQBC{}, perfectOracle(d), cfg))
-	row("SVM + margin", core.Run(pool,
+	row("SVM + margin", runApproach(opts, pool,
 		svmFactory(opts.Seed), core.Margin{}, perfectOracle(d), cfg))
-	row("SVM + QBC(20)", core.Run(pool,
+	row("SVM + QBC(20)", runApproach(opts, pool,
 		svmFactory(opts.Seed), core.QBC{B: 20, Factory: svmFactory}, perfectOracle(d), cfg))
-	row("NN + margin", core.Run(pool,
+	row("NN + margin", runApproach(opts, pool,
 		neural.NewNet(16, opts.Seed), core.Margin{}, perfectOracle(d), cfg))
-	row("Rules + LFP/LFN", core.Run(bpool,
+	row("Rules + LFP/LFN", runApproach(opts, bpool,
 		rulesLearner(d), core.LFPLFN{}, perfectOracle(d), cfg))
 
 	// Q2: active vs supervised at the same budget.
-	row("Trees(20) + random (supervised)", core.Run(pool,
+	row("Trees(20) + random (supervised)", runApproach(opts, pool,
 		tree.NewForest(20, opts.Seed), core.Random{}, perfectOracle(d), cfg))
 
 	r.Notes = append(r.Notes,

@@ -40,13 +40,13 @@ func Figure16(opts Options) (*Report, error) {
 		// splits (~80-90 pairs) make single-run F1 noisy.
 		testSize := int(float64(pool.Len()) * 0.2)
 		active := averagedRun(opts, func(seed int64, o oracle.Oracle) *core.Result {
-			return core.Run(pool, tree.NewForest(20, seed), core.ForestQBC{}, o,
+			return runApproach(opts, pool, tree.NewForest(20, seed), core.ForestQBC{}, o,
 				core.Config{Seed: seed, MaxLabels: opts.MaxLabels, Mode: core.HeldOut})
 		}, func(int64) oracle.Oracle { return perfectOracle(d) })
 		r.Series = append(r.Series, Series{Name: ds + " ActiveTrees(QBC-20)", Metric: MetricF1, Curve: active})
 
 		supervised := averagedRun(opts, func(seed int64, o oracle.Oracle) *core.Result {
-			return core.Run(pool, tree.NewForest(20, seed), core.Random{}, o,
+			return runApproach(opts, pool, tree.NewForest(20, seed), core.Random{}, o,
 				core.Config{Seed: seed, MaxLabels: opts.MaxLabels, Mode: core.HeldOut})
 		}, func(int64) oracle.Oracle { return perfectOracle(d) })
 		r.Series = append(r.Series, Series{Name: ds + " SupervisedTrees(Random-20)", Metric: MetricF1, Curve: supervised})
@@ -54,7 +54,7 @@ func Figure16(opts Options) (*Report, error) {
 		// The proxy is averaged over seeds, mirroring the paper's 5-run
 		// averaging for DeepMatcher's run-to-run variance.
 		curve := averagedRun(opts, func(seed int64, o oracle.Oracle) *core.Result {
-			return core.Run(pool, deepMatcherProxy(seed), core.Random{}, o,
+			return runApproach(opts, pool, deepMatcherProxy(seed), core.Random{}, o,
 				core.Config{Seed: seed, MaxLabels: opts.MaxLabels, Mode: core.HeldOut})
 		}, func(int64) oracle.Oracle { return perfectOracle(d) })
 		r.Series = append(r.Series, Series{Name: ds + " DeepMatcher(proxy)", Metric: MetricF1, Curve: curve})
@@ -78,14 +78,14 @@ func Figure17(opts Options) (*Report, error) {
 	for _, noise := range []float64{0, 0.10, 0.20} {
 		noise := noise
 		active := averagedRun(opts, func(seed int64, o oracle.Oracle) *core.Result {
-			return core.Run(pool, tree.NewForest(20, seed), core.ForestQBC{}, o,
+			return runApproach(opts, pool, tree.NewForest(20, seed), core.ForestQBC{}, o,
 				core.Config{Seed: seed, MaxLabels: opts.MaxLabels, Mode: core.HeldOut})
 		}, func(seed int64) oracle.Oracle { return noisyOracle(d, noise, seed) })
 		r.Series = append(r.Series, Series{
 			Name: fmt.Sprintf("ActiveTrees(QBC-20) noise=%.0f%%", noise*100), Metric: MetricF1, Curve: active,
 		})
 		supervised := averagedRun(opts, func(seed int64, o oracle.Oracle) *core.Result {
-			return core.Run(pool, tree.NewForest(20, seed), core.Random{}, o,
+			return runApproach(opts, pool, tree.NewForest(20, seed), core.Random{}, o,
 				core.Config{Seed: seed, MaxLabels: opts.MaxLabels, Mode: core.HeldOut})
 		}, func(seed int64) oracle.Oracle { return noisyOracle(d, noise, seed) })
 		r.Series = append(r.Series, Series{

@@ -80,10 +80,33 @@ func mustPool(name string, kind poolKind, opts Options) (*core.Pool, *dataset.Da
 	return p, d
 }
 
-// runApproach is the shared harness for one (learner, selector) run.
-func runApproach(pool *core.Pool, learner core.Learner, sel core.Selector,
+// runApproach is the shared harness for one (learner, selector) run. It
+// drives a core.Session with the options' context and observer, so every
+// driver is cancellable and observable for free. On cancellation the
+// partial result is returned — a truncated curve renders as a truncated
+// series, which is exactly what an interrupted benchmark should report.
+func runApproach(opts Options, pool *core.Pool, learner core.Learner, sel core.Selector,
 	o oracle.Oracle, cfg core.Config) *core.Result {
-	return core.Run(pool, learner, sel, o, cfg)
+	s, err := core.NewSession(pool, learner, sel, o, cfg)
+	if err != nil {
+		panic(err)
+	}
+	if opts.Observer != nil {
+		s.AddObserver(opts.Observer)
+	}
+	res, _ := s.Run(opts.ctx())
+	return res
+}
+
+// runEnsembleApproach is runApproach for §5.2 active-ensemble runs.
+func runEnsembleApproach(opts Options, pool *core.Pool, o oracle.Oracle,
+	cfg core.EnsembleConfig) *core.EnsembleResult {
+	var obs []core.Observer
+	if opts.Observer != nil {
+		obs = append(obs, opts.Observer)
+	}
+	res, _ := core.RunEnsembleContext(opts.ctx(), pool, o, cfg, obs...)
+	return res
 }
 
 // rulesLearner builds the rule model for a dataset's schema.
