@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench serve-smoke
 
-check: vet build race
+check: vet build race serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +22,9 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
+
+# End-to-end train → save → serve loop: builds almatch + almserve,
+# trains a small model, serves it on a random port, hits /healthz and
+# /v1/match, and asserts SIGTERM drains cleanly.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh

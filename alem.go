@@ -38,9 +38,11 @@ import (
 	"github.com/alem/alem/internal/interp"
 	"github.com/alem/alem/internal/linear"
 	"github.com/alem/alem/internal/match"
+	"github.com/alem/alem/internal/model"
 	"github.com/alem/alem/internal/neural"
 	"github.com/alem/alem/internal/oracle"
 	"github.com/alem/alem/internal/rules"
+	"github.com/alem/alem/internal/serve"
 	"github.com/alem/alem/internal/textsim"
 	"github.com/alem/alem/internal/tree"
 )
@@ -350,20 +352,81 @@ func NeuralNetFactory(hidden int) Factory {
 	return func(seed int64) Learner { return neural.NewNet(hidden, seed) }
 }
 
-// Model persistence: every learner exposes SaveJSON; these load them
-// back (the "reusable EM model" the paper's §2 motivates).
+// Model persistence: the unified artifact couples a trained learner
+// with everything needed to reapply it — schema, blocking threshold,
+// featurization pipeline, and (for extended features) the training-time
+// corpus statistics. One file, self-describing, loadable by kind.
+type (
+	// ModelArtifact is a loaded model plus its deployment metadata.
+	ModelArtifact = model.Artifact
+	// ModelMeta is the deployment metadata saved alongside a learner.
+	ModelMeta = model.Meta
+	// ModelKind tags which learner family an artifact holds.
+	ModelKind = model.Kind
+	// Featurization names a feature pipeline (float, bool, extended).
+	Featurization = match.Featurization
+)
+
+// Model kinds.
+const (
+	// KindSVM tags a linear SVM artifact.
+	KindSVM = model.KindSVM
+	// KindNeuralNet tags a feed-forward network artifact.
+	KindNeuralNet = model.KindNeuralNet
+	// KindRandomForest tags a random-forest artifact.
+	KindRandomForest = model.KindRandomForest
+	// KindRules tags a monotone-DNF rules artifact.
+	KindRules = model.KindRules
+)
+
+// Featurization pipelines.
+const (
+	// FloatFeatures is the standard 21-metric float pipeline.
+	FloatFeatures = match.FloatFeatures
+	// BoolFeatures is the thresholded Boolean-atom pipeline (rules).
+	BoolFeatures = match.BoolFeatures
+	// ExtendedFeatures is the 25-metric corpus-aware pipeline.
+	ExtendedFeatures = match.ExtendedFeatures
+)
+
+// ParseFeaturization parses "float", "bool" or "extended".
+func ParseFeaturization(s string) (Featurization, error) {
+	return match.ParseFeaturization(s)
+}
+
+// SaveModel writes learner plus meta as one self-describing artifact.
+// Meta.Schema is required; everything else defaults sensibly.
+func SaveModel(w io.Writer, l Learner, meta ModelMeta) error {
+	return model.Save(w, l, meta)
+}
+
+// LoadModel reads an artifact written by SaveModel, rebuilds its feature
+// pipeline, and validates learner dimensionality against it.
+func LoadModel(r io.Reader) (*ModelArtifact, error) { return model.Load(r) }
 
 // LoadSVM reads an SVM written by (*SVM).SaveJSON.
+//
+// Deprecated: bare-learner files carry no schema or pipeline metadata.
+// Use SaveModel / LoadModel for new code; this remains for old files.
 func LoadSVM(r io.Reader) (*SVM, error) { return linear.LoadJSON(r) }
 
 // LoadNeuralNet reads a network written by (*NeuralNet).SaveJSON.
+//
+// Deprecated: bare-learner files carry no schema or pipeline metadata.
+// Use SaveModel / LoadModel for new code; this remains for old files.
 func LoadNeuralNet(r io.Reader) (*NeuralNet, error) { return neural.LoadJSON(r) }
 
 // LoadRandomForest reads a forest written by (*RandomForest).SaveJSON.
+//
+// Deprecated: bare-learner files carry no schema or pipeline metadata.
+// Use SaveModel / LoadModel for new code; this remains for old files.
 func LoadRandomForest(r io.Reader) (*RandomForest, error) { return tree.LoadJSON(r) }
 
 // LoadRuleModel reads a DNF written by (*RuleModel).SaveJSON, re-binding
 // it to ext (same schema and thresholds as at training time).
+//
+// Deprecated: bare-learner files carry no schema or pipeline metadata.
+// Use SaveModel / LoadModel for new code; this remains for old files.
 func LoadRuleModel(r io.Reader, ext *BoolFeatureExtractor) (*RuleModel, error) {
 	return rules.LoadJSON(r, ext)
 }
@@ -375,7 +438,30 @@ type (
 	Matcher = match.Matcher
 	// MatchedPair is one predicted match, by record IDs.
 	MatchedPair = match.Pair
+
+	// MatchServer serves a ModelArtifact over HTTP: POST /v1/match,
+	// POST /v1/score (batched through a bounded worker pool),
+	// GET /healthz, GET /metrics. See cmd/almserve.
+	MatchServer = serve.Server
+	// MatchServerConfig sizes a MatchServer (workers, batching, timeouts).
+	MatchServerConfig = serve.Config
+
+	// ServeRequestDone is emitted on the event stream per HTTP request.
+	ServeRequestDone = serve.RequestDone
+	// ServeStart is emitted when the server's listener binds.
+	ServeStart = serve.ServerStart
+	// ServeDrainStart is emitted when graceful shutdown begins.
+	ServeDrainStart = serve.DrainStart
+	// ServeStop is emitted when shutdown completes.
+	ServeStop = serve.ServerStop
 )
+
+// NewMatchServer builds an HTTP matching service over a loaded artifact.
+// Observers receive the serve event vocabulary (ServeRequestDone, ...)
+// through the same stream Session uses.
+func NewMatchServer(art *ModelArtifact, cfg MatchServerConfig, obs ...Observer) *MatchServer {
+	return serve.New(art, cfg, obs...)
+}
 
 // Oracles.
 type (

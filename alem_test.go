@@ -2,6 +2,9 @@ package alem_test
 
 import (
 	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -109,7 +112,55 @@ func TestFacadePersistenceAndMatcher(t *testing.T) {
 	alem.Run(pool, forest, alem.ForestQBC{}, alem.NewPerfectOracle(d),
 		alem.Config{Seed: 55, TargetF1: 0.99})
 
+	// Unified artifact: one file carries the forest plus its pipeline.
 	var buf bytes.Buffer
+	if err := alem.SaveModel(&buf, forest, alem.ModelMeta{
+		Schema:         d.Left.Schema,
+		BlockThreshold: d.BlockThreshold,
+		Dataset:        "beer",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	art, err := alem.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Kind != alem.KindRandomForest || art.Meta.Features != alem.FloatFeatures {
+		t.Fatalf("artifact kind=%s features=%s", art.Kind, art.Meta.Features)
+	}
+	fresh, err := alem.LoadDataset("beer", 1.0, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, candidates, err := art.Matcher().Match(context.Background(), fresh.Left, fresh.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if candidates == 0 || len(pairs) == 0 {
+		t.Fatalf("deployed model matched %d of %d candidates", len(pairs), candidates)
+	}
+	for _, p := range pairs {
+		if p.Confidence < 0 || p.Confidence > 1 {
+			t.Fatalf("pair %s/%s confidence %v outside [0,1]", p.LeftID, p.RightID, p.Confidence)
+		}
+	}
+
+	// The serve facade mounts the same artifact over HTTP.
+	srv := alem.NewMatchServer(art, alem.MatchServerConfig{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Legacy bare-learner persistence still round-trips.
+	buf.Reset()
 	if err := forest.SaveJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
@@ -117,17 +168,8 @@ func TestFacadePersistenceAndMatcher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := alem.LoadDataset("beer", 1.0, 56)
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := &alem.Matcher{Learner: loaded, BlockThreshold: fresh.BlockThreshold}
-	pairs, candidates, err := m.Match(fresh.Left, fresh.Right)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if candidates == 0 || len(pairs) == 0 {
-		t.Fatalf("deployed model matched %d of %d candidates", len(pairs), candidates)
+	if got := loaded.PredictAll(pool.X); len(got) != len(pool.X) {
+		t.Fatalf("legacy forest predicted %d of %d", len(got), len(pool.X))
 	}
 }
 

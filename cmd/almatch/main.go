@@ -9,10 +9,15 @@
 // Apply a saved model to your own tables (CSV with a leading id column):
 //
 //	almatch -mode apply -model forest.json -left left.csv -right right.csv \
-//	        -threshold 0.16 -out matches.csv
+//	        -out matches.csv
+//
+// The model file is a unified artifact (alem.SaveModel) carrying the
+// schema, blocking threshold and featurization, so apply mode needs no
+// pipeline flags; -threshold overrides the stored blocking threshold.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/csv"
 	"errors"
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 
 	"github.com/alem/alem"
 )
@@ -35,7 +41,7 @@ func main() {
 		maxLabels = flag.Int("maxlabels", 0, "label budget (0 = until convergence)")
 		leftPath  = flag.String("left", "", "left table CSV (apply mode)")
 		rightPath = flag.String("right", "", "right table CSV (apply mode)")
-		threshold = flag.Float64("threshold", 0.16, "blocking Jaccard threshold (apply mode)")
+		threshold = flag.Float64("threshold", -1, "blocking Jaccard threshold override (apply mode; default: the artifact's)")
 		outPath   = flag.String("out", "", "output matches CSV (apply mode; default stdout)")
 		progress  = flag.Bool("progress", false, "stream per-iteration progress to stderr (train mode)")
 	)
@@ -96,7 +102,15 @@ func train(name string, scale float64, seed int64, modelPath string, trees, maxL
 		return err
 	}
 	defer f.Close()
-	if err := forest.SaveJSON(f); err != nil {
+	// The unified artifact records the schema, blocking threshold and
+	// featurization alongside the forest, so apply mode and almserve can
+	// rebuild the exact pipeline with no extra flags.
+	if err := alem.SaveModel(f, forest, alem.ModelMeta{
+		Schema:         d.Left.Schema,
+		BlockThreshold: d.BlockThreshold,
+		Dataset:        name,
+		Labels:         res.LabelsUsed,
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("model saved to %s\n", modelPath)
@@ -107,14 +121,12 @@ func apply(modelPath, leftPath, rightPath string, threshold float64, outPath str
 	if leftPath == "" || rightPath == "" {
 		return fmt.Errorf("apply mode needs -left and -right")
 	}
-	mf, err := os.Open(modelPath)
+	m, err := loadMatcher(modelPath)
 	if err != nil {
 		return err
 	}
-	defer mf.Close()
-	forest, err := alem.LoadRandomForest(mf)
-	if err != nil {
-		return err
+	if threshold >= 0 {
+		m.BlockThreshold = threshold
 	}
 	left, err := readTable("left", leftPath)
 	if err != nil {
@@ -124,8 +136,10 @@ func apply(modelPath, leftPath, rightPath string, threshold float64, outPath str
 	if err != nil {
 		return err
 	}
-	m := &alem.Matcher{Learner: forest, BlockThreshold: threshold}
-	pairs, candidates, err := m.Match(left, right)
+	// Ctrl-C aborts cleanly mid-pipeline instead of finishing the scan.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pairs, candidates, err := m.Match(ctx, left, right)
 	if err != nil {
 		return err
 	}
@@ -142,16 +156,36 @@ func apply(modelPath, leftPath, rightPath string, threshold float64, outPath str
 		out = f
 	}
 	w := csv.NewWriter(out)
-	if err := w.Write([]string{"left_id", "right_id"}); err != nil {
+	if err := w.Write([]string{"left_id", "right_id", "confidence"}); err != nil {
 		return err
 	}
 	for _, p := range pairs {
-		if err := w.Write([]string{p.LeftID, p.RightID}); err != nil {
+		if err := w.Write([]string{p.LeftID, p.RightID, strconv.FormatFloat(p.Confidence, 'f', 4, 64)}); err != nil {
 			return err
 		}
 	}
 	w.Flush()
 	return w.Error()
+}
+
+// loadMatcher reads a unified SaveModel artifact, falling back to the
+// legacy bare-forest format older almatch versions wrote.
+func loadMatcher(modelPath string) (*alem.Matcher, error) {
+	raw, err := os.ReadFile(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	art, artErr := alem.LoadModel(bytes.NewReader(raw))
+	if artErr == nil {
+		return art.Matcher(), nil
+	}
+	forest, legacyErr := alem.LoadRandomForest(bytes.NewReader(raw))
+	if legacyErr != nil {
+		return nil, fmt.Errorf("%s is neither a model artifact (%v) nor a legacy forest (%v)",
+			modelPath, artErr, legacyErr)
+	}
+	fmt.Fprintf(os.Stderr, "almatch: %s is a legacy bare-forest file; retrain to embed schema and threshold\n", modelPath)
+	return &alem.Matcher{Learner: forest, BlockThreshold: 0.16}, nil
 }
 
 func readTable(name, path string) (*alem.Table, error) {

@@ -1,0 +1,85 @@
+// Command almserve serves a trained EM model over HTTP — the deployment
+// half of the reusable-model story the paper's §2 motivates. It loads a
+// unified artifact written by alem.SaveModel (almatch -mode train) and
+// exposes:
+//
+//	POST /v1/match   two tables in, predicted matching pairs out
+//	POST /v1/score   pre-featurized vectors in, scores out (batched)
+//	GET  /healthz    liveness and model identity
+//	GET  /metrics    Prometheus text: counts, latency, batching reuse
+//
+// Start it:
+//
+//	almserve -model model.json -addr :8080
+//
+// Concurrent /v1/score requests are coalesced into merged batches by a
+// bounded worker pool; SIGTERM/SIGINT drains in-flight requests before
+// exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/alem/alem"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.json", "model artifact written by alem.SaveModel")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "score worker pool size")
+		batch     = flag.Int("batch", 256, "max vectors per merged score batch")
+		linger    = flag.Duration("linger", 2*time.Millisecond, "batch fill window (0 = no waiting)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		logReq    = flag.Bool("log", false, "stream request/lifecycle events to stderr")
+	)
+	flag.Parse()
+
+	if err := run(*modelPath, *addr, *workers, *batch, *linger, *timeout, *drain, *logReq); err != nil {
+		fmt.Fprintf(os.Stderr, "almserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath, addr string, workers, batch int, linger, timeout, drain time.Duration, logReq bool) error {
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	art, err := alem.LoadModel(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load %s: %w", modelPath, err)
+	}
+
+	var obs []alem.Observer
+	if logReq {
+		obs = append(obs, alem.NewEventLog(os.Stderr))
+	}
+	srv := alem.NewMatchServer(art, alem.MatchServerConfig{
+		Addr:           addr,
+		Workers:        workers,
+		MaxBatch:       batch,
+		Linger:         linger,
+		RequestTimeout: timeout,
+		DrainTimeout:   drain,
+	}, obs...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		<-srv.Ready()
+		fmt.Fprintf(os.Stderr, "almserve: %s model (dim %d) listening on %s\n",
+			art.Kind, art.Dim, srv.Addr())
+	}()
+	return srv.ListenAndServe(ctx)
+}

@@ -79,6 +79,15 @@ type RunEnd struct {
 	Err error
 }
 
+// ExternalEvent lets packages outside core extend the event vocabulary:
+// embed it and the type satisfies Event, flowing through the same
+// Observer plumbing (diag.EventLog renders such events via their
+// EventLine method when they provide one). The serve layer's request
+// events are the first use.
+type ExternalEvent struct{}
+
+func (ExternalEvent) isEvent() {}
+
 func (IterationStart) isEvent()    {}
 func (TrainDone) isEvent()         {}
 func (EvalDone) isEvent()          {}

@@ -61,6 +61,12 @@ func (l *EventLog) Observe(e core.Event) {
 		fmt.Fprintf(l.w, "[%8s] run end: %s after %d iterations, %d labels\n",
 			elapsed, ev.Reason, ev.Iterations, ev.LabelsUsed)
 	default:
+		// Events from outside core (embedding core.ExternalEvent) supply
+		// their own one-line rendering; anything else falls back to %T.
+		if el, ok := e.(interface{ EventLine() string }); ok {
+			fmt.Fprintf(l.w, "[%8s] %s\n", elapsed, el.EventLine())
+			break
+		}
 		fmt.Fprintf(l.w, "[%8s] %T%+v\n", elapsed, e, e)
 	}
 }

@@ -128,6 +128,11 @@ func (s *SVM) Weights() []float64 { return s.w }
 // Bias returns the learned bias term.
 func (s *SVM) Bias() float64 { return s.b }
 
+// Dim returns the feature dimensionality the model was trained on, or 0
+// for an untrained model. Deployment-time schema validation uses it to
+// reject extractors that do not reproduce the training feature space.
+func (s *SVM) Dim() int { return len(s.w) }
+
 // Clone returns an untrained copy with the same hyper-parameters and an
 // independent RNG derived from seed; QBC committees use it to train B
 // classifiers on bootstrap resamples.

@@ -1,0 +1,279 @@
+// Package model defines the framework's unified model artifact: one
+// self-describing JSON envelope that captures everything needed to take
+// a learner trained by active learning and serve it against fresh
+// tables — the learner's parameters *and* the pipeline configuration
+// (schema, blocking threshold, featurization mode, metric list, corpus
+// statistics) that deployment must reproduce bit-for-bit.
+//
+// Before this envelope existed, callers hand-wired four disjoint Load*
+// entry points plus out-of-band threshold and featurization knowledge;
+// a forgotten flag silently mispredicted. A saved artifact now fully
+// determines serving-time behaviour: internal/serve and cmd/almserve
+// start from a file path and nothing else.
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/alem/alem/internal/core"
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/linear"
+	"github.com/alem/alem/internal/match"
+	"github.com/alem/alem/internal/neural"
+	"github.com/alem/alem/internal/rules"
+	"github.com/alem/alem/internal/textsim"
+	"github.com/alem/alem/internal/tree"
+)
+
+// Format tags the envelope so other JSON files fail fast with a clear
+// error instead of a half-decoded learner.
+const Format = "alem-model"
+
+// Version is the current envelope version. Loaders reject versions they
+// do not know rather than guess.
+const Version = 1
+
+// Kind identifies the learner family inside an artifact. Values match
+// the learners' Name() methods.
+type Kind string
+
+const (
+	KindSVM          Kind = "linear-svm"
+	KindNeuralNet    Kind = "neural-net"
+	KindRandomForest Kind = "random-forest"
+	KindRules        Kind = "dnf-rules"
+)
+
+// Meta is the pipeline configuration saved alongside the learner: the
+// part of a "model" that is not weights. Everything deployment needs to
+// reproduce the training-time feature space lives here.
+type Meta struct {
+	// Schema is the attribute list (and order) the feature extractor was
+	// built from.
+	Schema []string
+	// BlockThreshold is the offline token-Jaccard blocking threshold.
+	BlockThreshold float64
+	// Features selects the featurization pipeline.
+	Features match.Featurization
+	// Corpus carries training-time document-frequency statistics;
+	// required when Features is ExtendedFeatures.
+	Corpus *textsim.Corpus
+	// Dataset optionally records the training dataset name (provenance).
+	Dataset string
+	// Labels optionally records how many Oracle labels training spent.
+	Labels int
+}
+
+// envelope is the on-disk JSON form.
+type envelope struct {
+	Format         string          `json:"format"`
+	Version        int             `json:"version"`
+	Kind           Kind            `json:"kind"`
+	Schema         []string        `json:"schema"`
+	BlockThreshold float64         `json:"block_threshold"`
+	Featurization  string          `json:"featurization"`
+	Metrics        []string        `json:"metrics"`
+	Dim            int             `json:"dim"`
+	Corpus         *textsim.Corpus `json:"corpus,omitempty"`
+	Dataset        string          `json:"dataset,omitempty"`
+	Labels         int             `json:"labels,omitempty"`
+	Learner        json.RawMessage `json:"learner"`
+}
+
+// Artifact is a loaded model: the learner plus its pipeline metadata,
+// validated against each other.
+type Artifact struct {
+	Kind    Kind
+	Learner core.Learner
+	Meta    Meta
+	// Dim is the feature dimensionality of the training pipeline.
+	Dim int
+}
+
+// Matcher builds the deployment matcher the artifact describes; no
+// additional pipeline configuration is needed.
+func (a *Artifact) Matcher() *match.Matcher {
+	return &match.Matcher{
+		Learner:        a.Learner,
+		BlockThreshold: a.Meta.BlockThreshold,
+		Features:       a.Meta.Features,
+		Corpus:         a.Meta.Corpus,
+	}
+}
+
+// Save writes the unified artifact for a trained learner. It rejects
+// unsupported learner types, a missing corpus for extended featurization
+// and a learner whose feature space contradicts the schema — the same
+// validation loading performs, so a file that saved cleanly loads
+// cleanly.
+func Save(w io.Writer, l core.Learner, meta Meta) error {
+	if l == nil {
+		return fmt.Errorf("model: nil learner")
+	}
+	if len(meta.Schema) == 0 {
+		return fmt.Errorf("model: Meta.Schema is required (the extractor is rebuilt from it at load time)")
+	}
+	dim, metrics, err := pipelineInfo(meta)
+	if err != nil {
+		return err
+	}
+	if err := match.ValidateDim(l, dim); err != nil {
+		return fmt.Errorf("model: %w", err)
+	}
+
+	var kind Kind
+	var buf bytes.Buffer
+	switch v := l.(type) {
+	case *linear.SVM:
+		kind, err = KindSVM, v.SaveJSON(&buf)
+	case *neural.Net:
+		kind, err = KindNeuralNet, v.SaveJSON(&buf)
+	case *tree.Forest:
+		kind, err = KindRandomForest, v.SaveJSON(&buf)
+	case *rules.Model:
+		if meta.Features != match.BoolFeatures {
+			return fmt.Errorf("model: the rule learner requires bool featurization, got %s", meta.Features)
+		}
+		kind, err = KindRules, v.SaveJSON(&buf, dim)
+	default:
+		return fmt.Errorf("model: unsupported learner type %T (want SVM, neural net, random forest or rule model)", l)
+	}
+	if err != nil {
+		return err
+	}
+
+	env := envelope{
+		Format:         Format,
+		Version:        Version,
+		Kind:           kind,
+		Schema:         meta.Schema,
+		BlockThreshold: meta.BlockThreshold,
+		Featurization:  meta.Features.String(),
+		Metrics:        metrics,
+		Dim:            dim,
+		Dataset:        meta.Dataset,
+		Labels:         meta.Labels,
+		Learner:        json.RawMessage(bytes.TrimSpace(buf.Bytes())),
+	}
+	if meta.Features == match.ExtendedFeatures {
+		env.Corpus = meta.Corpus
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("model: encoding artifact: %w", err)
+	}
+	return nil
+}
+
+// Load reads an artifact written by Save, rebuilds the learner, and
+// validates that the stored pipeline still produces the feature space
+// the learner was trained on (a metric added or removed since the file
+// was written is a hard error, not a silent misprediction).
+func Load(r io.Reader) (*Artifact, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("model: decoding artifact: %w", err)
+	}
+	if env.Format != Format {
+		return nil, fmt.Errorf("model: not a model artifact (format %q, want %q); legacy single-learner files load via the deprecated Load* helpers", env.Format, Format)
+	}
+	if env.Version != Version {
+		return nil, fmt.Errorf("model: unsupported artifact version %d (this build reads %d)", env.Version, Version)
+	}
+	feats, err := match.ParseFeaturization(env.Featurization)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	if len(env.Schema) == 0 {
+		return nil, fmt.Errorf("model: artifact has no schema")
+	}
+	if feats == match.ExtendedFeatures && env.Corpus == nil {
+		return nil, fmt.Errorf("model: extended featurization but no corpus in the artifact")
+	}
+
+	meta := Meta{
+		Schema:         env.Schema,
+		BlockThreshold: env.BlockThreshold,
+		Features:       feats,
+		Corpus:         env.Corpus,
+		Dataset:        env.Dataset,
+		Labels:         env.Labels,
+	}
+	dim, metrics, err := pipelineInfo(meta)
+	if err != nil {
+		return nil, err
+	}
+	if dim != env.Dim {
+		return nil, fmt.Errorf("model: artifact expects %d feature dims but this build's %s pipeline produces %d (metric set changed?)", env.Dim, feats, dim)
+	}
+	if len(env.Metrics) != 0 && !equalStrings(env.Metrics, metrics) {
+		return nil, fmt.Errorf("model: artifact metric list %v does not match this build's %s pipeline %v", env.Metrics, feats, metrics)
+	}
+
+	var l core.Learner
+	lr := bytes.NewReader(env.Learner)
+	switch env.Kind {
+	case KindSVM:
+		l, err = linear.LoadJSON(lr)
+	case KindNeuralNet:
+		l, err = neural.LoadJSON(lr)
+	case KindRandomForest:
+		l, err = tree.LoadJSON(lr)
+	case KindRules:
+		if feats != match.BoolFeatures {
+			return nil, fmt.Errorf("model: rule-model artifact with %s featurization", feats)
+		}
+		l, err = rules.LoadJSON(lr, feature.NewBoolExtractor(env.Schema))
+	default:
+		return nil, fmt.Errorf("model: unknown learner kind %q", env.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := match.ValidateDim(l, dim); err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	return &Artifact{Kind: env.Kind, Learner: l, Meta: meta, Dim: dim}, nil
+}
+
+// pipelineInfo computes the feature dimensionality and metric-name list
+// of the featurization pipeline meta describes.
+func pipelineInfo(meta Meta) (int, []string, error) {
+	switch meta.Features {
+	case match.FloatFeatures:
+		return feature.NewExtractor(meta.Schema).Dim(), metricNames(textsim.All()), nil
+	case match.ExtendedFeatures:
+		if meta.Corpus == nil {
+			return 0, nil, fmt.Errorf("model: extended featurization requires Meta.Corpus")
+		}
+		ext := feature.NewExtendedExtractor(meta.Schema, meta.Corpus)
+		return ext.Dim(), metricNames(append(textsim.All(), textsim.Extended(meta.Corpus)...)), nil
+	case match.BoolFeatures:
+		return feature.NewBoolExtractor(meta.Schema).Dim(), metricNames(textsim.ForRules()), nil
+	}
+	return 0, nil, fmt.Errorf("model: unknown featurization %v", meta.Features)
+}
+
+func metricNames(ms []textsim.Metric) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -293,6 +293,11 @@ func (n *Net) Margin(x feature.Vector) float64 {
 // Prob returns the sigmoid match probability of x.
 func (n *Net) Prob(x feature.Vector) float64 { return sigmoid(n.Margin(x)) }
 
+// Dim returns the feature dimensionality the network was trained on, or
+// 0 for an untrained network. Deployment-time schema validation uses it
+// to reject extractors that do not reproduce the training feature space.
+func (n *Net) Dim() int { return n.dim }
+
 // Predict labels x as matching when Prob(x) > 0.5.
 func (n *Net) Predict(x feature.Vector) bool { return n.Margin(x) > 0 }
 

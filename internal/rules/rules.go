@@ -58,6 +58,20 @@ func (m *Model) Name() string { return "dnf-rules" }
 // Rules returns the learned conjunctions.
 func (m *Model) Rules() []Rule { return m.rules }
 
+// MinDim returns a lower bound on the Boolean feature dimensionality the
+// DNF was learned over: one past the largest atom index any rule tests.
+// Deployment-time validation requires the extractor to be at least this
+// wide (the exact width lives in the saved artifact).
+func (m *Model) MinDim() int {
+	d := 0
+	for _, r := range m.rules {
+		for _, a := range r.Atoms {
+			d = max(d, a+1)
+		}
+	}
+	return d
+}
+
 // NumAtoms counts atoms in the DNF with repetition — the interpretability
 // metric of §6.3 (inverse interpretability, Singh et al.).
 func (m *Model) NumAtoms() int {

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/alem/alem/internal/core"
+)
+
+// The serve layer reports through the same typed event stream the
+// Session engine uses: observers (diag.EventLog, custom collectors)
+// receive these alongside training events, so one log shows a model's
+// whole life from labeling to serving. Each type embeds
+// core.ExternalEvent to join the vocabulary and implements EventLine for
+// diag's one-line rendering.
+
+// RequestDone is emitted after every HTTP request, successful or not.
+type RequestDone struct {
+	core.ExternalEvent
+	Method  string
+	Route   string
+	Status  int
+	Bytes   int
+	Elapsed time.Duration
+	Remote  string
+}
+
+// EventLine renders the request for diag.EventLog.
+func (e RequestDone) EventLine() string {
+	return fmt.Sprintf("http %-4s %-12s %d %6dB in %-10s from %s",
+		e.Method, e.Route, e.Status, e.Bytes, e.Elapsed.Round(time.Microsecond), e.Remote)
+}
+
+// ServerStart is emitted once the listener is bound.
+type ServerStart struct {
+	core.ExternalEvent
+	Addr  string
+	Model string
+	Dim   int
+}
+
+// EventLine renders the startup line for diag.EventLog.
+func (e ServerStart) EventLine() string {
+	return fmt.Sprintf("serve start      addr=%s model=%s dim=%d", e.Addr, e.Model, e.Dim)
+}
+
+// DrainStart is emitted when shutdown begins: the listener has closed
+// and in-flight requests are being drained.
+type DrainStart struct {
+	core.ExternalEvent
+	InFlight int
+}
+
+// EventLine renders the drain announcement for diag.EventLog.
+func (e DrainStart) EventLine() string {
+	return fmt.Sprintf("serve drain      in_flight=%d", e.InFlight)
+}
+
+// ServerStop is emitted when shutdown completes.
+type ServerStop struct {
+	core.ExternalEvent
+	Requests int64
+	Uptime   time.Duration
+}
+
+// EventLine renders the shutdown line for diag.EventLog.
+func (e ServerStop) EventLine() string {
+	return fmt.Sprintf("serve stop       requests=%d uptime=%s", e.Requests, e.Uptime.Round(time.Millisecond))
+}

@@ -1,0 +1,465 @@
+// Package serve is the framework's HTTP serving layer: it exposes a
+// trained model artifact (internal/model) as a small JSON-over-HTTP
+// matching service — the production face of the "reusable EM model"
+// §2 of the paper argues active learning amortizes across EM instances.
+//
+// Routes:
+//
+//	POST /v1/match   two tables in, predicted pairs with confidence out
+//	POST /v1/score   pre-featurized vectors in, match scores out (batched)
+//	GET  /healthz    liveness plus model identity
+//	GET  /metrics    Prometheus text: request counts, latency histograms,
+//	                 in-flight gauge, batching and extractor reuse rates
+//
+// The server is production-shaped: per-request deadlines, a bounded
+// worker pool that coalesces concurrent score requests into merged
+// batches, graceful drain of in-flight work on shutdown, and structured
+// request logging through the core event vocabulary.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/alem/alem/internal/core"
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/match"
+	"github.com/alem/alem/internal/model"
+)
+
+// Config sizes the server. The zero value serves on an OS-assigned port
+// with sensible defaults; see the field comments for what each knob
+// bounds.
+type Config struct {
+	// Addr is the listen address, e.g. ":8080". Empty binds
+	// 127.0.0.1:0 (an OS-assigned port, reported by Addr()).
+	Addr string
+	// Workers bounds concurrent learner batches (default GOMAXPROCS).
+	Workers int
+	// MaxBatch caps the vectors merged into one score batch (default 256).
+	MaxBatch int
+	// Linger is how long an under-filled batch waits for company
+	// (default 2ms; negative disables waiting but still coalesces
+	// already-queued requests).
+	Linger time.Duration
+	// QueueDepth bounds queued score jobs before submit blocks
+	// (default 4×Workers).
+	QueueDepth int
+	// RequestTimeout is the per-request deadline (default 30s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 15s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 64 MiB — match requests
+	// carry whole tables).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Linger == 0 {
+		c.Linger = 2 * time.Millisecond
+	}
+	if c.Linger < 0 {
+		c.Linger = 0
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server serves one loaded model artifact. Create with New; run with
+// ListenAndServe, or mount Handler on a listener of your own (tests use
+// httptest).
+type Server struct {
+	cfg       Config
+	art       *model.Artifact
+	matcher   *match.Matcher
+	pool      *scorePool
+	met       *metrics
+	observers []core.Observer
+
+	ready    chan struct{}
+	addr     atomic.Pointer[net.TCPAddr]
+	draining atomic.Bool
+	total    atomic.Int64
+}
+
+// New builds a Server for the artifact. Observers receive the serve
+// event stream (RequestDone per request, ServerStart/DrainStart/
+// ServerStop around the lifecycle).
+func New(art *model.Artifact, cfg Config, obs ...core.Observer) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:       cfg,
+		art:       art,
+		matcher:   art.Matcher(),
+		pool:      newScorePool(art.Learner, cfg.Workers, cfg.MaxBatch, cfg.QueueDepth, cfg.Linger),
+		met:       newMetrics(),
+		observers: obs,
+		ready:     make(chan struct{}),
+	}
+}
+
+func (s *Server) emit(e core.Event) {
+	for _, o := range s.observers {
+		o.Observe(e)
+	}
+}
+
+// Close drains the score pool. ListenAndServe calls it on the way out;
+// callers that mount Handler on their own listener (tests) should defer
+// it. Safe to call more than once.
+func (s *Server) Close() { s.pool.close() }
+
+// Ready is closed once the listener is bound; Addr is valid after it.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
+
+// Addr returns the bound listen address ("" before Ready).
+func (s *Server) Addr() string {
+	if a := s.addr.Load(); a != nil {
+		return a.String()
+	}
+	return ""
+}
+
+// ListenAndServe binds the configured address and serves until ctx is
+// cancelled (typically by SIGTERM), then shuts down gracefully: the
+// listener closes, in-flight requests drain within DrainTimeout, and
+// the score pool finishes every accepted job before the call returns.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		s.pool.close()
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.addr.Store(ln.Addr().(*net.TCPAddr))
+	start := time.Now()
+	s.emit(ServerStart{Addr: s.Addr(), Model: string(s.art.Kind), Dim: s.art.Dim})
+	close(s.ready)
+
+	hs := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		s.pool.close()
+		return err
+	case <-ctx.Done():
+	}
+
+	s.draining.Store(true)
+	s.emit(DrainStart{InFlight: int(s.met.inFlight.Load())})
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err = hs.Shutdown(shutCtx)
+	// Handlers have returned (or the drain budget is spent); now drain
+	// the batching pool so no accepted score job is dropped.
+	s.pool.close()
+	s.emit(ServerStop{Requests: s.total.Load(), Uptime: time.Since(start)})
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("serve: drain timeout after %s: %w", s.cfg.DrainTimeout, err)
+	}
+	return err
+}
+
+// Handler returns the server's route tree, instrumented with deadlines,
+// body limits, metrics and request logging. It is exported so tests can
+// drive the server through httptest without a real listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/score", s.handleScore)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with the cross-cutting serving concerns:
+// in-flight accounting, per-request deadlines, body caps, the request
+// counter/latency metrics, and one RequestDone event per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.inFlight.Add(1)
+		defer s.met.inFlight.Add(-1)
+		s.total.Add(1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+
+		elapsed := time.Since(start)
+		route := r.URL.Path
+		s.met.observe(route, rec.status, elapsed.Seconds())
+		s.emit(RequestDone{
+			Method: r.Method, Route: route, Status: rec.status,
+			Bytes: rec.bytes, Elapsed: elapsed, Remote: r.RemoteAddr,
+		})
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// Wire types.
+
+type tableJSON struct {
+	Name   string    `json:"name,omitempty"`
+	Schema []string  `json:"schema"`
+	Rows   []rowJSON `json:"rows"`
+}
+
+type rowJSON struct {
+	ID     string   `json:"id"`
+	Values []string `json:"values"`
+}
+
+type matchRequest struct {
+	Left  tableJSON `json:"left"`
+	Right tableJSON `json:"right"`
+}
+
+type pairJSON struct {
+	LeftID     string  `json:"left_id"`
+	RightID    string  `json:"right_id"`
+	Confidence float64 `json:"confidence"`
+}
+
+type matchResponse struct {
+	Pairs      []pairJSON `json:"pairs"`
+	Candidates int        `json:"candidates"`
+	ElapsedMS  float64    `json:"elapsed_ms"`
+}
+
+type scoreRequest struct {
+	Vectors [][]float64 `json:"vectors"`
+}
+
+type scoreResponse struct {
+	Scores  []float64 `json:"scores"`
+	Matches []bool    `json:"matches"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps pipeline errors to HTTP: deadline → 504, client cancel
+// or drain → 503.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req matchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding match request: %v", err)
+		return
+	}
+	left, err := toTable("left", req.Left)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	right, err := toTable("right", req.Right)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The artifact's schema is the contract: reject tables that do not
+	// reproduce the training-time attribute list.
+	if !sameSchema(left.Schema, s.art.Meta.Schema) || !sameSchema(right.Schema, s.art.Meta.Schema) {
+		writeError(w, http.StatusBadRequest,
+			"schema mismatch: model was trained on %v", s.art.Meta.Schema)
+		return
+	}
+
+	start := time.Now()
+	pairs, candidates, err := s.matcher.Match(r.Context(), left, right)
+	if err != nil {
+		if ctxErr := r.Context().Err(); ctxErr != nil {
+			s.met.timeouts.Add(1)
+			writeError(w, statusFor(ctxErr), "match aborted: %v", ctxErr)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "match: %v", err)
+		return
+	}
+	resp := matchResponse{
+		Pairs:      make([]pairJSON, len(pairs)),
+		Candidates: candidates,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	for i, p := range pairs {
+		resp.Pairs[i] = pairJSON{LeftID: p.LeftID, RightID: p.RightID, Confidence: p.Confidence}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req scoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding score request: %v", err)
+		return
+	}
+	if len(req.Vectors) == 0 {
+		writeError(w, http.StatusBadRequest, "no vectors in score request")
+		return
+	}
+	vecs := make([]feature.Vector, len(req.Vectors))
+	for i, v := range req.Vectors {
+		if len(v) != s.art.Dim {
+			writeError(w, http.StatusBadRequest,
+				"vector %d has %d dims, model expects %d", i, len(v), s.art.Dim)
+			return
+		}
+		vecs[i] = v
+	}
+
+	job := &scoreJob{ctx: r.Context(), vecs: vecs, out: make(chan scoreResult, 1)}
+	if err := s.pool.submit(job); err != nil {
+		if errors.Is(err, ErrDraining) {
+			s.met.rejected.Add(1)
+		} else {
+			s.met.timeouts.Add(1)
+		}
+		writeError(w, statusFor(err), "score rejected: %v", err)
+		return
+	}
+	select {
+	case res := <-job.out:
+		if res.err != nil {
+			if errors.Is(res.err, context.DeadlineExceeded) {
+				s.met.timeouts.Add(1)
+			}
+			writeError(w, statusFor(res.err), "score failed: %v", res.err)
+			return
+		}
+		resp := scoreResponse{Scores: res.scores, Matches: make([]bool, len(vecs))}
+		for i, v := range vecs {
+			resp.Matches[i] = s.art.Learner.Predict(v)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case <-r.Context().Done():
+		s.met.timeouts.Add(1)
+		writeError(w, statusFor(r.Context().Err()), "score aborted: %v", r.Context().Err())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"model":     s.art.Kind,
+		"dim":       s.art.Dim,
+		"schema":    s.art.Meta.Schema,
+		"features":  s.art.Meta.Features.String(),
+		"in_flight": s.met.inFlight.Load(),
+		"draining":  s.draining.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, func(w2 io.Writer) {
+		s.pool.writeMetrics(w2)
+		hits, misses := s.matcher.ExtractorReuse()
+		fmt.Fprintln(w2, "# HELP alem_matcher_extractor_reuse_hits_total Match calls that reused the cached extractor.")
+		fmt.Fprintln(w2, "# TYPE alem_matcher_extractor_reuse_hits_total counter")
+		fmt.Fprintf(w2, "alem_matcher_extractor_reuse_hits_total %d\n", hits)
+		fmt.Fprintln(w2, "# HELP alem_matcher_extractor_reuse_misses_total Match calls that built a fresh extractor.")
+		fmt.Fprintln(w2, "# TYPE alem_matcher_extractor_reuse_misses_total counter")
+		fmt.Fprintf(w2, "alem_matcher_extractor_reuse_misses_total %d\n", misses)
+	})
+}
+
+func toTable(name string, t tableJSON) (*dataset.Table, error) {
+	if len(t.Schema) == 0 {
+		return nil, fmt.Errorf("%s table has no schema", name)
+	}
+	out := &dataset.Table{Name: name, Schema: t.Schema, Rows: make([]dataset.Record, len(t.Rows))}
+	if t.Name != "" {
+		out.Name = t.Name
+	}
+	for i, r := range t.Rows {
+		if len(r.Values) != len(t.Schema) {
+			return nil, fmt.Errorf("%s table row %d has %d values for %d schema attributes",
+				name, i, len(r.Values), len(t.Schema))
+		}
+		out.Rows[i] = dataset.Record{ID: r.ID, Values: r.Values}
+	}
+	return out, nil
+}
+
+func sameSchema(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

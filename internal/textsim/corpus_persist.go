@@ -1,0 +1,40 @@
+package textsim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// corpusState is the serialized form of a Corpus. The document-frequency
+// table is part of a trained model: corpus-aware metrics (TF-IDF cosine,
+// SoftTFIDF) score deployment-time pairs with the *training* statistics,
+// which cannot be recomputed from the fresh tables.
+type corpusState struct {
+	Docs int            `json:"docs"`
+	DF   map[string]int `json:"df"`
+}
+
+// MarshalJSON implements json.Marshaler so a Corpus can travel inside a
+// saved model artifact.
+func (c *Corpus) MarshalJSON() ([]byte, error) {
+	return json.Marshal(corpusState{Docs: c.docs, DF: c.df})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring the statistics a
+// MarshalJSON'd corpus carried.
+func (c *Corpus) UnmarshalJSON(data []byte) error {
+	var st corpusState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("textsim: decoding corpus: %w", err)
+	}
+	if st.Docs < 0 {
+		return fmt.Errorf("textsim: decoding corpus: negative document count %d", st.Docs)
+	}
+	c.docs = st.Docs
+	c.df = st.DF
+	if c.df == nil {
+		c.df = map[string]int{}
+	}
+	c.tok = Whitespace{}
+	return nil
+}

@@ -282,6 +282,26 @@ func (f *Forest) Depth() int {
 	return d
 }
 
+// MinDim returns a lower bound on the feature dimensionality the forest
+// was trained on: one past the largest feature index any split routes
+// on. Trees do not record the full training width (a feature may simply
+// never be split on), so deployment-time validation can only require the
+// extractor to be at least this wide.
+func (f *Forest) MinDim() int {
+	d := 0
+	for _, t := range f.trees {
+		d = max(d, minDim(t.Root))
+	}
+	return d
+}
+
+func minDim(n *Node) int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	return max(n.Feature+1, minDim(n.Left), minDim(n.Right))
+}
+
 // Clone returns an untrained forest with the same size, threshold and a
 // fresh RNG.
 func (f *Forest) Clone(seed int64) *Forest {

@@ -1,0 +1,81 @@
+#!/bin/sh
+# serve_smoke.sh — the train → save → serve loop, end to end: build the
+# CLIs, train a small model, start almserve on a random port, hit
+# /healthz and /v1/match, then SIGTERM and assert a clean drain.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+srv_pid=
+cleanup() {
+    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building almatch + almserve"
+$GO build -o "$tmp/almatch" ./cmd/almatch
+$GO build -o "$tmp/almserve" ./cmd/almserve
+
+echo "serve-smoke: training a small beer model"
+"$tmp/almatch" -mode train -dataset beer -scale 0.5 -trees 5 -maxlabels 60 \
+    -model "$tmp/model.json" >/dev/null
+
+"$tmp/almserve" -model "$tmp/model.json" -addr 127.0.0.1:0 -log \
+    2>"$tmp/serve.log" &
+srv_pid=$!
+
+# almserve prints "listening on <addr>" once the listener is bound.
+addr=
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/.*listening on //p' "$tmp/serve.log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$srv_pid" 2>/dev/null || { echo "serve-smoke: almserve died at startup" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: almserve never reported its address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+echo "serve-smoke: almserve up on $addr"
+
+health=$(curl -fsS "http://$addr/healthz")
+case "$health" in
+*'"status":"ok"'*) ;;
+*) echo "serve-smoke: unexpected /healthz body: $health" >&2; exit 1 ;;
+esac
+
+# One /v1/match round trip: identical single-row tables guarantee the
+# pair survives blocking at any threshold; we assert the request is
+# served, not the prediction.
+cat >"$tmp/match.json" <<'JSON'
+{
+  "left": {
+    "schema": ["beer_name", "brew_factory_name", "style", "ABV"],
+    "rows": [{"id": "l0", "values": ["golden trail ipa", "cascade brewing", "ipa", "6.2"]}]
+  },
+  "right": {
+    "schema": ["beer_name", "brew_factory_name", "style", "ABV"],
+    "rows": [{"id": "r0", "values": ["golden trail ipa", "cascade brewing", "ipa", "6.2"]}]
+  }
+}
+JSON
+match=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data @"$tmp/match.json" "http://$addr/v1/match")
+case "$match" in
+*'"candidates":1'*) ;;
+*) echo "serve-smoke: unexpected /v1/match body: $match" >&2; exit 1 ;;
+esac
+echo "serve-smoke: /v1/match ok"
+
+kill -TERM "$srv_pid"
+i=0
+while kill -0 "$srv_pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ $i -gt 100 ] && { echo "serve-smoke: almserve did not drain within 10s" >&2; exit 1; }
+    sleep 0.1
+done
+wait "$srv_pid" 2>/dev/null && status=0 || status=$?
+srv_pid=
+[ "$status" -eq 0 ] || { echo "serve-smoke: almserve exited $status on SIGTERM" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+grep -q 'serve stop' "$tmp/serve.log" || { echo "serve-smoke: no drain trace in event log" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+echo "serve-smoke: clean shutdown"
