@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench serve-smoke
+.PHONY: check vet build test race bench chaos serve-smoke
 
-check: vet build race serve-smoke
+check: vet build race chaos serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
+
+# Seeded fault-injection suite: kill/resume bit-identity, oracle stall
+# termination, panic containment, breaker lifecycle — all replayable
+# because every fault pattern is a pure function of its seed.
+chaos:
+	$(GO) test -race -run Chaos ./...
 
 # End-to-end train → save → serve loop: builds almatch + almserve,
 # trains a small model, serves it on a random port, hits /healthz and

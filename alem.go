@@ -41,6 +41,7 @@ import (
 	"github.com/alem/alem/internal/model"
 	"github.com/alem/alem/internal/neural"
 	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/resilience"
 	"github.com/alem/alem/internal/rules"
 	"github.com/alem/alem/internal/serve"
 	"github.com/alem/alem/internal/textsim"
@@ -265,6 +266,9 @@ type (
 	BatchSelected = core.BatchSelected
 	// CandidateAccepted reports an ensemble acceptance (§5.2).
 	CandidateAccepted = core.CandidateAccepted
+	// OracleFault reports a labeling query that failed after retries;
+	// the pair is requeued and the run continues on the granted labels.
+	OracleFault = core.OracleFault
 	// RunEnd closes the run with its StopReason.
 	RunEnd = core.RunEnd
 	// CurveBuilder accumulates curve points incrementally.
@@ -289,6 +293,9 @@ const (
 	StopSelectorEmpty = core.StopSelectorEmpty
 	// StopCancelled: the run's context was cancelled.
 	StopCancelled = core.StopCancelled
+	// StopOracleFailed: labeling stalled — every query in a round failed
+	// even after retries, so the run kept its partial model and stopped.
+	StopOracleFailed = core.StopOracleFailed
 )
 
 // NewSession validates cfg and prepares a run without starting it.
@@ -485,6 +492,108 @@ func NewNoisyOracle(d *Dataset, noise float64, seed int64) *NoisyOracle {
 // the crowd label-correction the paper's noise model deliberately omits.
 func NewMajorityVoteOracle(inner Oracle, k int) Oracle {
 	return oracle.NewMajorityVote(inner, k)
+}
+
+// Resilience: fault-tolerant labeling, crash-safe checkpoints, and
+// overload protection. Real labeling back ends (crowds, APIs, humans on
+// call) fail; these types let a Session survive transient faults, resume
+// a killed run bit-identically from a snapshot plus label WAL, and let a
+// MatchServer shed load instead of collapsing.
+type (
+	// FallibleOracle is an Oracle whose queries can fail: labeling is an
+	// RPC to a human or service, so Label takes a context and returns an
+	// error alongside the label.
+	FallibleOracle = resilience.FallibleOracle
+	// RetryPolicy bounds retries with exponential backoff and jitter.
+	RetryPolicy = resilience.RetryPolicy
+	// RetryOracle wraps a FallibleOracle with a RetryPolicy.
+	RetryOracle = resilience.Retrier
+	// FaultConfig parameterizes deterministic fault injection.
+	FaultConfig = resilience.FaultConfig
+	// FaultyOracle injects seeded, replayable faults for chaos testing.
+	FaultyOracle = resilience.FaultyOracle
+	// LabelWAL is the append-only, fsync-per-record label log that makes
+	// resumed runs replay granted labels instead of re-paying for them.
+	LabelWAL = resilience.LabelWAL
+	// LabelRecord is one granted label in a LabelWAL.
+	LabelRecord = resilience.LabelRecord
+	// LabelSink receives each granted label as it is paid for.
+	LabelSink = core.LabelSink
+	// StatefulOracle is an oracle whose label decisions consume RNG
+	// draws (NoisyOracle); snapshots capture and restore its position.
+	StatefulOracle = oracle.Stateful
+	// CircuitBreaker trips after consecutive failures and sheds load
+	// until a cooldown probe succeeds; MatchServer runs one internally.
+	CircuitBreaker = resilience.Breaker
+	// CircuitBreakerConfig sizes a CircuitBreaker.
+	CircuitBreakerConfig = resilience.BreakerConfig
+)
+
+// Resilience errors.
+var (
+	// ErrOracleExhausted wraps the final error once a RetryOracle's
+	// attempt budget is spent on a pair.
+	ErrOracleExhausted = resilience.ErrOracleExhausted
+	// ErrInjected marks failures manufactured by a FaultyOracle.
+	ErrInjected = resilience.ErrInjected
+	// ErrLabelingStalled reports a labeling round in which every query
+	// failed; the Session stops with StopOracleFailed.
+	ErrLabelingStalled = core.ErrLabelingStalled
+)
+
+// WrapOracle adapts an infallible Oracle to the FallibleOracle
+// interface (its Label never fails, only honors ctx cancellation).
+func WrapOracle(o Oracle) FallibleOracle { return resilience.Wrap(o) }
+
+// NewRetryOracle wraps inner with bounded, jittered retries. A zero
+// policy gets defaults (4 attempts, 50ms base delay doubling to 2s).
+func NewRetryOracle(inner FallibleOracle, policy RetryPolicy, seed int64) *RetryOracle {
+	return resilience.NewRetrier(inner, policy, seed)
+}
+
+// NewFaultyOracle wraps inner with deterministic seeded fault
+// injection: the same seed yields the same per-pair fault pattern
+// regardless of call interleaving, so chaos tests are replayable.
+func NewFaultyOracle(inner FallibleOracle, cfg FaultConfig, seed int64) *FaultyOracle {
+	return resilience.NewFaultyOracle(inner, cfg, seed)
+}
+
+// NewCircuitBreaker builds a standalone breaker (MatchServer wires its
+// own; this is for callers guarding other dependencies).
+func NewCircuitBreaker(cfg CircuitBreakerConfig) *CircuitBreaker {
+	return resilience.NewBreaker(cfg)
+}
+
+// OpenLabelWAL opens (or creates) a label write-ahead log, replaying
+// its intact prefix and truncating any torn tail from a crash
+// mid-append. Wire the WAL into a Session with SetLabelSink; pass the
+// replayed records to RestoreSessionWithWAL on resume.
+func OpenLabelWAL(path string) (*LabelWAL, []LabelRecord, error) {
+	return resilience.OpenLabelWAL(path)
+}
+
+// WriteFileAtomic writes a file via temp + fsync + rename so readers
+// never observe a torn write — the way checkpoints should hit disk.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return resilience.WriteFileAtomic(path, write)
+}
+
+// NewFallibleSession is NewSession over a FallibleOracle: failed
+// queries emit OracleFault events and requeue their pairs, the run
+// trains on whatever labels were granted, and a fully failed round
+// stops with StopOracleFailed instead of spinning.
+func NewFallibleSession(pool *Pool, l Learner, s Selector, fo FallibleOracle, cfg Config) (*Session, error) {
+	return core.NewFallibleSession(pool, l, s, fo, cfg)
+}
+
+// RestoreSessionWithWAL is RestoreSession plus replay of labels granted
+// after the snapshot was taken: WAL records beyond the snapshot are
+// served from cache when the resumed run re-selects their pairs, so a
+// killed process pays for no label twice and reproduces the
+// uninterrupted run bit-identically.
+func RestoreSessionWithWAL(pool *Pool, l Learner, s Selector, fo FallibleOracle,
+	sn *SessionSnapshot, wal []LabelRecord) (*Session, error) {
+	return core.RestoreWithWAL(pool, l, s, fo, sn, wal)
 }
 
 // Evaluation.

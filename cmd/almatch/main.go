@@ -11,6 +11,15 @@
 //	almatch -mode apply -model forest.json -left left.csv -right right.csv \
 //	        -out matches.csv
 //
+// Training with -checkpoint writes an atomic snapshot every iteration
+// and journals each granted label to <checkpoint>.wal, so a killed run
+// resumes with -resume to the identical model without re-paying for any
+// label already granted:
+//
+//	almatch -mode train -dataset beer -checkpoint run.ckpt -model forest.json
+//	# ... killed mid-run ...
+//	almatch -mode train -dataset beer -checkpoint run.ckpt -resume -model forest.json
+//
 // The model file is a unified artifact (alem.SaveModel) carrying the
 // schema, blocking threshold and featurization, so apply mode needs no
 // pipeline flags; -threshold overrides the stored blocking threshold.
@@ -23,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,13 +54,20 @@ func main() {
 		threshold = flag.Float64("threshold", -1, "blocking Jaccard threshold override (apply mode; default: the artifact's)")
 		outPath   = flag.String("out", "", "output matches CSV (apply mode; default stdout)")
 		progress  = flag.Bool("progress", false, "stream per-iteration progress to stderr (train mode)")
+		ckpt      = flag.String("checkpoint", "", "snapshot file for crash-safe training; labels journal to <file>.wal (train mode)")
+		resume    = flag.Bool("resume", false, "resume the run in -checkpoint instead of starting fresh (train mode)")
+		flaky     = flag.Float64("flaky", 0, "inject this transient oracle-failure rate, with retries — a resilience drill (train mode)")
 	)
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "train":
-		err = train(*datasetN, *scale, *seed, *modelPath, *trees, *maxLabels, *progress)
+		err = train(trainOpts{
+			dataset: *datasetN, scale: *scale, seed: *seed,
+			modelPath: *modelPath, trees: *trees, maxLabels: *maxLabels,
+			progress: *progress, checkpoint: *ckpt, resume: *resume, flaky: *flaky,
+		})
 	case "apply":
 		err = apply(*modelPath, *leftPath, *rightPath, *threshold, *outPath)
 	default:
@@ -64,56 +81,153 @@ func main() {
 	}
 }
 
-func train(name string, scale float64, seed int64, modelPath string, trees, maxLabels int, progress bool) error {
-	d, err := alem.LoadDataset(name, scale, seed)
+type trainOpts struct {
+	dataset    string
+	scale      float64
+	seed       int64
+	modelPath  string
+	trees      int
+	maxLabels  int
+	progress   bool
+	checkpoint string
+	resume     bool
+	flaky      float64
+}
+
+func train(o trainOpts) error {
+	d, err := alem.LoadDataset(o.dataset, o.scale, o.seed)
 	if err != nil {
 		return err
 	}
 	pool := alem.NewPool(d)
-	forest := alem.NewRandomForest(trees, seed)
-	session, err := alem.NewSession(pool, forest, alem.ForestQBC{}, alem.NewPerfectOracle(d), alem.Config{
-		Seed: seed, MaxLabels: maxLabels, TargetF1: 0.99,
-	})
-	if err != nil {
-		return err
+	forest := alem.NewRandomForest(o.trees, o.seed)
+	cfg := alem.Config{Seed: o.seed, MaxLabels: o.maxLabels, TargetF1: 0.99}
+
+	// The oracle is fallible end to end; -flaky layers deterministic fault
+	// injection plus retries on top, a drill for real labeling back ends.
+	labeler := alem.WrapOracle(alem.NewPerfectOracle(d))
+	if o.flaky > 0 {
+		labeler = alem.NewRetryOracle(
+			alem.NewFaultyOracle(labeler, alem.FaultConfig{TransientRate: o.flaky}, o.seed),
+			alem.RetryPolicy{}, o.seed)
 	}
-	if progress {
+
+	var session *alem.Session
+	var wal *alem.LabelWAL
+	walPath := o.checkpoint + ".wal"
+	switch {
+	case o.checkpoint != "" && o.resume:
+		f, err := os.Open(o.checkpoint)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		sn, err := alem.ReadSessionSnapshot(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", o.checkpoint, err)
+		}
+		w, records, err := alem.OpenLabelWAL(walPath)
+		if err != nil {
+			return err
+		}
+		wal = w
+		session, err = alem.RestoreSessionWithWAL(pool, forest, alem.ForestQBC{}, labeler, sn, records)
+		if err != nil {
+			wal.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "resuming from %s: iteration %d, %d labels snapshotted, %d journaled\n",
+			o.checkpoint, sn.Iteration, len(sn.Labeled), len(records))
+	case o.checkpoint != "":
+		// A fresh run owns its checkpoint: stale files from an earlier run
+		// would poison the WAL replay, so they are removed up front.
+		os.Remove(o.checkpoint)
+		os.Remove(walPath)
+		session, err = alem.NewFallibleSession(pool, forest, alem.ForestQBC{}, labeler, cfg)
+		if err != nil {
+			return err
+		}
+		w, _, err := alem.OpenLabelWAL(walPath)
+		if err != nil {
+			return err
+		}
+		wal = w
+	default:
+		session, err = alem.NewFallibleSession(pool, forest, alem.ForestQBC{}, labeler, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if wal != nil {
+		session.SetLabelSink(wal)
+		defer wal.Close()
+	}
+
+	if o.progress {
 		session.AddObserver(alem.ObserverFunc(func(e alem.Event) {
-			if ed, ok := e.(alem.EvalDone); ok {
+			switch ev := e.(type) {
+			case alem.EvalDone:
 				fmt.Fprintf(os.Stderr, "iter %3d: labels=%d F1=%.3f\n",
-					ed.Iteration, ed.Point.Labels, ed.Point.F1)
+					ev.Iteration, ev.Point.Labels, ev.Point.F1)
+			case alem.OracleFault:
+				fmt.Fprintf(os.Stderr, "iter %3d: pair (%d,%d) failed, requeued: %v\n",
+					ev.Iteration, ev.Pair.L, ev.Pair.R, ev.Err)
 			}
 		}))
 	}
-	// Ctrl-C stops labeling but still saves the model trained so far.
+
+	// Ctrl-C stops labeling but still saves the model trained so far; a
+	// stalled oracle (every query in a round failing) does the same.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := session.Run(ctx)
-	if err != nil && !errors.Is(err, context.Canceled) {
-		return err
+	var runErr error
+	for {
+		done, err := session.Step(ctx)
+		if o.checkpoint != "" {
+			// Snapshot every iteration boundary, atomically: a kill between
+			// writes loses no granted label thanks to the WAL.
+			if cerr := alem.WriteFileAtomic(o.checkpoint, session.Snapshot().Encode); cerr != nil {
+				return fmt.Errorf("checkpoint: %w", cerr)
+			}
+		}
+		if err != nil {
+			runErr = err
+			break
+		}
+		if done {
+			break
+		}
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "interrupted; saving the model as of iteration %d\n", len(res.Curve))
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, alem.ErrLabelingStalled) {
+		return runErr
+	}
+	res := session.Result()
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "%v; saving the model as of iteration %d\n", runErr, len(res.Curve))
 	}
 	fmt.Printf("trained Trees(%d) on %s: best F1 %.3f with %d labels (%s)\n",
-		trees, name, res.Curve.BestF1(), res.LabelsUsed, res.Reason)
-	f, err := os.Create(modelPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+		o.trees, o.dataset, res.Curve.BestF1(), res.LabelsUsed, res.Reason)
 	// The unified artifact records the schema, blocking threshold and
 	// featurization alongside the forest, so apply mode and almserve can
-	// rebuild the exact pipeline with no extra flags.
-	if err := alem.SaveModel(f, forest, alem.ModelMeta{
-		Schema:         d.Left.Schema,
-		BlockThreshold: d.BlockThreshold,
-		Dataset:        name,
-		Labels:         res.LabelsUsed,
+	// rebuild the exact pipeline with no extra flags. Written atomically:
+	// a crash mid-save must not leave a torn model file behind.
+	if err := alem.WriteFileAtomic(o.modelPath, func(w io.Writer) error {
+		return alem.SaveModel(w, forest, alem.ModelMeta{
+			Schema:         d.Left.Schema,
+			BlockThreshold: d.BlockThreshold,
+			Dataset:        o.dataset,
+			Labels:         res.LabelsUsed,
+		})
 	}); err != nil {
 		return err
 	}
-	fmt.Printf("model saved to %s\n", modelPath)
+	fmt.Printf("model saved to %s\n", o.modelPath)
+	if o.checkpoint != "" && runErr == nil {
+		// The run finished; its checkpoint would otherwise resume a done
+		// session, so clean up. Interrupted runs keep theirs for -resume.
+		os.Remove(o.checkpoint)
+		os.Remove(walPath)
+	}
 	return nil
 }
 

@@ -14,7 +14,10 @@
 //
 // Concurrent /v1/score requests are coalesced into merged batches by a
 // bounded worker pool; SIGTERM/SIGINT drains in-flight requests before
-// exit.
+// exit. A circuit breaker around the model sheds requests with 429 and
+// a Retry-After hint after repeated failures, a queue watermark rejects
+// overload fast instead of queueing doomed work, and /healthz reports
+// "degraded" while either protection is active.
 package main
 
 import (
@@ -40,16 +43,35 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 		logReq    = flag.Bool("log", false, "stream request/lifecycle events to stderr")
+		brkThresh = flag.Int("breaker-threshold", 5, "consecutive model failures that open the circuit breaker")
+		brkCool   = flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before probing")
+		shedMark  = flag.Int("shed-watermark", -1, "shed /v1/score with 429 past this queue depth (-1 = queue depth, 0 = off)")
 	)
 	flag.Parse()
 
-	if err := run(*modelPath, *addr, *workers, *batch, *linger, *timeout, *drain, *logReq); err != nil {
+	opts := serveOpts{
+		addr: *addr, workers: *workers, batch: *batch, linger: *linger,
+		timeout: *timeout, drain: *drain, logReq: *logReq,
+		brkThresh: *brkThresh, brkCool: *brkCool, shedMark: *shedMark,
+	}
+	if err := run(*modelPath, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "almserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath, addr string, workers, batch int, linger, timeout, drain time.Duration, logReq bool) error {
+type serveOpts struct {
+	addr           string
+	workers, batch int
+	linger         time.Duration
+	timeout, drain time.Duration
+	logReq         bool
+	brkThresh      int
+	brkCool        time.Duration
+	shedMark       int
+}
+
+func run(modelPath string, o serveOpts) error {
 	f, err := os.Open(modelPath)
 	if err != nil {
 		return err
@@ -61,16 +83,26 @@ func run(modelPath, addr string, workers, batch int, linger, timeout, drain time
 	}
 
 	var obs []alem.Observer
-	if logReq {
+	if o.logReq {
 		obs = append(obs, alem.NewEventLog(os.Stderr))
 	}
+	// The library default leaves watermark shedding off; the CLI turns it
+	// on at the queue's own depth so a saturated server answers 429 fast
+	// instead of making clients wait out their deadlines in line.
+	shed := o.shedMark
+	if shed < 0 {
+		shed = 4 * o.workers
+	}
 	srv := alem.NewMatchServer(art, alem.MatchServerConfig{
-		Addr:           addr,
-		Workers:        workers,
-		MaxBatch:       batch,
-		Linger:         linger,
-		RequestTimeout: timeout,
-		DrainTimeout:   drain,
+		Addr:             o.addr,
+		Workers:          o.workers,
+		MaxBatch:         o.batch,
+		Linger:           o.linger,
+		RequestTimeout:   o.timeout,
+		DrainTimeout:     o.drain,
+		BreakerThreshold: o.brkThresh,
+		BreakerCooldown:  o.brkCool,
+		ShedWatermark:    shed,
 	}, obs...)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

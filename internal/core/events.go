@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"github.com/alem/alem/internal/dataset"
 	"github.com/alem/alem/internal/eval"
 )
 
@@ -60,6 +61,24 @@ type BatchSelected struct {
 	Score           time.Duration
 }
 
+// OracleFault reports one failed label query: the labeler (after any
+// retry policy wrapped around it) gave up on the pair, which has been
+// requeued at the back of the unlabeled pool. The iteration degrades
+// gracefully — training proceeds on whatever was granted — so a fault is
+// an observation, not a run error; a round of nothing but faults ends
+// the run with StopOracleFailed instead.
+type OracleFault struct {
+	// Iteration is the iteration the fault occurred in (the current value
+	// during the seed phase).
+	Iteration int
+	// Index is the pool index whose query failed; Pair is its record pair.
+	Index int
+	Pair  dataset.PairKey
+	// Err is the labeler's error, typically wrapping
+	// resilience.ErrOracleExhausted.
+	Err error
+}
+
 // CandidateAccepted is emitted by ensemble runs (§5.2) when a candidate
 // classifier passes the precision acceptance test.
 type CandidateAccepted struct {
@@ -92,6 +111,7 @@ func (IterationStart) isEvent()    {}
 func (TrainDone) isEvent()         {}
 func (EvalDone) isEvent()          {}
 func (BatchSelected) isEvent()     {}
+func (OracleFault) isEvent()       {}
 func (CandidateAccepted) isEvent() {}
 func (RunEnd) isEvent()            {}
 
@@ -115,6 +135,10 @@ const (
 	StopSelectorEmpty
 	// StopCancelled: the run's context was cancelled or timed out.
 	StopCancelled
+	// StopOracleFailed: an entire labeling round failed — the labeler is
+	// down or exhausted every retry budget — so continuing could only
+	// spin. The run's error wraps ErrLabelingStalled.
+	StopOracleFailed
 )
 
 // String implements fmt.Stringer.
@@ -134,6 +158,8 @@ func (r StopReason) String() string {
 		return "selector returned no examples"
 	case StopCancelled:
 		return "cancelled"
+	case StopOracleFailed:
+		return "oracle failed"
 	}
 	return "unknown"
 }

@@ -2,13 +2,35 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"time"
 
 	"github.com/alem/alem/internal/eval"
 	"github.com/alem/alem/internal/feature"
 	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/resilience"
 )
+
+// ErrLabelingStalled is returned by Step (and wrapped into the Result's
+// error) when an entire labeling round failed — every query in the batch
+// errored and not one label was granted. It separates "the labeler is
+// down" (StopOracleFailed) from ordinary cancellation, and stops the
+// engine from spinning on a dead Oracle forever.
+var ErrLabelingStalled = errors.New("core: labeling stalled, no query in the round succeeded")
+
+// LabelSink receives every granted label, in grant order, before the
+// engine considers the label applied. resilience.LabelWAL implements it;
+// wiring one in with SetLabelSink makes each paid-for label durable the
+// moment it is granted, which is what lets Snapshot + WAL replay resume
+// a killed run without re-paying (or re-randomizing) any label.
+type LabelSink interface {
+	// Append durably records that the seq-th granted label (1-based) was
+	// for pool index with the given value. An error is fatal to the run:
+	// a label that cannot be made durable must not be trained on.
+	Append(seq, index int, label bool) error
+}
 
 // Session is the active-learning loop of Fig. 1a decomposed into explicit
 // phases — seed, train, evaluate, select, label — with three cross-cutting
@@ -35,8 +57,20 @@ type Session struct {
 	pool    *Pool
 	learner Learner
 	sel     Selector
-	oracle  oracle.Oracle
+	labeler resilience.FallibleOracle
 	cfg     Config
+
+	// stateful is the oracle's RNG-state hook when the wrapped oracle
+	// implements oracle.Stateful (Noisy does), discovered once at
+	// construction; nil otherwise.
+	stateful oracle.Stateful
+	// sink, when set, durably records every granted label (see LabelSink).
+	sink LabelSink
+	// walLabels caches labels recovered from a WAL during RestoreWithWAL:
+	// pool index → granted label. labelOne consumes from here before
+	// querying the labeler, so a resumed run never re-pays for a label the
+	// crashed run already bought.
+	walLabels map[int]bool
 
 	src *countingSource
 	rng *rand.Rand
@@ -66,22 +100,42 @@ type Session struct {
 // queries are issued until the first Run or Step call (the seed phase is
 // lazy), so construction is side-effect free.
 func NewSession(pool *Pool, learner Learner, sel Selector, o oracle.Oracle, cfg Config) (*Session, error) {
+	return NewFallibleSession(pool, learner, sel, resilience.Wrap(o), cfg)
+}
+
+// NewFallibleSession is NewSession for labelers that can fail: a
+// FallibleOracle (typically a resilience.Retrier over a remote or
+// fault-injected labeler). Failed label queries degrade gracefully — the
+// pair is requeued at the back of the unlabeled pool and surfaced as an
+// OracleFault event — and only a round in which every query fails stops
+// the run (StopOracleFailed).
+func NewFallibleSession(pool *Pool, learner Learner, sel Selector, fo resilience.FallibleOracle, cfg Config) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	src := newCountingSource(cfg.Seed)
-	return &Session{
+	s := &Session{
 		pool:    pool,
 		learner: learner,
 		sel:     sel,
-		oracle:  o,
+		labeler: fo,
 		cfg:     cfg,
 		src:     src,
 		rng:     rand.New(src),
 		res:     &Result{},
-	}, nil
+	}
+	if st, ok := resilience.StatefulOf(fo); ok {
+		s.stateful = st
+	}
+	return s, nil
 }
+
+// SetLabelSink wires a durable label log (typically a
+// resilience.LabelWAL) into the session. Call before Run/Step; labels
+// granted earlier are not re-sent. Appends are idempotent on a WAL, so
+// attaching the same WAL a resumed run was restored from is safe.
+func (s *Session) SetLabelSink(sink LabelSink) { s.sink = sink }
 
 // AddObserver subscribes obs to the session's event stream. Call before
 // Run/Step; events already emitted are not replayed.
@@ -196,10 +250,20 @@ func (s *Session) Step(ctx context.Context) (bool, error) {
 	})
 
 	if err := s.labelPhase(ctx, batch); err != nil {
-		return true, s.cancel(err)
+		return true, s.failLabeling(err)
 	}
 	s.iter++
 	return false, nil
+}
+
+// failLabeling terminates the run for a labeling error, separating a
+// stalled labeler (StopOracleFailed) from cancellation and sink faults.
+func (s *Session) failLabeling(err error) error {
+	if errors.Is(err, ErrLabelingStalled) {
+		s.finish(StopOracleFailed, err)
+		return err
+	}
+	return s.cancel(err)
 }
 
 // seedPhase builds the selection universe and draws the initial labeled
@@ -232,11 +296,11 @@ func (s *Session) seedPhase(ctx context.Context) error {
 	s.seeded = true
 
 	if err := s.labelFront(ctx, min(s.cfg.SeedLabels, s.maxLabels)); err != nil {
-		return s.cancel(err)
+		return s.failLabeling(err)
 	}
 	for !bothClasses(s.labels) && len(s.unlabeled) > 0 && len(s.labeled) < s.maxLabels {
 		if err := s.labelFront(ctx, min(s.cfg.BatchSize, s.maxLabels-len(s.labeled))); err != nil {
-			return s.cancel(err)
+			return s.failLabeling(err)
 		}
 	}
 	return nil
@@ -248,14 +312,69 @@ func (s *Session) labelFront(ctx context.Context, k int) error {
 	if k > len(s.unlabeled) {
 		k = len(s.unlabeled)
 	}
-	for j := 0; j < k; j++ {
-		if err := ctx.Err(); err != nil {
-			return err
+	return s.labelBatch(ctx, append([]int(nil), s.unlabeled[:k]...))
+}
+
+// labelOne resolves one pool index to a label: from the WAL cache when a
+// resumed run already paid for it (advancing a stateful oracle's RNG past
+// the draw the crashed run consumed), otherwise by querying the labeler.
+func (s *Session) labelOne(ctx context.Context, i int) (bool, error) {
+	if lab, ok := s.walLabels[i]; ok {
+		delete(s.walLabels, i)
+		if s.stateful != nil {
+			s.stateful.Advance(1)
 		}
-		i := s.unlabeled[0]
-		s.unlabeled = s.unlabeled[1:]
+		return lab, nil
+	}
+	return s.labeler.Label(ctx, s.pool.Pairs[i])
+}
+
+// labelBatch queries the labeler for each index in batch, degrading
+// gracefully under faults: granted labels move into the labeled set (and
+// the sink, when one is attached); failed indices are requeued at the
+// back of the unlabeled pool so the run trains on what it got and comes
+// back to them later; a context error stops immediately, leaving the
+// unattempted remainder in place. A round in which every query failed
+// returns ErrLabelingStalled — training on nothing new would loop
+// forever against a dead labeler.
+func (s *Session) labelBatch(ctx context.Context, batch []int) error {
+	granted := make([]int, 0, len(batch))
+	var failed []int
+	var fatal error
+	for _, i := range batch {
+		if fatal = ctx.Err(); fatal != nil {
+			break
+		}
+		lab, err := s.labelOne(ctx, i)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				fatal = cerr
+				break
+			}
+			s.emit(OracleFault{Iteration: s.iter, Index: i, Pair: s.pool.Pairs[i], Err: err})
+			failed = append(failed, i)
+			continue
+		}
 		s.labeled = append(s.labeled, i)
-		s.labels = append(s.labels, s.oracle.Label(s.pool.Pairs[i]))
+		s.labels = append(s.labels, lab)
+		granted = append(granted, i)
+		if s.sink != nil {
+			if serr := s.sink.Append(len(s.labeled), i, lab); serr != nil {
+				fatal = fmt.Errorf("core: recording label in sink: %w", serr)
+				break
+			}
+		}
+	}
+	removeFromPool(&s.unlabeled, granted)
+	if len(failed) > 0 {
+		removeFromPool(&s.unlabeled, failed)
+		s.unlabeled = append(s.unlabeled, failed...)
+	}
+	if fatal != nil {
+		return fatal
+	}
+	if len(granted) == 0 && len(failed) > 0 {
+		return fmt.Errorf("%w: %d of %d queries failed", ErrLabelingStalled, len(failed), len(batch))
 	}
 	return nil
 }
@@ -318,21 +437,10 @@ func (s *Session) selectPhase(ctx context.Context, pt *eval.Point) ([]int, StopR
 // labelPhase queries the Oracle for the batch and moves it into the
 // labeled set. The context is checked before every query; on
 // cancellation the already-labeled prefix stays consistent (removed from
-// the unlabeled pool) so the session remains snapshottable.
+// the unlabeled pool) so the session remains snapshottable. Individual
+// query failures requeue the pair instead of aborting — see labelBatch.
 func (s *Session) labelPhase(ctx context.Context, batch []int) error {
-	taken := 0
-	var err error
-	for _, i := range batch {
-		if cerr := ctx.Err(); cerr != nil {
-			err = cerr
-			break
-		}
-		s.labeled = append(s.labeled, i)
-		s.labels = append(s.labels, s.oracle.Label(s.pool.Pairs[i]))
-		taken++
-	}
-	removeFromPool(&s.unlabeled, batch[:taken])
-	return err
+	return s.labelBatch(ctx, batch)
 }
 
 func (s *Session) finish(reason StopReason, err error) {

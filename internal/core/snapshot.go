@@ -2,11 +2,13 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"github.com/alem/alem/internal/eval"
 	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/resilience"
 )
 
 // Snapshot is a serializable checkpoint of a Session: the labeled set,
@@ -26,12 +28,19 @@ import (
 // the already-paid Oracle labels are kept (they cost money; rolling them
 // back would discard them), so the resumed run continues from a labeled
 // set the uninterrupted run never had — a consistent but different
-// trajectory.
+// trajectory. RestoreWithWAL closes even that gap: with a label WAL
+// attached, the resumed run re-selects the same batch deterministically
+// and consumes the paid-for labels from the WAL instead of re-querying,
+// which puts it back on the uninterrupted trajectory exactly.
 //
 // The pool, learner, selector and Oracle are wiring, not state: Restore
 // takes them as arguments. Pass a learner freshly constructed with the
-// same constructor seed as the original; a Noisy Oracle keeps its own
-// RNG, which is outside the snapshot's scope.
+// same constructor seed as the original. An Oracle implementing
+// oracle.Stateful (Noisy does) has its random position captured in
+// OracleDraws and replayed by Restore, so pass it freshly constructed
+// with its original seed too; an oracle with hidden state that does not
+// implement Stateful is outside the snapshot's scope, and resuming with
+// one reproduces the labeled set but not future noise draws.
 type Snapshot struct {
 	// Config is the run's protocol with defaults applied. OnIteration is
 	// a function and is not serialized; re-set it after Restore if used.
@@ -39,6 +48,9 @@ type Snapshot struct {
 	// Draws63 and Draws64 are the RNG draw counters.
 	Draws63 uint64 `json:"draws63"`
 	Draws64 uint64 `json:"draws64"`
+	// OracleDraws is the oracle's own random position (0 when the oracle
+	// exposes none — see oracle.Stateful).
+	OracleDraws uint64 `json:"oracle_draws,omitempty"`
 	// Seeded records whether the seed phase has run.
 	Seeded    bool `json:"seeded"`
 	Iteration int  `json:"iteration"`
@@ -60,10 +72,15 @@ type Snapshot struct {
 // invocations (or after Run returned, cancelled or not) for an exact
 // checkpoint; the receiver keeps running independently afterwards.
 func (s *Session) Snapshot() *Snapshot {
+	var oracleDraws uint64
+	if s.stateful != nil {
+		oracleDraws = s.stateful.Draws()
+	}
 	return &Snapshot{
 		Config:      s.cfg,
 		Draws63:     s.src.n63,
 		Draws64:     s.src.n64,
+		OracleDraws: oracleDraws,
 		Seeded:      s.seeded,
 		Iteration:   s.iter,
 		MaxLabels:   s.maxLabels,
@@ -84,10 +101,16 @@ func (sn *Snapshot) Encode(w io.Writer) error {
 	return enc.Encode(sn)
 }
 
-// ReadSnapshot deserializes a snapshot written by Encode.
+// ReadSnapshot deserializes a snapshot written by Encode. A truncated or
+// empty file — the signature of a non-atomic write interrupted by a
+// crash — is reported as such, pointing the operator at the intact
+// previous checkpoint instead of a JSON syntax error.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var sn Snapshot
 	if err := json.NewDecoder(r).Decode(&sn); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("core: snapshot is truncated or empty (interrupted write?): %w", err)
+		}
 		return nil, fmt.Errorf("core: reading snapshot: %w", err)
 	}
 	return &sn, nil
@@ -101,14 +124,48 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 // state exactly — see Snapshot for why the resumed curve is then
 // identical to an uninterrupted run.
 func Restore(pool *Pool, learner Learner, sel Selector, o oracle.Oracle, sn *Snapshot) (*Session, error) {
+	return RestoreWithWAL(pool, learner, sel, resilience.Wrap(o), sn, nil)
+}
+
+// RestoreWithWAL rebuilds a Session from a snapshot plus the label WAL
+// the crashed run was writing through (see LabelSink). WAL records up to
+// the snapshot's labeled set are cross-checked against it; records past
+// it — labels the dead process paid for after its last checkpoint — are
+// cached, and the resumed run consumes them instead of re-querying the
+// labeler. Because selection is deterministic (the RNG position and
+// learner state are replayed exactly), the resumed run re-selects the
+// same pairs the dead one did and the cached labels land on the same
+// indices, making the resumed trajectory bit-identical to an
+// uninterrupted run — provided no pair exhausted its retry budget before
+// the checkpoint (see resilience.FaultyOracle).
+//
+// Attach the same WAL with SetLabelSink afterwards: its appends are
+// idempotent, so the replayed grants no-op and fresh grants extend it.
+func RestoreWithWAL(pool *Pool, learner Learner, sel Selector, fo resilience.FallibleOracle, sn *Snapshot, wal []resilience.LabelRecord) (*Session, error) {
 	if err := sn.validate(pool); err != nil {
 		return nil, err
 	}
-	s, err := NewSession(pool, learner, sel, o, sn.Config)
+	s, err := NewFallibleSession(pool, learner, sel, fo, sn.Config)
 	if err != nil {
 		return nil, err
 	}
+	if len(wal) > 0 {
+		s.walLabels = make(map[int]bool)
+		for _, rec := range wal {
+			if rec.Seq <= len(sn.Labeled) {
+				if sn.Labeled[rec.Seq-1] != rec.Index || sn.Labels[rec.Seq-1] != rec.Label {
+					return nil, fmt.Errorf("core: label WAL record %d (index %d) disagrees with snapshot",
+						rec.Seq, rec.Index)
+				}
+				continue
+			}
+			s.walLabels[rec.Index] = rec.Label
+		}
+	}
 	s.src.replay(sn.Draws63, sn.Draws64)
+	if s.stateful != nil && sn.OracleDraws > 0 {
+		s.stateful.Advance(sn.OracleDraws)
+	}
 	s.seeded = sn.Seeded
 	s.iter = sn.Iteration
 	s.maxLabels = sn.MaxLabels

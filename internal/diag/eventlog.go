@@ -54,6 +54,9 @@ func (l *EventLog) Observe(e core.Event) {
 		fmt.Fprintf(l.w, "[%8s] iter %3d  select     batch=%d committee=%s score=%s\n",
 			elapsed, ev.Iteration, len(ev.Batch),
 			ev.CommitteeCreate.Round(time.Microsecond), ev.Score.Round(time.Microsecond))
+	case core.OracleFault:
+		fmt.Fprintf(l.w, "[%8s] iter %3d  fault      pair (%d,%d) requeued: %v\n",
+			elapsed, ev.Iteration, ev.Pair.L, ev.Pair.R, ev.Err)
 	case core.CandidateAccepted:
 		fmt.Fprintf(l.w, "[%8s] iter %3d  ensemble   accepted classifier #%d\n",
 			elapsed, ev.Iteration, ev.Accepted)

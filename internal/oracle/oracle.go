@@ -38,6 +38,20 @@ func (o *Perfect) Label(p dataset.PairKey) bool {
 // Queries implements Oracle.
 func (o *Perfect) Queries() int { return o.queries }
 
+// Stateful is implemented by oracles whose answers depend on internal
+// random state. Draws reports how many random draws have been consumed;
+// Advance replays that many draws against a freshly seeded instance so a
+// restored oracle continues the exact random sequence a checkpointed run
+// would have seen. core.Snapshot captures Draws and Restore calls
+// Advance, which is what keeps a Noisy oracle's flips bit-identical
+// across a kill/resume.
+type Stateful interface {
+	// Draws returns the number of random draws consumed so far.
+	Draws() uint64
+	// Advance consumes and discards n random draws.
+	Advance(n uint64)
+}
+
 // Noisy flips the true label with probability Noise on every query.
 // Repeated queries of the same pair are perturbed independently, the
 // paper's "always perturb when the random draw falls within the noise
@@ -47,6 +61,7 @@ type Noisy struct {
 	noise   float64
 	rand    *rand.Rand
 	queries int
+	draws   uint64
 }
 
 // NewNoisy builds an Oracle with the given flip probability in [0,1].
@@ -57,6 +72,7 @@ func NewNoisy(d *dataset.Dataset, noise float64, seed int64) *Noisy {
 // Label implements Oracle.
 func (o *Noisy) Label(p dataset.PairKey) bool {
 	o.queries++
+	o.draws++
 	l := o.d.IsMatch(p)
 	if o.rand.Float64() < o.noise {
 		return !l
@@ -66,6 +82,18 @@ func (o *Noisy) Label(p dataset.PairKey) bool {
 
 // Queries implements Oracle.
 func (o *Noisy) Queries() int { return o.queries }
+
+// Draws implements Stateful: one Float64 draw per Label call.
+func (o *Noisy) Draws() uint64 { return o.draws }
+
+// Advance implements Stateful, fast-forwarding a freshly seeded Noisy to
+// the random position a checkpointed instance had reached.
+func (o *Noisy) Advance(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		o.rand.Float64()
+	}
+	o.draws += n
+}
 
 // MajorityVote wraps a noisy Oracle with the label-correction technique
 // §6.2 deliberately leaves out: each label request is answered by K

@@ -127,3 +127,27 @@ func TestMajorityVotePerfectInnerIsPerfect(t *testing.T) {
 		t.Error("majority of perfect votes mislabeled a non-match")
 	}
 }
+
+func TestNoisyStatefulAdvanceRealignsRNG(t *testing.T) {
+	d := toyDataset()
+	keys := []dataset.PairKey{{L: 0, R: 0}, {L: 1, R: 1}, {L: 2, R: 3}, {L: 0, R: 1}}
+
+	// Run a noisy oracle partway, note its draw count, then build a fresh
+	// instance with the same seed and Advance it to the same position: the
+	// remaining label sequence must match exactly.
+	ref := NewNoisy(d, 0.5, 42)
+	for i := 0; i < 7; i++ {
+		ref.Label(keys[i%len(keys)])
+	}
+	resumed := NewNoisy(d, 0.5, 42)
+	resumed.Advance(ref.Draws())
+	if resumed.Draws() != ref.Draws() {
+		t.Fatalf("Draws after Advance = %d, want %d", resumed.Draws(), ref.Draws())
+	}
+	for i := 0; i < 20; i++ {
+		p := keys[i%len(keys)]
+		if ref.Label(p) != resumed.Label(p) {
+			t.Fatalf("label %d diverged after Advance", i)
+		}
+	}
+}

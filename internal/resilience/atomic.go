@@ -1,0 +1,61 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// WriteFileAtomic writes a file with the temp-file + fsync + rename
+// discipline: write calls produce the content into a temporary file in
+// the destination directory, the file is fsync'd and closed, then
+// renamed over path, and finally the directory is fsync'd so the rename
+// itself is durable. A reader (or a crashed writer restarting) sees
+// either the old complete file or the new complete file, never a
+// truncated hybrid — the property core.ReadSnapshot depends on.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resilience: creating temp file for %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("resilience: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("resilience: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("resilience: closing temp file for %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: renaming into %s: %w", path, err)
+	}
+	if err = syncDir(dir); err != nil {
+		return fmt.Errorf("resilience: syncing directory of %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Windows cannot fsync directories; the rename is still atomic there.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,178 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is shed until the cooldown expires.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is allowed through; its outcome
+	// closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig sizes a Breaker. The zero value picks the defaults
+// documented per field.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before a half-open
+	// probe is allowed (default 10s).
+	Cooldown time.Duration
+	// Now is the clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a consecutive-failure circuit breaker: FailureThreshold
+// failures in a row open it, shedding all traffic for Cooldown; then a
+// single half-open probe decides whether to close it again. The serving
+// layer wraps it around the matcher so a wedged or panicking model sheds
+// load with fast 429s instead of stacking up doomed requests.
+//
+// Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+
+	opens int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may proceed. While open it returns
+// false until the cooldown expires, then admits exactly one half-open
+// probe; further requests are shed until Record settles the probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if b.probing {
+			return false // a probe is already in flight
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Record reports a request outcome: nil is a success, anything else a
+// failure. Callers should only record outcomes that reflect downstream
+// health (timeouts, panics, internal errors), not client mistakes.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.open()
+		}
+	case BreakerOpen:
+		// Late failure from a request admitted before the trip; the
+		// circuit is already open.
+	}
+}
+
+// open must be called with b.mu held.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.fails = 0
+	b.probing = false
+	b.opens++
+}
+
+// State returns the current position, advancing open→half-open if the
+// cooldown has expired (so metrics and health checks see the same state
+// a request would).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// RetryAfter is the time until the next half-open probe would be
+// admitted: the Retry-After hint served with shed responses. Zero when
+// the circuit is not open.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	rem := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Opens reports how many times the circuit has tripped.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

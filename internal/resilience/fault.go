@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/alem/alem/internal/dataset"
+)
+
+// ErrInjected marks an error produced by the fault injector; chaos tests
+// match it with errors.Is to separate injected faults from real ones.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// FaultConfig shapes a FaultyOracle's failure behavior. The zero value
+// injects nothing.
+type FaultConfig struct {
+	// TransientRate is the probability in [0, 1] that any single attempt
+	// fails with a transient error.
+	TransientRate float64
+	// Latency is added to every successful attempt (0: none). Chaos
+	// tests keep it at 0 or microseconds; soak runs use realistic values.
+	Latency time.Duration
+	// OutageAfter / OutageFor, when OutageFor > 0, hard-fail every
+	// attempt in the call-count window
+	// [OutageAfter, OutageAfter+OutageFor) — a labeler that goes down
+	// and comes back. The window is counted on the injector's own
+	// attempt counter, so unlike transient faults it is not stable
+	// across a Snapshot+WAL resume; align outages with checkpoint
+	// boundaries when asserting bit-identical resume.
+	OutageAfter int
+	OutageFor   int
+}
+
+// FaultyOracle wraps a FallibleOracle with deterministic, seeded fault
+// injection. Each transient-fault decision is a pure function of
+// (seed, pair, that pair's attempt ordinal): two injectors built with
+// the same seed, driven with the same per-pair attempt sequence, make
+// identical decisions — which is what lets the chaos suite assert a
+// killed-and-resumed run is bit-identical to an uninterrupted one.
+//
+// The per-pair attempt ordinals are process-local state. A resumed
+// process replays WAL-cached labels without re-attempting them, which is
+// safe (a granted pair is never queried again), so decisions stay
+// aligned as long as no pair exhausted its retry budget before the
+// checkpoint (an exhausted pair would be re-queried later with a reset
+// ordinal). Chaos tests assert Retrier.Exhausted() == 0 to pin that
+// precondition.
+//
+// Faults fire BEFORE the inner oracle is consulted, so failed attempts
+// never advance the inner labeler's query count or RNG state.
+type FaultyOracle struct {
+	inner FallibleOracle
+	cfg   FaultConfig
+	seed  int64
+
+	mu       sync.Mutex
+	attempts map[dataset.PairKey]int // per-pair attempt ordinals
+	calls    int                     // total attempts, drives the outage window
+	injected int
+}
+
+// NewFaultyOracle wraps inner with seeded fault injection.
+func NewFaultyOracle(inner FallibleOracle, cfg FaultConfig, seed int64) *FaultyOracle {
+	return &FaultyOracle{inner: inner, cfg: cfg, seed: seed, attempts: map[dataset.PairKey]int{}}
+}
+
+// Label implements FallibleOracle.
+func (f *FaultyOracle) Label(ctx context.Context, p dataset.PairKey) (bool, error) {
+	f.mu.Lock()
+	f.calls++
+	call := f.calls
+	f.attempts[p]++
+	attempt := f.attempts[p]
+	f.mu.Unlock()
+
+	if f.cfg.OutageFor > 0 && call > f.cfg.OutageAfter && call <= f.cfg.OutageAfter+f.cfg.OutageFor {
+		f.fault()
+		return false, fmt.Errorf("%w: labeler outage (call %d)", ErrInjected, call)
+	}
+	if f.cfg.TransientRate > 0 && faultDraw(f.seed, p, attempt) < f.cfg.TransientRate {
+		f.fault()
+		return false, fmt.Errorf("%w: transient labeler error (pair %d,%d attempt %d)",
+			ErrInjected, p.L, p.R, attempt)
+	}
+	if f.cfg.Latency > 0 {
+		timer := time.NewTimer(f.cfg.Latency)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return false, ctx.Err()
+		}
+	}
+	return f.inner.Label(ctx, p)
+}
+
+func (f *FaultyOracle) fault() {
+	f.mu.Lock()
+	f.injected++
+	f.mu.Unlock()
+}
+
+// faultDraw maps (seed, pair, attempt) to a uniform [0, 1) value via
+// FNV-1a — cheap, stable across processes, and independent of how calls
+// for different pairs interleave.
+func faultDraw(seed int64, p dataset.PairKey, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []uint64{uint64(seed), uint64(p.L), uint64(p.R), uint64(attempt)} {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Queries implements FallibleOracle: the attempts that reached the inner
+// labeler.
+func (f *FaultyOracle) Queries() int { return f.inner.Queries() }
+
+// Injected reports how many faults have been injected so far.
+func (f *FaultyOracle) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Calls reports the total attempts seen (successful or faulted).
+func (f *FaultyOracle) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// UnwrapOracle exposes the wrapped oracle for StatefulOf.
+func (f *FaultyOracle) UnwrapOracle() any { return f.inner }

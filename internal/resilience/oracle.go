@@ -1,0 +1,224 @@
+// Package resilience is the framework's fault-tolerance layer: it models
+// labelers that fail (FallibleOracle), makes those failures reproducible
+// (FaultyOracle, a seeded deterministic fault injector), bounds them
+// (Retrier: exponential backoff with jitter, per-attempt timeouts, a
+// typed exhaustion error), and contains them (Breaker, the circuit
+// breaker the serving layer wraps around the matcher).
+//
+// It also owns the durability primitives the checkpointing story builds
+// on: LabelWAL, an fsync'd append-only log of granted labels, and
+// WriteFileAtomic, the temp-file + fsync + rename discipline that keeps
+// snapshots crash-consistent. core.Session wires these together so a
+// killed process resumes bit-identically from Snapshot + WAL replay.
+//
+// The paper's benchmark (§3, §6.2) assumes an Oracle that always
+// answers; this package is the production counterpart, where the labeler
+// is a remote crowd or LLM endpoint that times out, errors and
+// rate-limits.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/oracle"
+)
+
+// FallibleOracle is the failure-aware labeler interface: unlike
+// oracle.Oracle, Label takes a context and can fail. Implementations
+// must be safe to call sequentially from one goroutine; the Session
+// engine never issues concurrent label queries.
+type FallibleOracle interface {
+	// Label returns the label of a pair, or an error when the labeler
+	// timed out, rate-limited or is down. Implementations should honor
+	// ctx cancellation promptly.
+	Label(ctx context.Context, p dataset.PairKey) (bool, error)
+	// Queries returns how many label requests reached the underlying
+	// labeler (the paper's #labels cost metric).
+	Queries() int
+}
+
+// ErrOracleExhausted is returned (wrapped, with the final attempt's
+// error) by Retrier.Label once MaxAttempts have failed. Callers match it
+// with errors.Is.
+var ErrOracleExhausted = errors.New("resilience: oracle retries exhausted")
+
+// infallible adapts a classic oracle.Oracle to the fallible interface.
+// The only failure it can report is context cancellation, checked before
+// the query so a cancelled run never pays for another label.
+type infallible struct {
+	inner oracle.Oracle
+}
+
+// Wrap lifts an infallible oracle.Oracle into the FallibleOracle
+// interface.
+func Wrap(o oracle.Oracle) FallibleOracle { return &infallible{inner: o} }
+
+// Label implements FallibleOracle.
+func (w *infallible) Label(ctx context.Context, p dataset.PairKey) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return w.inner.Label(p), nil
+}
+
+// Queries implements FallibleOracle.
+func (w *infallible) Queries() int { return w.inner.Queries() }
+
+// UnwrapOracle exposes the wrapped oracle for StatefulOf.
+func (w *infallible) UnwrapOracle() any { return w.inner }
+
+// StatefulOf walks an oracle wrapper chain (anything exposing
+// UnwrapOracle() any) looking for an oracle.Stateful implementation —
+// the hook Snapshot/Restore use to capture a Noisy oracle's RNG position
+// through however many resilience layers wrap it.
+func StatefulOf(o any) (oracle.Stateful, bool) {
+	for o != nil {
+		if st, ok := o.(oracle.Stateful); ok {
+			return st, true
+		}
+		u, ok := o.(interface{ UnwrapOracle() any })
+		if !ok {
+			return nil, false
+		}
+		o = u.UnwrapOracle()
+	}
+	return nil, false
+}
+
+// RetryPolicy bounds how hard a Retrier leans on a failing labeler.
+// The zero value picks the defaults documented per field.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per label query, first included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 50ms);
+	// each further attempt doubles it (Multiplier) up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor (default 2).
+	Multiplier float64
+	// Jitter is the uniform random fraction added to each backoff, in
+	// [0, 1] (default 0.2): delay * (1 + Jitter*U). Jitter decorrelates
+	// retry storms; it never changes which attempt succeeds, so
+	// deterministic replays are unaffected.
+	Jitter float64
+	// PerAttemptTimeout, when positive, bounds each attempt with its own
+	// context deadline (default 0: the query's context is the only bound).
+	PerAttemptTimeout time.Duration
+	// Sleep overrides the backoff clock, for tests (nil: a real timer
+	// that races ctx.Done, so a cancelled run never waits out a backoff).
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Retrier wraps a FallibleOracle with bounded retries: transient
+// failures are re-attempted with exponential backoff and jitter; once
+// the budget is spent Label returns ErrOracleExhausted (wrapped with the
+// final error) so the Session can requeue the pair instead of aborting
+// the run. Context errors are never retried — a cancelled run must stop
+// immediately, and a deadline that already fired cannot succeed later.
+type Retrier struct {
+	inner  FallibleOracle
+	policy RetryPolicy
+	rng    *rand.Rand
+	mu     sync.Mutex // guards rng (jitter draws only; never affects outcomes)
+
+	retries   int
+	exhausted int
+}
+
+// NewRetrier wraps inner with the policy. seed drives only the backoff
+// jitter, so it has no effect on which queries succeed.
+func NewRetrier(inner FallibleOracle, policy RetryPolicy, seed int64) *Retrier {
+	return &Retrier{inner: inner, policy: policy.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Label implements FallibleOracle with retry.
+func (r *Retrier) Label(ctx context.Context, p dataset.PairKey) (bool, error) {
+	var lastErr error
+	delay := r.policy.BaseDelay
+	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			r.retries++
+			if !r.backoff(ctx, delay) {
+				return false, ctx.Err()
+			}
+			delay = time.Duration(float64(delay) * r.policy.Multiplier)
+			if delay > r.policy.MaxDelay {
+				delay = r.policy.MaxDelay
+			}
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if r.policy.PerAttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.policy.PerAttemptTimeout)
+		}
+		lab, err := r.inner.Label(actx, p)
+		cancel()
+		if err == nil {
+			return lab, nil
+		}
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		lastErr = err
+	}
+	r.exhausted++
+	return false, fmt.Errorf("%w after %d attempts on pair (%d,%d): %w",
+		ErrOracleExhausted, r.policy.MaxAttempts, p.L, p.R, lastErr)
+}
+
+// backoff sleeps the jittered delay, returning false if ctx fired first.
+func (r *Retrier) backoff(ctx context.Context, delay time.Duration) bool {
+	r.mu.Lock()
+	jittered := time.Duration(float64(delay) * (1 + r.policy.Jitter*r.rng.Float64()))
+	r.mu.Unlock()
+	if r.policy.Sleep != nil {
+		r.policy.Sleep(jittered)
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(jittered)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Queries implements FallibleOracle.
+func (r *Retrier) Queries() int { return r.inner.Queries() }
+
+// Retries reports how many extra attempts the policy has paid so far.
+func (r *Retrier) Retries() int { return r.retries }
+
+// Exhausted reports how many label queries burned their whole budget.
+func (r *Retrier) Exhausted() int { return r.exhausted }
+
+// UnwrapOracle exposes the wrapped oracle for StatefulOf.
+func (r *Retrier) UnwrapOracle() any { return r.inner }

@@ -1,0 +1,357 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/alem/alem/internal/dataset"
+)
+
+// stubOracle answers from a fixed map and counts queries.
+type stubOracle struct {
+	labels  map[dataset.PairKey]bool
+	queries int
+}
+
+func (s *stubOracle) Label(ctx context.Context, p dataset.PairKey) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	s.queries++
+	return s.labels[p], nil
+}
+
+func (s *stubOracle) Queries() int { return s.queries }
+
+// flakyOracle fails the first failures calls, then succeeds.
+type flakyOracle struct {
+	failures int
+	calls    int
+}
+
+func (f *flakyOracle) Label(ctx context.Context, p dataset.PairKey) (bool, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return false, fmt.Errorf("boom %d", f.calls)
+	}
+	return true, nil
+}
+
+func (f *flakyOracle) Queries() int { return f.calls }
+
+func noSleep(time.Duration) {}
+
+func TestRetrierRecoversFromTransientFailures(t *testing.T) {
+	inner := &flakyOracle{failures: 3}
+	r := NewRetrier(inner, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Nanosecond, Sleep: noSleep}, 1)
+	lab, err := r.Label(context.Background(), dataset.PairKey{L: 1, R: 2})
+	if err != nil || !lab {
+		t.Fatalf("Label = (%v, %v), want (true, nil)", lab, err)
+	}
+	if r.Retries() != 3 {
+		t.Errorf("Retries = %d, want 3", r.Retries())
+	}
+	if r.Exhausted() != 0 {
+		t.Errorf("Exhausted = %d, want 0", r.Exhausted())
+	}
+}
+
+func TestRetrierExhaustsBudget(t *testing.T) {
+	inner := &flakyOracle{failures: 100}
+	r := NewRetrier(inner, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Nanosecond, Sleep: noSleep}, 1)
+	_, err := r.Label(context.Background(), dataset.PairKey{L: 7, R: 9})
+	if !errors.Is(err, ErrOracleExhausted) {
+		t.Fatalf("err = %v, want ErrOracleExhausted", err)
+	}
+	if inner.calls != 4 {
+		t.Errorf("inner saw %d attempts, want 4", inner.calls)
+	}
+	if r.Exhausted() != 1 {
+		t.Errorf("Exhausted = %d, want 1", r.Exhausted())
+	}
+	// The final error's cause is preserved.
+	if got := err.Error(); got == "" || !errors.Is(err, ErrOracleExhausted) {
+		t.Errorf("error %q lost its cause", got)
+	}
+}
+
+func TestRetrierHonorsCancellation(t *testing.T) {
+	inner := &flakyOracle{failures: 100}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRetrier(inner, RetryPolicy{MaxAttempts: 10, BaseDelay: time.Nanosecond,
+		Sleep: func(time.Duration) { cancel() }}, 1)
+	_, err := r.Label(ctx, dataset.PairKey{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner saw %d attempts after cancel, want 1", inner.calls)
+	}
+}
+
+// TestFaultInjectorDeterministic pins the replay contract: two injectors
+// with the same seed make identical decisions for the same per-pair
+// attempt sequence, regardless of interleaving with other pairs.
+func TestFaultInjectorDeterministic(t *testing.T) {
+	mkInner := func() *stubOracle {
+		return &stubOracle{labels: map[dataset.PairKey]bool{}}
+	}
+	cfg := FaultConfig{TransientRate: 0.3}
+	a := NewFaultyOracle(mkInner(), cfg, 99)
+	b := NewFaultyOracle(mkInner(), cfg, 99)
+
+	// Drive a with pairs 0..19 in order; drive b with the same pairs in
+	// a different interleaving. Per-pair outcomes must match exactly.
+	outcome := func(f *FaultyOracle, p dataset.PairKey) []bool {
+		var outs []bool
+		for i := 0; i < 4; i++ {
+			_, err := f.Label(context.Background(), p)
+			outs = append(outs, err == nil)
+		}
+		return outs
+	}
+	resA := map[int][]bool{}
+	for i := 0; i < 20; i++ {
+		resA[i] = outcome(a, dataset.PairKey{L: i, R: i + 1})
+	}
+	resB := map[int][]bool{}
+	for i := 19; i >= 0; i-- {
+		resB[i] = outcome(b, dataset.PairKey{L: i, R: i + 1})
+	}
+	faults := 0
+	for i := 0; i < 20; i++ {
+		for j := range resA[i] {
+			if resA[i][j] != resB[i][j] {
+				t.Fatalf("pair %d attempt %d: %v vs %v", i, j, resA[i][j], resB[i][j])
+			}
+			if !resA[i][j] {
+				faults++
+			}
+		}
+	}
+	if faults == 0 {
+		t.Error("30%% fault rate injected nothing across 80 attempts")
+	}
+	if a.Injected() != faults {
+		t.Errorf("Injected = %d, want %d", a.Injected(), faults)
+	}
+}
+
+func TestFaultInjectorOutageWindow(t *testing.T) {
+	inner := &stubOracle{labels: map[dataset.PairKey]bool{}}
+	f := NewFaultyOracle(inner, FaultConfig{OutageAfter: 3, OutageFor: 2}, 1)
+	var errs []bool
+	for i := 0; i < 7; i++ {
+		_, err := f.Label(context.Background(), dataset.PairKey{L: i, R: i})
+		errs = append(errs, err != nil)
+	}
+	want := []bool{false, false, false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("call %d: failed=%v, want %v (outage window [4,5])", i+1, errs[i], want[i])
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: 10 * time.Second,
+		Now: func() time.Time { return now }})
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker is not closed")
+	}
+	boom := errors.New("boom")
+	b.Record(boom)
+	b.Record(boom)
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Record(boom)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("state=%v after 3 failures, want open and shedding", b.State())
+	}
+	if ra := b.RetryAfter(); ra != 10*time.Second {
+		t.Errorf("RetryAfter = %v, want 10s", ra)
+	}
+	if b.Opens() != 1 {
+		t.Errorf("Opens = %d, want 1", b.Opens())
+	}
+
+	// Cooldown expires: exactly one probe is admitted.
+	now = now.Add(11 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state=%v after cooldown, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe re-opens; successful probe closes.
+	b.Record(boom)
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+	now = now.Add(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	if b.Opens() != 2 {
+		t.Errorf("Opens = %d, want 2", b.Opens())
+	}
+}
+
+func TestLabelWALAppendReopenReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	w, records, err := OpenLabelWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("fresh WAL has %d records", len(records))
+	}
+	for i := 1; i <= 5; i++ {
+		if err := w.Append(i, 100+i, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idempotent replay: re-appending seq 3 is a no-op.
+	if err := w.Append(3, 999, true); err != nil {
+		t.Fatalf("idempotent re-append failed: %v", err)
+	}
+	// A gap is corruption, not replay.
+	if err := w.Append(8, 1, true); err == nil {
+		t.Fatal("out-of-sequence append accepted")
+	}
+	w.Close()
+
+	w2, records, err := OpenLabelWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(records) != 5 {
+		t.Fatalf("reopened WAL has %d records, want 5", len(records))
+	}
+	for i, rec := range records {
+		if rec.Seq != i+1 || rec.Index != 101+i || rec.Label != ((i+1)%2 == 0) {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+	if w2.LastSeq() != 5 {
+		t.Errorf("LastSeq = %d, want 5", w2.LastSeq())
+	}
+	// Appending continues the sequence.
+	if err := w2.Append(6, 200, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelWALRecoversTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	w, _, err := OpenLabelWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.Append(i, i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Simulate a crash mid-append: a torn, undecodable final line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":4,"index":9,"lab`)
+	f.Close()
+
+	w2, records, err := OpenLabelWAL(path)
+	if err != nil {
+		t.Fatalf("torn tail surfaced as error: %v", err)
+	}
+	defer w2.Close()
+	if len(records) != 3 {
+		t.Fatalf("recovered %d records, want the 3 intact ones", len(records))
+	}
+	// The torn bytes are gone: the next append reuses seq 4 cleanly and
+	// a further reopen sees 4 intact records.
+	if err := w2.Append(4, 9, false); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, records, err = OpenLabelWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 || records[3].Seq != 4 || records[3].Index != 9 {
+		t.Fatalf("after recovery+append got %+v", records)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failed write leaves the previous content untouched and no temp
+	// litter behind.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("gar"))
+		return errors.New("write exploded")
+	}); err == nil {
+		t.Fatal("failed write not reported")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("content = %q after failed overwrite, want v1", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter left behind: %v", entries)
+	}
+}
+
+func TestStatefulOfUnwrapsChains(t *testing.T) {
+	// A plain stub exposes no state; wrapping it should not invent one.
+	base := Wrap(pairCounter{})
+	if _, ok := StatefulOf(base); ok {
+		t.Fatal("stateless oracle reported stateful")
+	}
+	chained := NewRetrier(NewFaultyOracle(base, FaultConfig{}, 1),
+		RetryPolicy{Sleep: noSleep}, 1)
+	if _, ok := StatefulOf(chained); ok {
+		t.Fatal("stateless chain reported stateful")
+	}
+}
+
+// pairCounter is a minimal oracle.Oracle for wrap tests.
+type pairCounter struct{}
+
+func (pairCounter) Label(dataset.PairKey) bool { return true }
+func (pairCounter) Queries() int               { return 0 }

@@ -87,6 +87,10 @@ func (p *scorePool) submit(j *scoreJob) error {
 	}
 }
 
+// depth reports how many jobs are waiting in the intake queue — the
+// signal the load-shedding watermark reads.
+func (p *scorePool) depth() int { return len(p.jobs) }
+
 // close stops intake and waits for every accepted job to be answered.
 // It is the drain step of graceful shutdown, called after the HTTP
 // server has stopped accepting connections.
@@ -185,7 +189,7 @@ func (p *scorePool) worker() {
 			merged = append(merged, j.vecs...)
 		}
 		p.vectorsTotal.Add(int64(len(merged)))
-		scores, err := match.ScoreAll(context.Background(), p.learner, merged)
+		scores, err := p.scoreBatch(merged)
 		off := 0
 		for _, j := range live {
 			if err != nil {
@@ -196,6 +200,18 @@ func (p *scorePool) worker() {
 			off += len(j.vecs)
 		}
 	}
+}
+
+// scoreBatch runs the learner over one merged batch, containing panics:
+// a learner that blows up on some input must fail that batch's jobs with
+// 500s, not take the whole worker (and with it the process) down.
+func (p *scorePool) scoreBatch(merged []feature.Vector) (scores []float64, err error) {
+	defer func() {
+		if rv := recover(); rv != nil {
+			scores, err = nil, fmt.Errorf("serve: learner panic while scoring: %v", rv)
+		}
+	}()
+	return match.ScoreAll(context.Background(), p.learner, merged)
 }
 
 func totalVecs(jobs []*scoreJob) int {

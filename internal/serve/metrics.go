@@ -20,6 +20,8 @@ type metrics struct {
 	inFlight atomic.Int64
 	rejected atomic.Int64 // requests refused while draining
 	timeouts atomic.Int64 // requests that hit their deadline
+	shed     atomic.Int64 // requests shed with 429 (breaker open or queue over watermark)
+	panics   atomic.Int64 // handler panics contained by the recover middleware
 }
 
 type routeCode struct {
@@ -145,6 +147,14 @@ func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintln(w, "# HELP alem_http_request_timeouts_total Requests that exceeded their deadline.")
 	fmt.Fprintln(w, "# TYPE alem_http_request_timeouts_total counter")
 	fmt.Fprintf(w, "alem_http_request_timeouts_total %d\n", m.timeouts.Load())
+
+	fmt.Fprintln(w, "# HELP alem_http_requests_shed_total Requests shed with 429 (breaker open or queue over watermark).")
+	fmt.Fprintln(w, "# TYPE alem_http_requests_shed_total counter")
+	fmt.Fprintf(w, "alem_http_requests_shed_total %d\n", m.shed.Load())
+
+	fmt.Fprintln(w, "# HELP alem_http_panics_total Handler panics contained by the recover middleware.")
+	fmt.Fprintln(w, "# TYPE alem_http_panics_total counter")
+	fmt.Fprintf(w, "alem_http_panics_total %d\n", m.panics.Load())
 
 	if extra != nil {
 		extra(w)

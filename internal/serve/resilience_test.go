@@ -1,0 +1,360 @@
+package serve
+
+// Overload-protection tests: circuit breaker, load shedding, panic
+// containment and degraded health reporting. The chaos-flavored ones
+// carry Chaos in their names so `go test -run Chaos ./...` picks them up
+// alongside the core engine's kill/resume suite.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/model"
+)
+
+// panicLearner blows up on every prediction — the pathological model the
+// containment and breaker paths exist for.
+type panicLearner struct{ dim int }
+
+func (p panicLearner) Name() string                   { return "panic" }
+func (p panicLearner) Train([]feature.Vector, []bool) {}
+func (p panicLearner) Predict(feature.Vector) bool    { panic("model exploded") }
+func (p panicLearner) PredictAll(X []feature.Vector) []bool {
+	panic("model exploded")
+}
+func (p panicLearner) Dim() int { return p.dim }
+
+// probPanicLearner scores cleanly but panics in Predict: scoring happens
+// in the pool worker, the panic fires in the handler goroutine while
+// assembling the response — exercising the recover middleware rather
+// than the worker's containment.
+type probPanicLearner struct{ dim int }
+
+func (p probPanicLearner) Name() string                   { return "prob-panic" }
+func (p probPanicLearner) Train([]feature.Vector, []bool) {}
+func (p probPanicLearner) Predict(feature.Vector) bool    { panic("predict exploded") }
+func (p probPanicLearner) PredictAll(X []feature.Vector) []bool {
+	out := make([]bool, len(X))
+	return out
+}
+func (p probPanicLearner) Prob(feature.Vector) float64 { return 0.5 }
+func (p probPanicLearner) Dim() int                    { return p.dim }
+
+func artifactFor(l interface {
+	Name() string
+	Train([]feature.Vector, []bool)
+	Predict(feature.Vector) bool
+	PredictAll([]feature.Vector) []bool
+	Dim() int
+}) *model.Artifact {
+	return &model.Artifact{
+		Kind:    model.Kind(l.Name()),
+		Learner: l,
+		Meta:    model.Meta{Schema: []string{"a"}},
+		Dim:     3,
+	}
+}
+
+func scoreOnce(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	return postJSON(t, url+"/v1/score", scoreRequest{Vectors: [][]float64{{1, 2, 3}}})
+}
+
+// TestChaosWorkerPanicContained pins the worker containment path: a
+// learner that panics while scoring fails its own request with 500 and
+// leaves the server able to answer the next request — the process does
+// not die with the worker.
+func TestChaosWorkerPanicContained(t *testing.T) {
+	s := New(artifactFor(panicLearner{dim: 3}), Config{Linger: -1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	for i := 0; i < 3; i++ {
+		resp, raw := scoreOnce(t, ts.URL)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panicking score %d: status %d, want 500: %s", i, resp.StatusCode, raw)
+		}
+		if !strings.Contains(string(raw), "panic") {
+			t.Errorf("panicking score %d: body %q does not mention the panic", i, raw)
+		}
+	}
+	// The server is still alive and serving non-model routes.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after worker panics: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestChaosHandlerPanicRecovered pins the recover middleware: a panic in
+// the handler goroutine itself turns into a 500 with the panic counter
+// and breaker fed, not a torn connection.
+func TestChaosHandlerPanicRecovered(t *testing.T) {
+	s := New(artifactFor(probPanicLearner{dim: 3}), Config{Linger: -1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	resp, raw := scoreOnce(t, ts.URL)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", resp.StatusCode, raw)
+	}
+	if s.met.panics.Load() != 1 {
+		t.Errorf("panic counter = %d, want 1", s.met.panics.Load())
+	}
+	// The panic is visible on /metrics.
+	mresp, mraw := metricsText(t, ts.URL)
+	mresp.Body.Close()
+	if !strings.Contains(mraw, "alem_http_panics_total 1") {
+		t.Errorf("/metrics missing panic counter:\n%s", grepLines(mraw, "panic"))
+	}
+}
+
+func metricsText(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(raw)
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func healthzBody(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestChaosBreakerOpensShedsAndRecovers drives the full breaker arc: a
+// panicking model trips it after BreakerThreshold consecutive failures,
+// open-circuit requests shed instantly with 429 + Retry-After while
+// /healthz reports degraded, and after the cooldown a healthy probe
+// closes it again.
+func TestChaosBreakerOpensShedsAndRecovers(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		BreakerThreshold: 3, BreakerCooldown: 50 * time.Millisecond, Linger: -1,
+	})
+
+	// Trip the breaker the way production would: consecutive model
+	// failures. Feeding Record directly keeps the test deterministic.
+	for i := 0; i < 3; i++ {
+		s.breaker.Record(errors.New("model failure"))
+	}
+
+	// Both model routes shed with 429 and a positive Retry-After, and do
+	// so without touching the model.
+	for _, route := range []string{"/v1/score", "/v1/match"} {
+		var resp *http.Response
+		var raw []byte
+		if route == "/v1/score" {
+			resp, raw = scoreOnce(t, ts.URL)
+		} else {
+			resp, raw = postJSON(t, ts.URL+route, matchRequest{})
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s with open breaker: status %d, want 429: %s", route, resp.StatusCode, raw)
+		}
+		ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil || ra < 1 {
+			t.Errorf("%s Retry-After = %q, want a positive integer", route, resp.Header.Get("Retry-After"))
+		}
+	}
+	if body := healthzBody(t, ts.URL); body["status"] != "degraded" || body["breaker"] != "open" {
+		t.Errorf("healthz with open breaker = %v, want degraded/open", body)
+	}
+	mresp, mraw := metricsText(t, ts.URL)
+	mresp.Body.Close()
+	if !strings.Contains(mraw, "alem_breaker_state 1") {
+		t.Errorf("/metrics breaker gauge:\n%s", grepLines(mraw, "breaker"))
+	}
+	if !strings.Contains(mraw, "alem_breaker_opens_total 1") {
+		t.Errorf("/metrics breaker opens:\n%s", grepLines(mraw, "breaker"))
+	}
+	if !strings.Contains(mraw, "alem_http_requests_shed_total 2") {
+		t.Errorf("/metrics shed counter:\n%s", grepLines(mraw, "shed"))
+	}
+
+	// Cooldown expires; the healthy model answers the probe and the
+	// circuit closes.
+	time.Sleep(60 * time.Millisecond)
+	_, X := beerArtifact(t)
+	resp, raw := postJSON(t, ts.URL+"/v1/score", scoreRequest{Vectors: [][]float64{X[0]}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe after cooldown: status %d, want 200: %s", resp.StatusCode, raw)
+	}
+	if body := healthzBody(t, ts.URL); body["status"] != "ok" || body["breaker"] != "closed" {
+		t.Errorf("healthz after recovery = %v, want ok/closed", body)
+	}
+}
+
+// TestChaosBreakerOpenUnderLoadNeverHangs is the acceptance check for
+// overload protection: with the breaker open, a burst of concurrent
+// clients must all get fast 429s — no request may hang waiting on the
+// dead model.
+func TestChaosBreakerOpenUnderLoadNeverHangs(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		BreakerThreshold: 1, BreakerCooldown: time.Hour, Workers: 2, Linger: -1,
+	})
+	s.breaker.Record(errors.New("model failure"))
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			raw, _ := json.Marshal(scoreRequest{Vectors: [][]float64{{1, 2, 3}}})
+			cl := &http.Client{Timeout: 5 * time.Second}
+			resp, err := cl.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusTooManyRequests {
+				errs <- fmt.Errorf("status %d, want 429", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("shedding a 32-client burst took %s; open-breaker rejects must be fast", elapsed)
+	}
+	if s.met.shed.Load() != clients {
+		t.Errorf("shed counter = %d, want %d", s.met.shed.Load(), clients)
+	}
+}
+
+// TestChaosShedWatermark pins queue-depth load shedding: with a slow
+// model, one worker and a watermark of 1, a burst must produce both
+// served requests and fast 429s — and nothing else.
+func TestChaosShedWatermark(t *testing.T) {
+	s := New(slowArtifact(100*time.Millisecond), Config{
+		Workers: 1, QueueDepth: 8, ShedWatermark: 1, Linger: -1,
+		RequestTimeout: 10 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	codes := make(chan int, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			raw, _ := json.Marshal(scoreRequest{Vectors: [][]float64{{1, 2, 3}}})
+			resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	served, shed := 0, 0
+	for code := range codes {
+		switch code {
+		case http.StatusOK:
+			served++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d under overload", code)
+		}
+	}
+	if served == 0 {
+		t.Error("watermark shed every request; some must still be served")
+	}
+	if shed == 0 {
+		t.Error("no requests shed despite queue over watermark")
+	}
+	if got := s.met.shed.Load(); got != int64(shed) {
+		t.Errorf("shed counter = %d, want %d", got, shed)
+	}
+}
+
+// TestChaosDrainWithBreakerOpen runs graceful shutdown while the breaker
+// is open: the drain must complete cleanly (no deadlock between the
+// shedding fast-path and the pool drain) and report degraded until the
+// end.
+func TestChaosDrainWithBreakerOpen(t *testing.T) {
+	s := New(slowArtifact(50*time.Millisecond), Config{
+		DrainTimeout: 5 * time.Second, BreakerThreshold: 1, BreakerCooldown: time.Hour, Linger: -1,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.ListenAndServe(ctx) }()
+	<-s.Ready()
+	base := "http://" + s.Addr()
+
+	s.breaker.Record(errors.New("model failure"))
+	resp, raw := postJSON(t, base+"/v1/score", scoreRequest{Vectors: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("pre-drain shed: status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if body := healthzBody(t, base); body["status"] != "degraded" {
+		t.Fatalf("healthz = %v, want degraded with open breaker", body)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("drain with open breaker returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain with open breaker deadlocked")
+	}
+}

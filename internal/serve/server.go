@@ -34,6 +34,7 @@ import (
 	"github.com/alem/alem/internal/feature"
 	"github.com/alem/alem/internal/match"
 	"github.com/alem/alem/internal/model"
+	"github.com/alem/alem/internal/resilience"
 )
 
 // Config sizes the server. The zero value serves on an OS-assigned port
@@ -61,6 +62,19 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (default 64 MiB — match requests
 	// carry whole tables).
 	MaxBodyBytes int64
+	// BreakerThreshold is the consecutive model-failure count (timeouts,
+	// panics, internal errors) that opens the circuit breaker around the
+	// matcher (default 5). While open, model routes shed with 429 and a
+	// Retry-After hint instead of queueing doomed work.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before a single
+	// probe request is let through (default 10s).
+	BreakerCooldown time.Duration
+	// ShedWatermark sheds /v1/score requests with 429 once the score
+	// queue holds this many jobs (0, the default, disables shedding and
+	// relies on submit backpressure alone). Set it below QueueDepth to
+	// turn overload into fast rejections rather than queue-long waits.
+	ShedWatermark int
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +105,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	return c
 }
 
@@ -103,6 +123,7 @@ type Server struct {
 	matcher   *match.Matcher
 	pool      *scorePool
 	met       *metrics
+	breaker   *resilience.Breaker
 	observers []core.Observer
 
 	ready    chan struct{}
@@ -117,11 +138,15 @@ type Server struct {
 func New(art *model.Artifact, cfg Config, obs ...core.Observer) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:       cfg,
-		art:       art,
-		matcher:   art.Matcher(),
-		pool:      newScorePool(art.Learner, cfg.Workers, cfg.MaxBatch, cfg.QueueDepth, cfg.Linger),
-		met:       newMetrics(),
+		cfg:     cfg,
+		art:     art,
+		matcher: art.Matcher(),
+		pool:    newScorePool(art.Learner, cfg.Workers, cfg.MaxBatch, cfg.QueueDepth, cfg.Linger),
+		met:     newMetrics(),
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: cfg.BreakerThreshold,
+			Cooldown:         cfg.BreakerCooldown,
+		}),
 		observers: obs,
 		ready:     make(chan struct{}),
 	}
@@ -203,8 +228,9 @@ func (s *Server) Handler() http.Handler {
 }
 
 // instrument wraps the mux with the cross-cutting serving concerns:
-// in-flight accounting, per-request deadlines, body caps, the request
-// counter/latency metrics, and one RequestDone event per request.
+// in-flight accounting, per-request deadlines, body caps, panic
+// containment, the request counter/latency metrics, and one RequestDone
+// event per request.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -218,7 +244,23 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
+		func() {
+			// A panicking handler (a sick model blowing up in Predict) is
+			// contained to its request: counted, fed to the breaker so
+			// repeated panics trip it, and answered with 500 — instead of
+			// net/http tearing down the connection with no metrics trace.
+			defer func() {
+				if rv := recover(); rv != nil {
+					s.met.panics.Add(1)
+					s.breaker.Record(fmt.Errorf("serve: handler panic: %v", rv))
+					rec.status = http.StatusInternalServerError
+					if !rec.wroteHeader {
+						writeError(rec, http.StatusInternalServerError, "internal error: handler panic")
+					}
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		}()
 
 		elapsed := time.Since(start)
 		route := r.URL.Path
@@ -232,16 +274,19 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
-	bytes  int
+	status      int
+	bytes       int
+	wroteHeader bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wroteHeader = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
 func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += n
 	return n, err
@@ -312,7 +357,34 @@ func statusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
+// shedForBreaker answers a model-route request with 429 + Retry-After
+// when the circuit is open, reporting whether the request was shed. The
+// hint is the breaker's remaining cooldown, floored to one second so
+// well-behaved clients always back off a little.
+func (s *Server) shedForBreaker(w http.ResponseWriter) bool {
+	if s.breaker.Allow() {
+		return false
+	}
+	s.met.shed.Add(1)
+	retry := int(s.breaker.RetryAfter().Round(time.Second).Seconds())
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+	writeError(w, http.StatusTooManyRequests,
+		"model circuit open after repeated failures; retry in %ds", retry)
+	return true
+}
+
+// recordOutcome feeds a model-route outcome to the breaker. Client
+// mistakes (bad JSON, schema mismatch) never reach it — only outcomes
+// that say something about the model's health.
+func (s *Server) recordOutcome(err error) { s.breaker.Record(err) }
+
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if s.shedForBreaker(w) {
+		return
+	}
 	var req matchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding match request: %v", err)
@@ -341,12 +413,14 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if ctxErr := r.Context().Err(); ctxErr != nil {
 			s.met.timeouts.Add(1)
+			s.recordOutcome(ctxErr)
 			writeError(w, statusFor(ctxErr), "match aborted: %v", ctxErr)
 			return
 		}
 		writeError(w, http.StatusBadRequest, "match: %v", err)
 		return
 	}
+	s.recordOutcome(nil)
 	resp := matchResponse{
 		Pairs:      make([]pairJSON, len(pairs)),
 		Candidates: candidates,
@@ -359,6 +433,19 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if s.shedForBreaker(w) {
+		return
+	}
+	// Load shedding: once the score queue is past the watermark, a new
+	// request would only wait out most of its deadline in line — reject
+	// it immediately so the client can retry elsewhere.
+	if s.cfg.ShedWatermark > 0 && s.pool.depth() >= s.cfg.ShedWatermark {
+		s.met.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"score queue over watermark (%d queued); retry shortly", s.pool.depth())
+		return
+	}
 	var req scoreRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding score request: %v", err)
@@ -394,9 +481,14 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(res.err, context.DeadlineExceeded) {
 				s.met.timeouts.Add(1)
 			}
+			if statusFor(res.err) == http.StatusInternalServerError ||
+				errors.Is(res.err, context.DeadlineExceeded) {
+				s.recordOutcome(res.err)
+			}
 			writeError(w, statusFor(res.err), "score failed: %v", res.err)
 			return
 		}
+		s.recordOutcome(nil)
 		resp := scoreResponse{Scores: res.scores, Matches: make([]bool, len(vecs))}
 		for i, v := range vecs {
 			resp.Matches[i] = s.art.Learner.Predict(v)
@@ -408,21 +500,38 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz reports liveness plus degradation: "ok" becomes
+// "degraded" while draining or while the breaker is away from closed.
+// The response stays 200 — the process is alive and can still answer —
+// so orchestrators keep it in rotation for the probe but dashboards and
+// load balancers reading the body can route around it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	breaker := s.breaker.State()
+	status := "ok"
+	if s.draining.Load() || breaker != resilience.BreakerClosed {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+		"status":    status,
 		"model":     s.art.Kind,
 		"dim":       s.art.Dim,
 		"schema":    s.art.Meta.Schema,
 		"features":  s.art.Meta.Features.String(),
 		"in_flight": s.met.inFlight.Load(),
 		"draining":  s.draining.Load(),
+		"breaker":   breaker.String(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.write(w, func(w2 io.Writer) {
+		fmt.Fprintln(w2, "# HELP alem_breaker_state Circuit breaker position (0 closed, 1 open, 2 half-open).")
+		fmt.Fprintln(w2, "# TYPE alem_breaker_state gauge")
+		fmt.Fprintf(w2, "alem_breaker_state %d\n", int(s.breaker.State()))
+		fmt.Fprintln(w2, "# HELP alem_breaker_opens_total Times the circuit breaker has tripped.")
+		fmt.Fprintln(w2, "# TYPE alem_breaker_opens_total counter")
+		fmt.Fprintf(w2, "alem_breaker_opens_total %d\n", s.breaker.Opens())
 		s.pool.writeMetrics(w2)
 		hits, misses := s.matcher.ExtractorReuse()
 		fmt.Fprintln(w2, "# HELP alem_matcher_extractor_reuse_hits_total Match calls that reused the cached extractor.")
