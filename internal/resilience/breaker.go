@@ -81,30 +81,45 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults()}
 }
 
-// Allow reports whether a request may proceed. While open it returns
-// false until the cooldown expires, then admits exactly one half-open
-// probe; further requests are shed until Record settles the probe.
-func (b *Breaker) Allow() bool {
+// Allow reports whether a request may proceed and whether that request
+// holds the circuit's single half-open probe. While open it admits
+// nothing until the cooldown expires, then admits exactly one probe;
+// further requests are shed until the probe is settled. A caller
+// admitted with probe=true MUST settle it — Record an outcome, or
+// Release it when the request's fate said nothing about downstream
+// health (client error, disconnect) — or the half-open state wedges and
+// sheds traffic forever.
+func (b *Breaker) Allow() (admit, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
 			b.state = BreakerHalfOpen
 			b.probing = true
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	case BreakerHalfOpen:
 		if b.probing {
-			return false // a probe is already in flight
+			return false, false // a probe is already in flight
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
-	return false
+	return false, false
+}
+
+// Release abandons an admitted half-open probe without judging the
+// model: the circuit stays half-open and the next Allow admits a fresh
+// probe. For probe holders whose request died on something unrelated to
+// downstream health. Harmless if Record already settled the probe.
+func (b *Breaker) Release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
 }
 
 // Record reports a request outcome: nil is a success, anything else a
@@ -114,9 +129,15 @@ func (b *Breaker) Record(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err == nil {
-		b.state = BreakerClosed
-		b.fails = 0
-		b.probing = false
+		switch b.state {
+		case BreakerClosed, BreakerHalfOpen:
+			b.state = BreakerClosed
+			b.fails = 0
+			b.probing = false
+		case BreakerOpen:
+			// Late success from a request admitted before the trip; the
+			// cooldown stands, mirroring the late-failure case below.
+		}
 		return
 	}
 	switch b.state {

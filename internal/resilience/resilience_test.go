@@ -164,7 +164,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: 10 * time.Second,
 		Now: func() time.Time { return now }})
 
-	if !b.Allow() || b.State() != BreakerClosed {
+	if ok, probe := b.Allow(); !ok || probe || b.State() != BreakerClosed {
 		t.Fatal("new breaker is not closed")
 	}
 	boom := errors.New("boom")
@@ -174,7 +174,7 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatal("breaker opened below threshold")
 	}
 	b.Record(boom)
-	if b.State() != BreakerOpen || b.Allow() {
+	if ok, _ := b.Allow(); b.State() != BreakerOpen || ok {
 		t.Fatalf("state=%v after 3 failures, want open and shedding", b.State())
 	}
 	if ra := b.RetryAfter(); ra != 10*time.Second {
@@ -189,10 +189,10 @@ func TestBreakerLifecycle(t *testing.T) {
 	if b.State() != BreakerHalfOpen {
 		t.Fatalf("state=%v after cooldown, want half-open", b.State())
 	}
-	if !b.Allow() {
-		t.Fatal("half-open breaker refused the probe")
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("half-open breaker refused the probe, or did not flag it")
 	}
-	if b.Allow() {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("half-open breaker admitted a second concurrent probe")
 	}
 
@@ -202,15 +202,59 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatal("failed probe did not re-open the circuit")
 	}
 	now = now.Add(11 * time.Second)
-	if !b.Allow() {
+	if ok, _ := b.Allow(); !ok {
 		t.Fatal("second probe refused")
 	}
 	b.Record(nil)
-	if b.State() != BreakerClosed || !b.Allow() {
+	if ok, probe := b.Allow(); b.State() != BreakerClosed || !ok || probe {
 		t.Fatal("successful probe did not close the circuit")
 	}
 	if b.Opens() != 2 {
 		t.Errorf("Opens = %d, want 2", b.Opens())
+	}
+}
+
+// TestBreakerReleaseFreesWedgedProbe pins the probe-leak fix: a probe
+// holder whose request died on something unrelated to model health
+// (client error, disconnect) releases the slot instead of recording, and
+// the next request is admitted as a fresh probe — the half-open state
+// can no longer shed traffic forever.
+func TestBreakerReleaseFreesWedgedProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second,
+		Now: func() time.Time { return now }})
+	b.Record(errors.New("boom"))
+	now = now.Add(2 * time.Second)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second probe admitted while the first is unsettled")
+	}
+	b.Release()
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("released probe slot was not re-admitted")
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatal("fresh probe success did not close the circuit")
+	}
+}
+
+// TestBreakerIgnoresLateSuccessWhileOpen: a success from a request
+// admitted before the trip must not close an open circuit early — the
+// cooldown stands, mirroring how late failures are ignored.
+func TestBreakerIgnoresLateSuccessWhileOpen(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 10 * time.Second,
+		Now: func() time.Time { return now }})
+	b.Record(errors.New("boom"))
+	b.Record(nil)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state=%v after late success, want the cooldown to stand", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted traffic after a late success")
 	}
 }
 
@@ -300,6 +344,60 @@ func TestLabelWALRecoversTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(records) != 4 || records[3].Seq != 4 || records[3].Index != 9 {
+		t.Fatalf("after recovery+append got %+v", records)
+	}
+}
+
+// TestLabelWALTornTailMissingNewline pins the subtler torn write: the
+// crash lost only the trailing '\n', so the final line decodes cleanly
+// but is unterminated. It must be discarded as torn — counting it once
+// made validLen exceed the file size, so the "truncate" extended the
+// file with a NUL and a later reopen silently dropped acknowledged
+// records that had landed after it.
+func TestLabelWALTornTailMissingNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.wal")
+	w, _, err := OpenLabelWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.Append(i, i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	intact, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":4,"index":9,"label":true}`)
+	f.Close()
+
+	w2, records, err := OpenLabelWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("recovered %d records, want the 3 terminated ones", len(records))
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != intact.Size() {
+		t.Fatalf("file size %d after recovery, want %d (truncated, not extended)", fi.Size(), intact.Size())
+	}
+	// Appends land where the torn bytes were and survive reopen intact.
+	if err := w2.Append(4, 9, false); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, records, err = OpenLabelWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 || records[3].Seq != 4 || records[3].Index != 9 || records[3].Label {
 		t.Fatalf("after recovery+append got %+v", records)
 	}
 }

@@ -1,7 +1,7 @@
 package resilience
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -65,23 +65,33 @@ func OpenLabelWAL(path string) (*LabelWAL, []LabelRecord, error) {
 	return w, records, nil
 }
 
-// scanWAL reads records until EOF or the first undecodable line,
-// returning the intact records and the byte length of the intact prefix.
+// scanWAL reads records until EOF or the first undecodable or
+// unterminated line, returning the intact records and the byte length of
+// the intact prefix. Only '\n'-terminated lines count as intact: Append
+// always writes the newline with the record, so a final line without one
+// is a torn tail from a crash mid-write even when its bytes happen to
+// decode — counting it would make validLen exceed the file size and turn
+// the truncate into an extend.
 func scanWAL(f *os.File) ([]LabelRecord, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("resilience: reading label WAL: %w", err)
 	}
 	var (
 		records  []LabelRecord
 		validLen int64
 		lastSeq  int
 	)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn tail: the final append never got its newline
+		}
 		var rec LabelRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
+		if err := json.Unmarshal(data[:nl], &rec); err != nil {
 			break // torn or corrupt tail: keep the intact prefix
 		}
 		if rec.Seq != lastSeq+1 {
@@ -90,10 +100,8 @@ func scanWAL(f *os.File) ([]LabelRecord, int64, error) {
 		}
 		lastSeq = rec.Seq
 		records = append(records, rec)
-		validLen += int64(len(line)) + 1 // newline
-	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("resilience: scanning label WAL: %w", err)
+		validLen += int64(nl) + 1
+		data = data[nl+1:]
 	}
 	return records, validLen, nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"github.com/alem/alem/internal/feature"
 	"github.com/alem/alem/internal/model"
+	"github.com/alem/alem/internal/resilience"
 )
 
 // panicLearner blows up on every prediction — the pathological model the
@@ -221,6 +222,73 @@ func TestChaosBreakerOpensShedsAndRecovers(t *testing.T) {
 	}
 	if body := healthzBody(t, ts.URL); body["status"] != "ok" || body["breaker"] != "closed" {
 		t.Errorf("healthz after recovery = %v, want ok/closed", body)
+	}
+}
+
+// TestChaosClientErrorProbeDoesNotWedgeBreaker pins the probe-leak fix
+// end-to-end: when the half-open probe slot goes to a request that dies
+// on a client error (bad JSON — an outcome that says nothing about the
+// model), the probe must be released, a later healthy request must be
+// admitted as a fresh probe, and its success must close the circuit.
+// Before the fix, the unsettled probe shed every request until restart.
+func TestChaosClientErrorProbeDoesNotWedgeBreaker(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond, Linger: -1,
+	})
+	s.breaker.Record(errors.New("model failure"))
+	time.Sleep(20 * time.Millisecond)
+
+	// The probe slot goes to a malformed request.
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed probe request: status %d, want 400", resp.StatusCode)
+	}
+
+	// The next healthy request must get the freed probe slot, not a 429.
+	_, X := beerArtifact(t)
+	okResp, raw := postJSON(t, ts.URL+"/v1/score", scoreRequest{Vectors: [][]float64{X[0]}})
+	if okResp.StatusCode != http.StatusOK {
+		t.Fatalf("request after client-error probe: status %d, want 200 (breaker wedged?): %s",
+			okResp.StatusCode, raw)
+	}
+	if body := healthzBody(t, ts.URL); body["breaker"] != "closed" {
+		t.Errorf("healthz breaker = %v after successful probe, want closed", body["breaker"])
+	}
+}
+
+// TestPanicOnNonModelRouteLeavesBreakerAlone: panics outside match/score
+// are counted but must not trip the model circuit breaker — a bug in
+// /healthz says nothing about the model and must not shed healthy
+// traffic.
+func TestPanicOnNonModelRouteLeavesBreakerAlone(t *testing.T) {
+	s := New(artifactFor(panicLearner{dim: 3}), Config{BreakerThreshold: 1, Linger: -1})
+	t.Cleanup(s.Close)
+	h := s.instrument(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("route exploded")
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking /healthz: status %d, want 500", rec.Code)
+	}
+	if s.met.panics.Load() != 1 {
+		t.Errorf("panic counter = %d, want 1", s.met.panics.Load())
+	}
+	if state := s.breaker.State(); state != resilience.BreakerClosed {
+		t.Fatalf("breaker %v after non-model panic, want closed", state)
+	}
+
+	// The same panic on a model route still feeds the breaker.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/score", strings.NewReader("{}")))
+	if state := s.breaker.State(); state != resilience.BreakerOpen {
+		t.Fatalf("breaker %v after model-route panic at threshold 1, want open", state)
 	}
 }
 

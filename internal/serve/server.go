@@ -249,10 +249,15 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			// contained to its request: counted, fed to the breaker so
 			// repeated panics trip it, and answered with 500 — instead of
 			// net/http tearing down the connection with no metrics trace.
+			// Only model-route panics reach the breaker: a bug in /healthz
+			// or /metrics says nothing about the model and must not shed
+			// healthy match/score traffic.
 			defer func() {
 				if rv := recover(); rv != nil {
 					s.met.panics.Add(1)
-					s.breaker.Record(fmt.Errorf("serve: handler panic: %v", rv))
+					if isModelRoute(r.URL.Path) {
+						s.breaker.Record(fmt.Errorf("serve: handler panic: %v", rv))
+					}
 					rec.status = http.StatusInternalServerError
 					if !rec.wroteHeader {
 						writeError(rec, http.StatusInternalServerError, "internal error: handler panic")
@@ -270,6 +275,12 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			Bytes: rec.bytes, Elapsed: elapsed, Remote: r.RemoteAddr,
 		})
 	})
+}
+
+// isModelRoute reports whether the path exercises the model — the only
+// routes whose outcomes (including panics) feed the circuit breaker.
+func isModelRoute(path string) bool {
+	return path == "/v1/match" || path == "/v1/score"
 }
 
 type statusRecorder struct {
@@ -357,34 +368,57 @@ func statusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
-// shedForBreaker answers a model-route request with 429 + Retry-After
-// when the circuit is open, reporting whether the request was shed. The
-// hint is the breaker's remaining cooldown, floored to one second so
-// well-behaved clients always back off a little.
-func (s *Server) shedForBreaker(w http.ResponseWriter) bool {
-	if s.breaker.Allow() {
-		return false
-	}
-	s.met.shed.Add(1)
-	retry := int(s.breaker.RetryAfter().Round(time.Second).Seconds())
-	if retry < 1 {
-		retry = 1
-	}
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
-	writeError(w, http.StatusTooManyRequests,
-		"model circuit open after repeated failures; retry in %ds", retry)
-	return true
+// breakerAdmission is one admitted model-route request's obligation to
+// the circuit breaker: if the request holds the half-open probe, it must
+// be settled on every exit path. Handlers defer finish() immediately
+// after admission; record() feeds a health-relevant outcome, and any
+// path that exits without recording (bad JSON, schema mismatch, client
+// disconnect — outcomes that say nothing about the model) releases the
+// probe in finish() so the breaker can never wedge half-open.
+type breakerAdmission struct {
+	b       *resilience.Breaker
+	probe   bool
+	settled bool
 }
 
-// recordOutcome feeds a model-route outcome to the breaker. Client
-// mistakes (bad JSON, schema mismatch) never reach it — only outcomes
-// that say something about the model's health.
-func (s *Server) recordOutcome(err error) { s.breaker.Record(err) }
+func (a *breakerAdmission) record(err error) {
+	a.settled = true
+	a.b.Record(err)
+}
+
+func (a *breakerAdmission) finish() {
+	if a.probe && !a.settled {
+		a.b.Release()
+	}
+}
+
+// admitModel runs breaker admission for a model route. Shed requests are
+// answered with 429 + Retry-After — the breaker's remaining cooldown,
+// floored to one second so well-behaved clients always back off a little
+// — and ok=false. Admitted requests get an admission whose finish()
+// the handler must defer.
+func (s *Server) admitModel(w http.ResponseWriter) (adm *breakerAdmission, ok bool) {
+	admit, probe := s.breaker.Allow()
+	if !admit {
+		s.met.shed.Add(1)
+		retry := int(s.breaker.RetryAfter().Round(time.Second).Seconds())
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		writeError(w, http.StatusTooManyRequests,
+			"model circuit open after repeated failures; retry in %ds", retry)
+		return nil, false
+	}
+	return &breakerAdmission{b: s.breaker, probe: probe}, true
+}
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	if s.shedForBreaker(w) {
+	adm, ok := s.admitModel(w)
+	if !ok {
 		return
 	}
+	defer adm.finish()
 	var req matchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding match request: %v", err)
@@ -413,14 +447,14 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if ctxErr := r.Context().Err(); ctxErr != nil {
 			s.met.timeouts.Add(1)
-			s.recordOutcome(ctxErr)
+			adm.record(ctxErr)
 			writeError(w, statusFor(ctxErr), "match aborted: %v", ctxErr)
 			return
 		}
 		writeError(w, http.StatusBadRequest, "match: %v", err)
 		return
 	}
-	s.recordOutcome(nil)
+	adm.record(nil)
 	resp := matchResponse{
 		Pairs:      make([]pairJSON, len(pairs)),
 		Candidates: candidates,
@@ -433,9 +467,11 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	if s.shedForBreaker(w) {
+	adm, ok := s.admitModel(w)
+	if !ok {
 		return
 	}
+	defer adm.finish()
 	// Load shedding: once the score queue is past the watermark, a new
 	// request would only wait out most of its deadline in line — reject
 	// it immediately so the client can retry elsewhere.
@@ -483,12 +519,12 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			}
 			if statusFor(res.err) == http.StatusInternalServerError ||
 				errors.Is(res.err, context.DeadlineExceeded) {
-				s.recordOutcome(res.err)
+				adm.record(res.err)
 			}
 			writeError(w, statusFor(res.err), "score failed: %v", res.err)
 			return
 		}
-		s.recordOutcome(nil)
+		adm.record(nil)
 		resp := scoreResponse{Scores: res.scores, Matches: make([]bool, len(vecs))}
 		for i, v := range vecs {
 			resp.Matches[i] = s.art.Learner.Predict(v)
