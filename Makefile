@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench chaos serve-smoke
+.PHONY: check vet build test race bench bench-json chaos serve-smoke
 
 check: vet build race chaos serve-smoke
 
@@ -22,6 +22,11 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
+
+# Serial/parallel selector benchmark pairs → BENCH_4.json (ns/op,
+# allocs/op, and per-path speedup at this machine's GOMAXPROCS).
+bench-json:
+	GO="$(GO)" sh scripts/bench_json.sh BENCH_4.json
 
 # Seeded fault-injection suite: kill/resume bit-identity, oracle stall
 # termination, panic containment, breaker lifecycle — all replayable

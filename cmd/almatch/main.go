@@ -57,6 +57,7 @@ func main() {
 		ckpt      = flag.String("checkpoint", "", "snapshot file for crash-safe training; labels journal to <file>.wal (train mode)")
 		resume    = flag.Bool("resume", false, "resume the run in -checkpoint instead of starting fresh (train mode)")
 		flaky     = flag.Float64("flaky", 0, "inject this transient oracle-failure rate, with retries — a resilience drill (train mode)")
+		workers   = flag.Int("workers", 0, "worker goroutines for selection/evaluation; 0 = all CPUs, 1 = serial — results are identical either way (train mode)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 			dataset: *datasetN, scale: *scale, seed: *seed,
 			modelPath: *modelPath, trees: *trees, maxLabels: *maxLabels,
 			progress: *progress, checkpoint: *ckpt, resume: *resume, flaky: *flaky,
+			workers: *workers,
 		})
 	case "apply":
 		err = apply(*modelPath, *leftPath, *rightPath, *threshold, *outPath)
@@ -92,6 +94,7 @@ type trainOpts struct {
 	checkpoint string
 	resume     bool
 	flaky      float64
+	workers    int
 }
 
 func train(o trainOpts) error {
@@ -101,7 +104,7 @@ func train(o trainOpts) error {
 	}
 	pool := alem.NewPool(d)
 	forest := alem.NewRandomForest(o.trees, o.seed)
-	cfg := alem.Config{Seed: o.seed, MaxLabels: o.maxLabels, TargetF1: 0.99}
+	cfg := alem.Config{Seed: o.seed, MaxLabels: o.maxLabels, TargetF1: 0.99, Workers: o.workers}
 
 	// The oracle is fallible end to end; -flaky layers deterministic fault
 	// injection plus retries on top, a drill for real labeling back ends.

@@ -11,6 +11,7 @@
 package blocking
 
 import (
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -54,18 +55,27 @@ func Block(d *dataset.Dataset) *Result {
 
 // BlockThreshold is Block with an explicit Jaccard threshold.
 func BlockThreshold(d *dataset.Dataset, threshold float64) *Result {
-	tok := textsim.Whitespace{}
-	leftTokens := tokenizeAll(d.Left, tok)
-	rightTokens := tokenizeAll(d.Right, tok)
-
-	// Inverted index over right-record tokens. Tokens occurring in a large
-	// fraction of records are stop words: they generate enormous candidate
-	// lists while contributing almost nothing to Jaccard overlap at the
-	// thresholds in use.
+	// Tokens occurring in a large fraction of records are stop words:
+	// they generate enormous candidate lists while contributing almost
+	// nothing to Jaccard overlap at the thresholds in use.
 	maxDF := len(d.Right.Rows) / 5
 	if maxDF < 50 {
 		maxDF = 50
 	}
+	return blockWithMaxDF(d, threshold, maxDF)
+}
+
+// blockWithMaxDF is the full blocking algorithm with an explicit
+// stop-token cutoff: posting lists longer than maxDF are skipped during
+// candidate generation, then repaired per left record (see the pigeonhole
+// argument inline) so the output is exactly the pairs at or above the
+// threshold that share at least one token — identical to brute force.
+func blockWithMaxDF(d *dataset.Dataset, threshold float64, maxDF int) *Result {
+	tok := textsim.Whitespace{}
+	leftTokens := tokenizeAll(d.Left, tok)
+	rightTokens := tokenizeAll(d.Right, tok)
+
+	// Inverted index over right-record tokens.
 	index := make(map[string][]int32)
 	for ri, toks := range rightTokens {
 		seen := make(map[string]struct{}, len(toks))
@@ -97,17 +107,45 @@ func BlockThreshold(d *dataset.Dataset, threshold float64) *Result {
 			for li := lo; li < hi; li++ {
 				clear(cand)
 				seen := make(map[string]struct{}, len(leftTokens[li]))
+				var prunedLists [][]int32
+				distinct := 0
 				for _, t := range leftTokens[li] {
 					if _, ok := seen[t]; ok {
 						continue
 					}
 					seen[t] = struct{}{}
+					distinct++
 					post := index[t]
 					if len(post) > maxDF {
+						prunedLists = append(prunedLists, post)
 						continue
 					}
 					for _, ri := range post {
 						cand[ri] = struct{}{}
+					}
+				}
+				// Stop-token recall repair. A right record reachable only
+				// through pruned posting lists shares nothing but stop
+				// tokens with this left record; to reach the threshold it
+				// must share at least need = ceil(threshold · distinct) of
+				// them, because the Jaccard denominator is at least the
+				// left record's distinct-token count. Such a record sits in
+				// at least need of the pruned lists, so by pigeonhole any
+				// len(prunedLists)−need+1 of them — the smallest, to bound
+				// the cost — are guaranteed to surface it. When need
+				// exceeds the pruned-token count no qualifying pair can
+				// exist and nothing extra is scanned, which is the common
+				// case for records with a handful of stop words; without
+				// this step every such pair was silently dropped, capping
+				// recall below the package contract.
+				if need := stopTokenNeed(threshold, distinct); len(prunedLists) >= need {
+					sort.Slice(prunedLists, func(a, b int) bool {
+						return len(prunedLists[a]) < len(prunedLists[b])
+					})
+					for _, post := range prunedLists[:len(prunedLists)-need+1] {
+						for _, ri := range post {
+							cand[ri] = struct{}{}
+						}
 					}
 				}
 				for ri := range cand {
@@ -133,6 +171,20 @@ func BlockThreshold(d *dataset.Dataset, threshold float64) *Result {
 		}
 	}
 	return res
+}
+
+// stopTokenNeed is the minimum number of shared tokens a pair must have
+// to reach the threshold against a left record with the given
+// distinct-token count: ceil(threshold · distinct), floored at one (a
+// pair sharing no token at all is invisible to any inverted index; the
+// thresholds in use are strictly positive, so such pairs are below
+// threshold anyway).
+func stopTokenNeed(threshold float64, distinct int) int {
+	need := int(math.Ceil(threshold * float64(distinct)))
+	if need < 1 {
+		need = 1
+	}
+	return need
 }
 
 // tokenizeAll tokenizes the concatenated attribute values of every record.

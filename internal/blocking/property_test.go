@@ -1,6 +1,8 @@
 package blocking
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -149,5 +151,101 @@ func TestSortedNeighborhoodDegenerateWindow(t *testing.T) {
 	}
 	if res.MatchesTotal != 2 {
 		t.Errorf("MatchesTotal = %d, want 2", res.MatchesTotal)
+	}
+}
+
+// TestBlockStopTokenRecallHole is the regression test for the maxDF
+// recall hole: a left record whose every token is a stop word (posting
+// list longer than maxDF) used to generate no candidates at all, so even
+// an identical right record — Jaccard 1.0 — was silently dropped,
+// violating the package contract that every pair at or above the
+// threshold is kept.
+func TestBlockStopTokenRecallHole(t *testing.T) {
+	// "common" appears in every right record, so its posting list blows
+	// through maxDF=3; the left record consists of nothing else.
+	var rrows []dataset.Record
+	for i := 0; i < 10; i++ {
+		val := "common"
+		if i > 0 {
+			val = "common rare" + string(rune('a'+i))
+		}
+		rrows = append(rrows, dataset.Record{ID: "R" + string(rune('0'+i)), Values: []string{val}})
+	}
+	l := &dataset.Table{Rows: []dataset.Record{{ID: "L0", Values: []string{"common"}}}}
+	r := &dataset.Table{Rows: rrows}
+	d := dataset.NewDataset("stopword", l, r, nil, 0.5)
+
+	res := blockWithMaxDF(d, 0.5, 3)
+	found := false
+	for _, p := range res.Pairs {
+		if p.L == 0 && p.R == 0 { // left "common" vs right "common": Jaccard 1.0
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pair (L0, R0) with Jaccard 1.0 dropped by the stop-token cutoff")
+	}
+	// The full result still matches brute force.
+	want := bruteForce(d, 0.5)
+	if len(res.Pairs) != len(want) {
+		t.Fatalf("blocked to %d pairs, brute force finds %d", len(res.Pairs), len(want))
+	}
+	for _, p := range res.Pairs {
+		if !want[p] {
+			t.Errorf("kept sub-threshold pair %v", p)
+		}
+	}
+}
+
+// TestBlockWithMaxDFMatchesBruteForce is the brute-force-equivalence
+// property test with the stop-token cutoff forced on: random datasets
+// drawn from a small vocabulary dominated by hot tokens, blocked with a
+// tiny maxDF so nearly every posting list is pruned, must still produce
+// exactly the brute-force pair set (the pigeonhole repair scans just
+// enough pruned lists to guarantee it).
+func TestBlockWithMaxDFMatchesBruteForce(t *testing.T) {
+	vocab := []string{
+		"the", "of", "and", // hot: appear in most records
+		"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		for _, threshold := range []float64{0.15, 0.34, 0.5} {
+			r := rand.New(rand.NewSource(seed))
+			mkTable := func(n int, side string) *dataset.Table {
+				tb := &dataset.Table{}
+				for i := 0; i < n; i++ {
+					toks := []string{vocab[r.Intn(3)]} // at least one hot token
+					for len(toks) < 1+r.Intn(5) {
+						toks = append(toks, vocab[r.Intn(len(vocab))])
+					}
+					tb.Rows = append(tb.Rows, dataset.Record{
+						ID:     fmt.Sprintf("%s%d", side, i),
+						Values: []string{strings.Join(toks, " ")},
+					})
+				}
+				return tb
+			}
+			d := dataset.NewDataset("prop", mkTable(30, "L"), mkTable(40, "R"), nil, threshold)
+			for _, maxDF := range []int{2, 3, 5} {
+				got := blockWithMaxDF(d, threshold, maxDF)
+				want := bruteForce(d, threshold)
+				gotSet := map[dataset.PairKey]bool{}
+				for _, p := range got.Pairs {
+					gotSet[p] = true
+				}
+				for p := range want {
+					if !gotSet[p] {
+						t.Fatalf("seed=%d θ=%.2f maxDF=%d: pruned index missed pair %v",
+							seed, threshold, maxDF, p)
+					}
+				}
+				for p := range gotSet {
+					if !want[p] {
+						t.Fatalf("seed=%d θ=%.2f maxDF=%d: kept sub-threshold pair %v",
+							seed, threshold, maxDF, p)
+					}
+				}
+			}
+		}
 	}
 }

@@ -139,7 +139,7 @@ func RunEnsembleContext(ctx context.Context, pool *Pool, o oracle.Oracle, cfg En
 		evalStart := time.Now()
 		pred, err := parallelPredict(ctx, func(x feature.Vector) bool {
 			return ensemblePredict(cand, x)
-		}, pool, e.testIdx)
+		}, pool, e.testIdx, cfg.Workers)
 		if err != nil {
 			return finish(StopCancelled, err)
 		}
@@ -163,6 +163,7 @@ func RunEnsembleContext(ctx context.Context, pool *Pool, o oracle.Oracle, cfg En
 				Learner: candidate, Pool: pool,
 				LabeledIdx: e.labeled, Labels: e.labels,
 				Unlabeled: e.unlabeled, Rand: r,
+				Workers: cfg.Workers,
 			}
 			k := min(cfg.BatchSize, e.maxLabels-e.totalLabels)
 			batch = cfg.Selector.Select(sctx, k)

@@ -42,13 +42,19 @@ func (iw IWAL) Select(ctx *SelectContext, k int) []int {
 	start := time.Now()
 	defer func() { ctx.Score = time.Since(start) }()
 
-	// Normalize margins into [0,1] ambiguity scores.
+	// Normalize margins into [0,1] ambiguity scores. The margin sweep
+	// fans out; the max reduction and the sequential rejection sampling
+	// below (which draws from the shared RNG) stay serial.
 	margins := make([]float64, len(ctx.Unlabeled))
+	if err := parallelFor(ctx.Ctx, len(ctx.Unlabeled), ctx.Workers, parallelCutoff, func(j int) {
+		margins[j] = math.Abs(ml.Margin(ctx.Pool.X[ctx.Unlabeled[j]]))
+	}); err != nil {
+		return nil
+	}
 	maxM := 0.0
-	for j, i := range ctx.Unlabeled {
-		margins[j] = math.Abs(ml.Margin(ctx.Pool.X[i]))
-		if margins[j] > maxM {
-			maxM = margins[j]
+	for _, m := range margins {
+		if m > maxM {
+			maxM = m
 		}
 	}
 	if maxM == 0 {

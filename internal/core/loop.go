@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/alem/alem/internal/eval"
 	"github.com/alem/alem/internal/feature"
@@ -78,6 +76,16 @@ type Config struct {
 	// StabilityEpsilon is the churn threshold, in (0, 1]. 0 means
 	// DefaultStabilityEpsilon (0.002).
 	StabilityEpsilon float64
+	// Workers caps the goroutines used by the run's parallel hot paths:
+	// evaluation prediction, selector scoring and QBC committee training.
+	// 0 means one worker per CPU (runtime.GOMAXPROCS), resolved on the
+	// machine doing the work; 1 forces the serial path. Workers is
+	// machine tuning, not protocol — all shared randomness is pre-drawn
+	// before any fan-out, so every worker count produces bit-identical
+	// results — which is why it is excluded from Snapshots and
+	// checkpoints stay portable across machines (a restored session
+	// defaults to the restoring machine's CPU count).
+	Workers int `json:"-"`
 }
 
 // Validate rejects configs whose fields are outside their documented
@@ -101,6 +109,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Config.StabilityWindow %d is negative", c.StabilityWindow)
 	case c.StabilityEpsilon < 0 || c.StabilityEpsilon > 1:
 		return fmt.Errorf("core: Config.StabilityEpsilon %g outside [0, 1]", c.StabilityEpsilon)
+	case c.Workers < 0:
+		return fmt.Errorf("core: Config.Workers %d is negative", c.Workers)
 	}
 	return nil
 }
@@ -153,56 +163,20 @@ func Run(pool *Pool, learner Learner, sel Selector, o oracle.Oracle, cfg Config)
 
 // parallelPredictCutoff is the test-universe size below which parallel
 // prediction is not worth the goroutine fan-out and the serial path is
-// taken instead.
-const parallelPredictCutoff = 256
+// taken instead. It is the shared parallelCutoff of the fan-out
+// substrate; the name survives for the tests and docs that predate it.
+const parallelPredictCutoff = parallelCutoff
 
-// cancelCheckStride bounds how many predictions a worker makes between
-// context checks, so cancellation latency stays small without paying a
-// per-prediction context read.
-const cancelCheckStride = 64
-
-// parallelPredict evaluates predict over pool.X[idx...] with one worker
-// per CPU, preserving order. Learner Predict methods only read model
-// state, so concurrent evaluation is safe. Cancelling ctx makes every
-// worker stop within cancelCheckStride predictions; the partial output
-// is discarded and ctx's error returned.
-func parallelPredict(ctx context.Context, predict func(feature.Vector) bool, pool *Pool, idx []int) ([]bool, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// parallelPredict evaluates predict over pool.X[idx...] with up to
+// workers goroutines (<= 0 means one per CPU), preserving order. Learner
+// Predict methods only read model state, so concurrent evaluation is
+// safe. Cancelling ctx makes every worker stop within cancelCheckStride
+// predictions; the partial output is discarded and ctx's error returned.
+func parallelPredict(ctx context.Context, predict func(feature.Vector) bool, pool *Pool, idx []int, workers int) ([]bool, error) {
 	out := make([]bool, len(idx))
-	nWorkers := runtime.GOMAXPROCS(0)
-	if len(idx) < parallelPredictCutoff || nWorkers == 1 {
-		for j, i := range idx {
-			if j%cancelCheckStride == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			out[j] = predict(pool.X[i])
-		}
-		return out, nil
-	}
-	var wg sync.WaitGroup
-	chunk := (len(idx) + nWorkers - 1) / nWorkers
-	for w := 0; w < nWorkers; w++ {
-		lo, hi := w*chunk, min((w+1)*chunk, len(idx))
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for j := lo; j < hi; j++ {
-				if (j-lo)%cancelCheckStride == 0 && ctx.Err() != nil {
-					return
-				}
-				out[j] = predict(pool.X[idx[j]])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	if err := parallelFor(ctx, len(idx), workers, parallelCutoff, func(j int) {
+		out[j] = predict(pool.X[idx[j]])
+	}); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -30,6 +30,14 @@ type SelectContext struct {
 	Unlabeled  []int
 	Rand       *rand.Rand
 
+	// Workers caps the goroutines a selector may fan out for committee
+	// training and pool scoring; <= 0 means one per CPU, 1 forces the
+	// serial path. The engine fills it from Config.Workers. Every worker
+	// count produces bit-identical batches and RNG draw counts: selectors
+	// pre-draw all randomness from Rand before fanning out and only merge
+	// deterministic per-example results afterwards.
+	Workers int
+
 	// Filled by Select.
 	CommitteeCreate time.Duration
 	Score           time.Duration
@@ -102,39 +110,51 @@ func (q QBC) Select(ctx *SelectContext, k int) []int {
 		return nil
 	}
 	// Committee creation (timed separately; it dominates QBC latency and
-	// grows with the labeled set, Fig. 10a-b).
+	// grows with the labeled set, Fig. 10a-b). All bootstrap draws and
+	// factory seeds come out of the shared RNG *before* the fan-out, in
+	// the exact order the serial loop consumed them, so draw counts and
+	// trained members are bit-identical for every worker count.
 	start := time.Now()
-	committee := make([]Learner, q.B)
+	if ctx.Cancelled() {
+		ctx.CommitteeCreate = time.Since(start)
+		return nil
+	}
 	n := len(ctx.LabeledIdx)
+	resamples := make([][]int, q.B)
+	seeds := make([]int64, q.B)
 	for b := 0; b < q.B; b++ {
-		if ctx.Cancelled() {
-			ctx.CommitteeCreate = time.Since(start)
-			return nil
+		draws := make([]int, n)
+		for i := range draws {
+			draws[i] = ctx.Rand.Intn(n)
 		}
+		resamples[b] = draws
+		seeds[b] = ctx.Rand.Int63()
+	}
+	committee := make([]Learner, q.B)
+	if err := parallelFor(ctx.Ctx, q.B, ctx.Workers, 2, func(b int) {
 		X := make([]feature.Vector, 0, n)
 		y := make([]bool, 0, n)
-		for i := 0; i < n; i++ {
-			j := ctx.Rand.Intn(n)
+		for _, j := range resamples[b] {
 			X = append(X, ctx.Pool.X[ctx.LabeledIdx[j]])
 			y = append(y, ctx.Labels[j])
 		}
-		m := q.Factory(ctx.Rand.Int63())
+		m := q.Factory(seeds[b])
 		m.Train(X, y)
 		committee[b] = m
+	}); err != nil {
+		ctx.CommitteeCreate = time.Since(start)
+		return nil
 	}
 	ctx.CommitteeCreate = time.Since(start)
 
-	// Example scoring: committee variance over every unlabeled example.
+	// Example scoring: committee variance over every unlabeled example,
+	// each independent of the others.
 	start = time.Now()
 	variance := make([]float64, len(ctx.Unlabeled))
-	for j, i := range ctx.Unlabeled {
-		if j%cancelCheckStride == 0 && ctx.Cancelled() {
-			ctx.Score = time.Since(start)
-			return nil
-		}
+	if err := parallelFor(ctx.Ctx, len(ctx.Unlabeled), ctx.Workers, parallelCutoff, func(j int) {
 		pos := 0
 		for _, m := range committee {
-			if m.Predict(ctx.Pool.X[i]) {
+			if m.Predict(ctx.Pool.X[ctx.Unlabeled[j]]) {
 				pos++
 			}
 		}
@@ -144,6 +164,9 @@ func (q QBC) Select(ctx *SelectContext, k int) []int {
 		} else {
 			variance[j] = p * (1 - p)
 		}
+	}); err != nil {
+		ctx.Score = time.Since(start)
+		return nil
 	}
 	picked := variancePick(ctx.Rand, ctx.Unlabeled, variance, k)
 	ctx.Score = time.Since(start)
@@ -193,14 +216,27 @@ func (Margin) Select(ctx *SelectContext, k int) []int {
 	}
 	start := time.Now()
 	defer func() { ctx.Score = time.Since(start) }()
-	type scored struct {
-		idx int
-		m   float64
+	s := make([]scored, len(ctx.Unlabeled))
+	if err := parallelFor(ctx.Ctx, len(ctx.Unlabeled), ctx.Workers, parallelCutoff, func(j int) {
+		i := ctx.Unlabeled[j]
+		s[j] = scored{i, math.Abs(ml.Margin(ctx.Pool.X[i]))}
+	}); err != nil {
+		return nil
 	}
-	s := make([]scored, 0, len(ctx.Unlabeled))
-	for _, i := range ctx.Unlabeled {
-		s = append(s, scored{i, math.Abs(ml.Margin(ctx.Pool.X[i]))})
-	}
+	return smallestMargins(s, k)
+}
+
+// scored pairs a pool index with its selection score.
+type scored struct {
+	idx int
+	m   float64
+}
+
+// smallestMargins returns the indices of the k smallest scores, ties
+// broken by pool index — the fully deterministic ordering §4.2.1 credits
+// margin with. The (score, idx) key is a total order, so the result does
+// not depend on the input's arrangement.
+func smallestMargins(s []scored, k int) []int {
 	sort.Slice(s, func(a, b int) bool {
 		if s[a].m != s[b].m {
 			return s[a].m < s[b].m
@@ -248,44 +284,39 @@ func (bm BlockedMargin) Select(ctx *SelectContext, k int) []int {
 	}
 	dims := topWeightDims(w, topK)
 
-	type scored struct {
-		idx int
-		m   float64
-	}
-	var s []scored
-	for _, i := range ctx.Unlabeled {
-		x := ctx.Pool.X[i]
-		blocked := true
+	// Score in parallel: an example whose blocking dimensions are all
+	// zero records a sentinel instead of paying the dot product; the
+	// survivors are collected serially in pool order afterwards, so the
+	// result is identical at every worker count.
+	margins := make([]float64, len(ctx.Unlabeled))
+	if err := parallelFor(ctx.Ctx, len(ctx.Unlabeled), ctx.Workers, parallelCutoff, func(j int) {
+		x := ctx.Pool.X[ctx.Unlabeled[j]]
 		for _, d := range dims {
 			if x[d] != 0 {
-				blocked = false
-				break
+				margins[j] = math.Abs(wl.Margin(x))
+				return
 			}
 		}
-		if blocked {
-			continue // margin == |bias|: prune without the dot product
+		margins[j] = blockedSentinel // margin == |bias|: pruned without the dot product
+	}); err != nil {
+		return nil
+	}
+	var s []scored
+	for j, i := range ctx.Unlabeled {
+		if margins[j] != blockedSentinel {
+			s = append(s, scored{i, margins[j]})
 		}
-		s = append(s, scored{i, math.Abs(wl.Margin(x))})
 	}
 	if len(s) == 0 {
 		// Degenerate: everything pruned; fall back to plain margin.
 		return Margin{}.Select(ctx, k)
 	}
-	sort.Slice(s, func(a, b int) bool {
-		if s[a].m != s[b].m {
-			return s[a].m < s[b].m
-		}
-		return s[a].idx < s[b].idx
-	})
-	if k > len(s) {
-		k = len(s)
-	}
-	out := make([]int, 0, k)
-	for _, x := range s[:k] {
-		out = append(out, x.idx)
-	}
-	return out
+	return smallestMargins(s, k)
 }
+
+// blockedSentinel marks an example pruned by the blocking dimensions.
+// Margins are non-negative, so a negative value can never collide.
+const blockedSentinel = -1.0
 
 // topWeightDims returns the indices of the k largest |w| entries.
 func topWeightDims(w []float64, k int) []int {
@@ -316,16 +347,26 @@ func (ForestQBC) Select(ctx *SelectContext, k int) []int {
 	}
 	start := time.Now()
 	defer func() { ctx.Score = time.Since(start) }()
-	variance := make([]float64, len(ctx.Unlabeled))
-	for j, i := range ctx.Unlabeled {
-		pos, total := vl.Votes(ctx.Pool.X[i])
+	variance, err := voteVariance(ctx, vl, ctx.Unlabeled)
+	if err != nil {
+		return nil
+	}
+	return variancePick(ctx.Rand, ctx.Unlabeled, variance, k)
+}
+
+// voteVariance computes the (P/C)(1−P/C) disagreement of a vote committee
+// over the candidate examples, fanning out across ctx.Workers.
+func voteVariance(ctx *SelectContext, vl VoteLearner, candidates []int) ([]float64, error) {
+	variance := make([]float64, len(candidates))
+	err := parallelFor(ctx.Ctx, len(candidates), ctx.Workers, parallelCutoff, func(j int) {
+		pos, total := vl.Votes(ctx.Pool.X[candidates[j]])
 		if total == 0 {
-			continue
+			return
 		}
 		p := float64(pos) / float64(total)
 		variance[j] = p * (1 - p)
-	}
-	return variancePick(ctx.Rand, ctx.Unlabeled, variance, k)
+	})
+	return variance, err
 }
 
 // LFPLFN adapts the rule learner's Likely-False-Positive / Negative
@@ -337,7 +378,9 @@ type LFPLFN struct{}
 // Name implements Selector.
 func (LFPLFN) Name() string { return "lfp-lfn" }
 
-// Select implements Selector.
+// Select implements Selector. Scoring polls the run's cancellation
+// signal on the standard stride, so rule-learner runs respond to
+// SIGINT/deadlines like every other selector.
 func (LFPLFN) Select(ctx *SelectContext, k int) []int {
 	m, ok := ctx.Learner.(*rules.Model)
 	if !ok {
@@ -345,5 +388,5 @@ func (LFPLFN) Select(ctx *SelectContext, k int) []int {
 	}
 	start := time.Now()
 	defer func() { ctx.Score = time.Since(start) }()
-	return m.SelectLFPLFN(ctx.Pool.X, ctx.Unlabeled, k)
+	return m.SelectLFPLFNCancel(ctx.Pool.X, ctx.Unlabeled, k, ctx.Cancelled)
 }

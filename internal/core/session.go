@@ -392,7 +392,7 @@ func (s *Session) trainPhase() time.Duration {
 // confusion matrix.
 func (s *Session) evalPhase(ctx context.Context, trainTime time.Duration) (eval.Point, []bool, error) {
 	start := time.Now()
-	pred, err := parallelPredict(ctx, s.learner.Predict, s.pool, s.testIdx)
+	pred, err := parallelPredict(ctx, s.learner.Predict, s.pool, s.testIdx, s.cfg.Workers)
 	if err != nil {
 		return eval.Point{}, nil, err
 	}
@@ -410,6 +410,7 @@ func (s *Session) selectPhase(ctx context.Context, pt *eval.Point) ([]int, StopR
 		Learner: s.learner, Pool: s.pool,
 		LabeledIdx: s.labeled, Labels: s.labels,
 		Unlabeled: s.unlabeled, Rand: s.rng,
+		Workers: s.cfg.Workers,
 	}
 	var batch []int
 	reason := StopNone
@@ -425,7 +426,14 @@ func (s *Session) selectPhase(ctx context.Context, pt *eval.Point) ([]int, StopR
 	default:
 		k := min(s.cfg.BatchSize, s.maxLabels-len(s.labeled))
 		batch = s.sel.Select(sctx, k)
-		if len(batch) == 0 {
+		switch {
+		case len(batch) == 0 && ctx.Err() != nil:
+			// The selector bailed out because the run was cancelled
+			// mid-select, not because it ran out of informative examples;
+			// reporting StopSelectorEmpty here would let a cancelled run
+			// masquerade as a normal termination.
+			reason = StopCancelled
+		case len(batch) == 0:
 			reason = StopSelectorEmpty
 		}
 	}

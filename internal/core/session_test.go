@@ -393,7 +393,7 @@ func TestParallelPredictPathsAgree(t *testing.T) {
 	for _, n := range []int{1, parallelPredictCutoff - 1, parallelPredictCutoff,
 		parallelPredictCutoff + 1, pool.Len()} {
 		idx := seqInts(n)
-		got, err := parallelPredict(context.Background(), svm.Predict, pool, idx)
+		got, err := parallelPredict(context.Background(), svm.Predict, pool, idx, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -411,7 +411,7 @@ func TestParallelPredictCancelled(t *testing.T) {
 	svm.Train(pool.X[:120], pool.Truth[:120])
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := parallelPredict(ctx, svm.Predict, pool, seqInts(pool.Len())); err != context.Canceled {
+	if _, err := parallelPredict(ctx, svm.Predict, pool, seqInts(pool.Len()), 0); err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

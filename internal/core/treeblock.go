@@ -66,14 +66,9 @@ func (bf BlockedForestQBC) Select(ctx *SelectContext, k int) []int {
 			candidates = pruned
 		}
 	}
-	variance := make([]float64, len(candidates))
-	for j, i := range candidates {
-		pos, total := vl.Votes(ctx.Pool.X[i])
-		if total == 0 {
-			continue
-		}
-		p := float64(pos) / float64(total)
-		variance[j] = p * (1 - p)
+	variance, err := voteVariance(ctx, vl, candidates)
+	if err != nil {
+		return nil
 	}
 	return variancePick(ctx.Rand, candidates, variance, k)
 }

@@ -258,11 +258,28 @@ func simScore(x feature.Vector) float64 {
 // with high feature similarity). An empty result signals that no LFPs or
 // LFNs remain, the paper's early-termination condition for rule learning.
 func (m *Model) SelectLFPLFN(X []feature.Vector, unlabeled []int, k int) []int {
+	return m.SelectLFPLFNCancel(X, unlabeled, k, nil)
+}
+
+// cancelCheckStride bounds how many unlabeled examples are scored
+// between polls of the cancellation hook, mirroring the core engine's
+// stride so SIGINT/deadline latency stays small on large pools.
+const cancelCheckStride = 64
+
+// SelectLFPLFNCancel is SelectLFPLFN with a cooperative cancellation
+// hook: cancelled (nil-safe) is polled every cancelCheckStride examples,
+// and a true return abandons scoring with a nil batch — the engine
+// discards the batch of a cancelled iteration, so a partial result is
+// never recorded.
+func (m *Model) SelectLFPLFNCancel(X []feature.Vector, unlabeled []int, k int, cancelled func() bool) []int {
 	if len(m.rules) == 0 || k <= 0 {
 		return nil
 	}
 	var lfps, lfns []scored
-	for _, i := range unlabeled {
+	for n, i := range unlabeled {
+		if cancelled != nil && n%cancelCheckStride == 0 && cancelled() {
+			return nil
+		}
 		x := X[i]
 		if m.Predict(x) {
 			lfps = append(lfps, scored{i, simScore(x)})

@@ -320,3 +320,25 @@ func TestMinPrecisionZeroLearnsSomething(t *testing.T) {
 		t.Error("MinPrecision=0 learned nothing on separable data")
 	}
 }
+
+func TestSelectLFPLFNCancelAbortsScoring(t *testing.T) {
+	X, y := singleAtomData()
+	m := NewModel(testExtractor())
+	m.Train(X, y) // DNF = atom0
+	pool := []feature.Vector{
+		boolVec(1, 1, 1), boolVec(1, 0, 0), boolVec(0, 0, 0),
+	}
+	idx := []int{0, 1, 2}
+	// Sanity: without cancellation this pool yields candidates.
+	if sel := m.SelectLFPLFNCancel(pool, idx, 2, nil); len(sel) == 0 {
+		t.Fatal("uncancelled selection returned nothing")
+	}
+	if sel := m.SelectLFPLFNCancel(pool, idx, 2, func() bool { return false }); len(sel) == 0 {
+		t.Fatal("selection with a live context returned nothing")
+	}
+	// A cancellation that has already fired aborts with a nil batch
+	// before any example is scored.
+	if sel := m.SelectLFPLFNCancel(pool, idx, 2, func() bool { return true }); sel != nil {
+		t.Fatalf("cancelled selection returned %v, want nil", sel)
+	}
+}

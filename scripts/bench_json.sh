@@ -1,0 +1,82 @@
+#!/bin/sh
+# bench_json.sh — run the serial/parallel selector benchmarks and emit a
+# machine-readable summary.
+#
+# Usage: sh scripts/bench_json.sh [OUT.json]
+#
+# Runs the paired benchmarks in internal/core with -benchmem, parses the
+# standard `go test -bench` output with awk, and writes one JSON document
+# containing every benchmark's ns/op, B/op and allocs/op plus a
+# "speedups" section pairing each <name>/serial with its <name>/parallel
+# counterpart (speedup = serial ns / parallel ns). GOMAXPROCS is
+# recorded alongside: the parallel variants use every CPU the machine
+# offers, so the ratio is only meaningful relative to that count (on a
+# single-CPU machine it is ~1.0 by construction).
+#
+# Environment:
+#   GO         go binary (default: go)
+#   BENCHTIME  passed to -benchtime (default: 10x)
+
+set -eu
+
+OUT="${1:-BENCH_4.json}"
+GO="${GO:-go}"
+BENCHTIME="${BENCHTIME:-10x}"
+
+cd "$(dirname "$0")/.."
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+"$GO" test -run '^$' -bench 'Select|ParallelPredict' -benchmem \
+    -benchtime "$BENCHTIME" ./internal/core/ | tee "$RAW" >&2
+
+# The -<n> suffix go attaches to each benchmark name is GOMAXPROCS.
+awk '
+BEGIN { gomaxprocs = "" }
+/^Benchmark/ {
+    name = $1
+    # Strip the Benchmark prefix and the trailing -<gomaxprocs> suffix.
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    n++
+    names[n] = name; it[n] = iters; nsop[n] = ns; bop[n] = bytes; aop[n] = allocs
+    nsByName[name] = ns
+    # Infer gomaxprocs from the benchmark name suffix if not supplied.
+    if (gomaxprocs == "" && match($1, /-[0-9]+$/))
+        gomaxprocs = substr($1, RSTART + 1)
+}
+END {
+    if (gomaxprocs == "") gomaxprocs = 1
+    printf "{\n  \"gomaxprocs\": %d,\n  \"benchmarks\": [\n", gomaxprocs
+    for (i = 1; i <= n; i++) {
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", names[i], it[i], nsop[i]
+        if (bop[i] != "") printf ", \"bytes_per_op\": %s", bop[i]
+        if (aop[i] != "") printf ", \"allocs_per_op\": %s", aop[i]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n  \"speedups\": [\n"
+    m = 0
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        if (name !~ /\/serial$/) continue
+        base = name
+        sub(/\/serial$/, "", base)
+        par = base "/parallel"
+        if (!(par in nsByName)) continue
+        pairs[++m] = sprintf("    {\"name\": \"%s\", \"serial_ns\": %s, \"parallel_ns\": %s, \"speedup\": %.3f}",
+                             base, nsByName[name], nsByName[par], nsByName[name] / nsByName[par])
+    }
+    for (i = 1; i <= m; i++) printf "%s%s\n", pairs[i], (i < m ? "," : "")
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
