@@ -1,12 +1,17 @@
 # Development targets. `make check` is the full pre-merge gate: static
-# vetting, a clean build of every package, and the test suite under the
-# race detector (the Session engine's cancellation paths are concurrent).
+# vetting, a clean build of every package, the test suite under the race
+# detector (the Session engine's cancellation paths are concurrent), the
+# coverage ratchet, and a short fuzz smoke over every parser target.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json chaos serve-smoke
+# Coverage ratchet for the engine package. Raise after a PR that durably
+# lifts internal/core coverage; never lower it to absorb a regression.
+COVER_FLOOR_CORE ?= 88.0
 
-check: vet build race chaos serve-smoke
+.PHONY: check vet build test race cover fuzz bench bench-json chaos serve-smoke
+
+check: vet build race cover fuzz chaos serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +20,19 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# Per-package coverage plus the internal/core floor (see scripts/cover.sh).
+cover:
+	GO="$(GO)" COVER_FLOOR_CORE="$(COVER_FLOOR_CORE)" sh scripts/cover.sh
+
+# 10s-per-target fuzz smoke over the artifact loader, WAL recovery and
+# CSV import (see scripts/fuzz_smoke.sh; FUZZTIME=1m for longer runs).
+fuzz:
+	GO="$(GO)" sh scripts/fuzz_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 1x .

@@ -40,6 +40,7 @@ import (
 	"github.com/alem/alem/internal/match"
 	"github.com/alem/alem/internal/model"
 	"github.com/alem/alem/internal/neural"
+	"github.com/alem/alem/internal/obs"
 	"github.com/alem/alem/internal/oracle"
 	"github.com/alem/alem/internal/resilience"
 	"github.com/alem/alem/internal/rules"
@@ -235,8 +236,8 @@ func RunEnsemble(pool *Pool, o Oracle, cfg EnsembleConfig) *EnsembleResult {
 
 // RunEnsembleContext is RunEnsemble with cancellation and observers.
 func RunEnsembleContext(ctx context.Context, pool *Pool, o Oracle,
-	cfg EnsembleConfig, obs ...Observer) (*EnsembleResult, error) {
-	return core.RunEnsembleContext(ctx, pool, o, cfg, obs...)
+	cfg EnsembleConfig, observers ...Observer) (*EnsembleResult, error) {
+	return core.RunEnsembleContext(ctx, pool, o, cfg, observers...)
 }
 
 // Session engine: the decomposed, cancellable, observable form of the
@@ -264,6 +265,9 @@ type (
 	EvalDone = core.EvalDone
 	// BatchSelected closes the select phase.
 	BatchSelected = core.BatchSelected
+	// PhaseDone is the uniform per-phase timing span (seed, train,
+	// evaluate, select, label) behind run manifests.
+	PhaseDone = core.PhaseDone
 	// CandidateAccepted reports an ensemble acceptance (§5.2).
 	CandidateAccepted = core.CandidateAccepted
 	// OracleFault reports a labeling query that failed after retries;
@@ -320,6 +324,45 @@ func NewCurveObserver(b *CurveBuilder) Observer { return core.NewCurveObserver(b
 
 // NewEventLog returns an EventLog writing to w.
 func NewEventLog(w io.Writer) *EventLog { return diag.NewEventLog(w) }
+
+// Observability: the unified metrics-and-tracing layer (internal/obs).
+// A Trace collects the Session's PhaseDone spans; serialized as JSONL it
+// is a run manifest (`almatch -trace run.jsonl`), and aldiag summarizes
+// one back into a per-phase table. MetricsRegistry is the same
+// dependency-free registry the MatchServer renders on /metrics.
+type (
+	// Trace accumulates spans and reads/writes JSONL run manifests.
+	Trace = obs.Trace
+	// TraceSpan is one recorded phase execution.
+	TraceSpan = obs.Span
+	// TracePhaseSummary is one phase's aggregate across a manifest.
+	TracePhaseSummary = obs.PhaseSummary
+	// MetricsRegistry registers counters/gauges/histograms and renders
+	// them in the Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+)
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// NewTraceObserver adapts a Trace to the Session event stream: every
+// PhaseDone event becomes one manifest span.
+func NewTraceObserver(tr *Trace) Observer { return core.NewTraceObserver(tr) }
+
+// ReadTraceManifest parses a JSONL run manifest written by
+// (*Trace).WriteManifest.
+func ReadTraceManifest(r io.Reader) ([]TraceSpan, error) { return obs.ReadManifest(r) }
+
+// SummarizeTrace aggregates manifest spans per phase, ordered by total
+// wall time.
+func SummarizeTrace(spans []TraceSpan) []TracePhaseSummary { return obs.Summarize(spans) }
+
+// WriteTraceSummary renders the human-readable per-phase table aldiag
+// prints for a manifest.
+func WriteTraceSummary(w io.Writer, spans []TraceSpan) { obs.WriteSummary(w, spans) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Learners.
 type (
@@ -466,8 +509,8 @@ type (
 // NewMatchServer builds an HTTP matching service over a loaded artifact.
 // Observers receive the serve event vocabulary (ServeRequestDone, ...)
 // through the same stream Session uses.
-func NewMatchServer(art *ModelArtifact, cfg MatchServerConfig, obs ...Observer) *MatchServer {
-	return serve.New(art, cfg, obs...)
+func NewMatchServer(art *ModelArtifact, cfg MatchServerConfig, observers ...Observer) *MatchServer {
+	return serve.New(art, cfg, observers...)
 }
 
 // Oracles.

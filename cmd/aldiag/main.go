@@ -3,6 +3,12 @@
 // learners actually face after blocking and featurization.
 //
 //	aldiag -dataset abt-buy -scale 0.25
+//
+// With -trace it instead summarizes a JSONL run manifest written by
+// `almatch -trace` or `albench -trace`: one line per phase with span
+// count, total/mean/max wall time, labels granted and batch sizes.
+//
+//	aldiag -trace run.jsonl
 package main
 
 import (
@@ -15,11 +21,19 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("dataset", "abt-buy", "dataset profile name, or \"all\"")
-		scale = flag.Float64("scale", 0.25, "dataset scale")
-		seed  = flag.Int64("seed", 42, "generator seed")
+		name      = flag.String("dataset", "abt-buy", "dataset profile name, or \"all\"")
+		scale     = flag.Float64("scale", 0.25, "dataset scale")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		tracePath = flag.String("trace", "", "summarize this JSONL run manifest instead of diagnosing a dataset")
 	)
 	flag.Parse()
+	if *tracePath != "" {
+		if err := summarizeTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "aldiag: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	names := []string{*name}
 	if *name == "all" {
 		names = nil
@@ -36,4 +50,18 @@ func main() {
 		alem.Diagnose(d).Print(os.Stdout)
 		fmt.Println()
 	}
+}
+
+func summarizeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := alem.ReadTraceManifest(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	alem.WriteTraceSummary(os.Stdout, spans)
+	return nil
 }

@@ -58,6 +58,7 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume the run in -checkpoint instead of starting fresh (train mode)")
 		flaky     = flag.Float64("flaky", 0, "inject this transient oracle-failure rate, with retries — a resilience drill (train mode)")
 		workers   = flag.Int("workers", 0, "worker goroutines for selection/evaluation; 0 = all CPUs, 1 = serial — results are identical either way (train mode)")
+		tracePath = flag.String("trace", "", "write a JSONL run manifest (one span per phase per iteration) to this file; summarize with aldiag -trace (train mode)")
 	)
 	flag.Parse()
 
@@ -68,7 +69,7 @@ func main() {
 			dataset: *datasetN, scale: *scale, seed: *seed,
 			modelPath: *modelPath, trees: *trees, maxLabels: *maxLabels,
 			progress: *progress, checkpoint: *ckpt, resume: *resume, flaky: *flaky,
-			workers: *workers,
+			workers: *workers, trace: *tracePath,
 		})
 	case "apply":
 		err = apply(*modelPath, *leftPath, *rightPath, *threshold, *outPath)
@@ -95,6 +96,7 @@ type trainOpts struct {
 	resume     bool
 	flaky      float64
 	workers    int
+	trace      string
 }
 
 func train(o trainOpts) error {
@@ -166,6 +168,12 @@ func train(o trainOpts) error {
 		defer wal.Close()
 	}
 
+	var trace *alem.Trace
+	if o.trace != "" {
+		trace = alem.NewTrace()
+		session.AddObserver(alem.NewTraceObserver(trace))
+	}
+
 	if o.progress {
 		session.AddObserver(alem.ObserverFunc(func(e alem.Event) {
 			switch ev := e.(type) {
@@ -200,6 +208,14 @@ func train(o trainOpts) error {
 		if done {
 			break
 		}
+	}
+	if trace != nil {
+		// The manifest covers whatever ran, so an interrupted run still
+		// leaves its phase timings behind for aldiag.
+		if terr := alem.WriteFileAtomic(o.trace, trace.WriteManifest); terr != nil {
+			return fmt.Errorf("trace manifest: %w", terr)
+		}
+		fmt.Fprintf(os.Stderr, "run manifest (%d spans) written to %s\n", trace.Len(), o.trace)
 	}
 	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, alem.ErrLabelingStalled) {
 		return runErr

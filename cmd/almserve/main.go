@@ -46,6 +46,7 @@ func main() {
 		brkThresh = flag.Int("breaker-threshold", 5, "consecutive model failures that open the circuit breaker")
 		brkCool   = flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open before probing")
 		shedMark  = flag.Int("shed-watermark", -1, "shed /v1/score with 429 past this queue depth (-1 = queue depth, 0 = off)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; bind a private address)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		addr: *addr, workers: *workers, batch: *batch, linger: *linger,
 		timeout: *timeout, drain: *drain, logReq: *logReq,
 		brkThresh: *brkThresh, brkCool: *brkCool, shedMark: *shedMark,
+		pprof: *pprofOn,
 	}
 	if err := run(*modelPath, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "almserve: %v\n", err)
@@ -69,6 +71,7 @@ type serveOpts struct {
 	brkThresh      int
 	brkCool        time.Duration
 	shedMark       int
+	pprof          bool
 }
 
 func run(modelPath string, o serveOpts) error {
@@ -103,6 +106,7 @@ func run(modelPath string, o serveOpts) error {
 		BreakerThreshold: o.brkThresh,
 		BreakerCooldown:  o.brkCool,
 		ShedWatermark:    shed,
+		EnablePprof:      o.pprof,
 	}, obs...)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

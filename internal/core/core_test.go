@@ -13,56 +13,6 @@ import (
 	"github.com/alem/alem/internal/tree"
 )
 
-// syntheticPool builds a learnable pool: matches cluster near high
-// similarity, non-matches near low, with an ambiguous band in between.
-func syntheticPool(n int, seed int64) *Pool {
-	r := rand.New(rand.NewSource(seed))
-	X := make([]feature.Vector, 0, n)
-	truth := make([]bool, 0, n)
-	for i := 0; i < n; i++ {
-		match := r.Float64() < 0.2
-		var base float64
-		if match {
-			base = 0.7 + r.Float64()*0.3
-		} else {
-			base = r.Float64() * 0.45
-		}
-		v := make(feature.Vector, 8)
-		for j := range v {
-			v[j] = clamp01(base + r.Float64()*0.2 - 0.1)
-		}
-		X = append(X, v)
-		truth = append(truth, match)
-	}
-	return NewPoolFromVectors(X, truth)
-}
-
-func clamp01(x float64) float64 {
-	if x < 0 {
-		return 0
-	}
-	if x > 1 {
-		return 1
-	}
-	return x
-}
-
-// poolOracle adapts a Pool's truth to the oracle interface via a
-// throwaway dataset.
-func poolOracle(p *Pool) oracle.Oracle {
-	l := &dataset.Table{Rows: make([]dataset.Record, p.Len())}
-	rt := &dataset.Table{Rows: make([]dataset.Record, p.Len())}
-	var matches []dataset.PairKey
-	for i, t := range p.Truth {
-		if t {
-			matches = append(matches, p.Pairs[i])
-		}
-	}
-	return oracle.NewPerfect(dataset.NewDataset("pool", l, rt, matches, 0))
-}
-
-func svmFactory(seed int64) Learner { return linear.NewSVM(seed) }
-
 func TestRunMarginSVMImproves(t *testing.T) {
 	pool := syntheticPool(600, 1)
 	res := Run(pool, linear.NewSVM(1), Margin{}, poolOracle(pool), Config{

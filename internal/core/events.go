@@ -79,6 +79,40 @@ type OracleFault struct {
 	Err error
 }
 
+// PhaseDone is the engine's span event: one per completed phase of the
+// Fig. 1a loop — seed once, then train/evaluate/select every iteration
+// and label on every iteration that queried the Oracle — carrying the
+// phase's wall time, label accounting and parallelism. It is the raw
+// material of a run manifest: core.NewTraceObserver collects PhaseDone
+// events into an obs.Trace, which serializes to JSONL (`almatch
+// -trace`, `albench -trace`) and summarizes under `aldiag -trace`.
+//
+// PhaseDone complements rather than replaces the legacy phase events
+// (TrainDone, EvalDone, BatchSelected): those carry phase-specific
+// payloads, PhaseDone is the uniform timing record.
+type PhaseDone struct {
+	// Phase is "seed", "train", "evaluate", "select" or "label".
+	Phase string
+	// Iteration is the zero-based iteration index, -1 for the seed phase
+	// (it runs before the iteration loop).
+	Iteration int
+	// Elapsed is the phase's wall-clock duration.
+	Elapsed time.Duration
+	// Labels is the cumulative Oracle-label count after the phase.
+	Labels int
+	// LabelsDelta is how many labels the phase granted (seed and label
+	// phases; 0 elsewhere).
+	LabelsDelta int
+	// Batch is the number of examples handled: the selected batch size
+	// for select, the attempted batch for label, 0 elsewhere.
+	Batch int
+	// Workers is the resolved parallel worker count available to the
+	// phase (Config.Workers with 0 resolved to GOMAXPROCS).
+	Workers int
+	// PoolRemaining is the unlabeled-pool size after the phase.
+	PoolRemaining int
+}
+
 // CandidateAccepted is emitted by ensemble runs (§5.2) when a candidate
 // classifier passes the precision acceptance test.
 type CandidateAccepted struct {
@@ -108,6 +142,7 @@ type ExternalEvent struct{}
 func (ExternalEvent) isEvent() {}
 
 func (IterationStart) isEvent()    {}
+func (PhaseDone) isEvent()         {}
 func (TrainDone) isEvent()         {}
 func (EvalDone) isEvent()          {}
 func (BatchSelected) isEvent()     {}

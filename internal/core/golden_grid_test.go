@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/linear"
+	"github.com/alem/alem/internal/neural"
+	"github.com/alem/alem/internal/obs"
+	"github.com/alem/alem/internal/tree"
+)
+
+// update regenerates the golden files under testdata/ instead of
+// comparing against them:
+//
+//	go test ./internal/core/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current results")
+
+// gridCell is one learner×selector combination's pinned outcome. F1 is
+// a %.6f string so the golden file is insensitive to JSON float
+// round-tripping and diffs read naturally.
+type gridCell struct {
+	Learner    string `json:"learner"`
+	Selector   string `json:"selector"`
+	F1         string `json:"f1"`
+	Labels     int    `json:"labels"`
+	Iterations int    `json:"iterations"`
+	Reason     string `json:"reason"`
+}
+
+// TestGoldenRegressionGrid runs the tiny learner×selector matrix on a
+// fixed-seed synthetic pool and pins every cell's final F1, label count,
+// iteration count and stop reason against testdata/golden_grid.json.
+// The engine promises bit-identical runs for a fixed seed — the same
+// promise resume and parallel-scoring tests rely on — so any diff here
+// is a behavioral change to the loop, a learner or a selector, caught at
+// the moment it happens rather than in a benchmark regression later.
+// Legitimate changes regenerate with -update and review the diff.
+func TestGoldenRegressionGrid(t *testing.T) {
+	const (
+		poolSize = 400
+		seed     = 77
+		budget   = 80
+	)
+	type combo struct {
+		learner  string
+		selector string
+		make     func() (Learner, Selector)
+	}
+	combos := []combo{
+		{"svm", "margin", func() (Learner, Selector) { return linear.NewSVM(seed), Margin{} }},
+		{"svm", "qbc", func() (Learner, Selector) { return linear.NewSVM(seed), QBC{B: 3, Factory: svmFactory} }},
+		{"neural", "margin", func() (Learner, Selector) { return neural.NewNet(4, seed), Margin{} }},
+		{"forest", "forest-qbc", func() (Learner, Selector) { return tree.NewForest(5, seed), ForestQBC{} }},
+		{"forest", "random", func() (Learner, Selector) { return tree.NewForest(5, seed), Random{} }},
+	}
+
+	got := make([]gridCell, 0, len(combos))
+	for _, c := range combos {
+		pool := ambiguousPool(poolSize, seed)
+		l, sel := c.make()
+		res := Run(pool, l, sel, poolOracle(pool), Config{Seed: seed, MaxLabels: budget})
+		if len(res.Curve) == 0 {
+			t.Fatalf("%s/%s: no iterations ran", c.learner, c.selector)
+		}
+		final := res.Curve[len(res.Curve)-1]
+		got = append(got, gridCell{
+			Learner:    c.learner,
+			Selector:   c.selector,
+			F1:         fmt.Sprintf("%.6f", final.F1),
+			Labels:     res.LabelsUsed,
+			Iterations: len(res.Curve),
+			Reason:     res.Reason.String(),
+		})
+	}
+
+	goldenPath := filepath.Join("testdata", "golden_grid.json")
+	if *update {
+		writeGolden(t, goldenPath, got)
+		return
+	}
+	var want []gridCell
+	readGolden(t, goldenPath, &want)
+	if !reflect.DeepEqual(got, want) {
+		g, _ := json.MarshalIndent(got, "", "  ")
+		w, _ := json.MarshalIndent(want, "", "  ")
+		t.Errorf("grid drifted from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", g, w)
+	}
+}
+
+// ambiguousPool is a deliberately harder cousin of syntheticPool: the
+// match and non-match similarity bands overlap, so no combination
+// reaches a perfect F1 inside the grid's budget and every cell pins a
+// distinct value — a quality regression moves the number instead of
+// hiding behind a saturated 1.000000.
+func ambiguousPool(n int, seed int64) *Pool {
+	r := rand.New(rand.NewSource(seed))
+	X := make([]feature.Vector, 0, n)
+	truth := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		match := r.Float64() < 0.25
+		var base float64
+		if match {
+			base = 0.45 + r.Float64()*0.45
+		} else {
+			base = r.Float64() * 0.6
+		}
+		v := make(feature.Vector, 8)
+		for j := range v {
+			v[j] = clamp01(base + r.Float64()*0.3 - 0.15)
+		}
+		X = append(X, v)
+		truth = append(truth, match)
+	}
+	return NewPoolFromVectors(X, truth)
+}
+
+// goldenSpan is the deterministic projection of one manifest span: wall
+// times vary run to run, so the golden pins the structure — phase
+// sequence, iteration numbering, and every label/batch/pool attribute.
+type goldenSpan struct {
+	Name      string             `json:"name"`
+	Iteration int                `json:"iteration"`
+	Attrs     map[string]float64 `json:"attrs"`
+}
+
+// TestGoldenTraceManifest drives one fixed-seed session through the
+// trace observer and pins the resulting manifest shape: exactly one span
+// per phase per iteration (seed once, label on every Oracle round), with
+// the label accounting the attrs carry. Workers is forced to 1 so the
+// golden is identical on any machine.
+func TestGoldenTraceManifest(t *testing.T) {
+	pool := syntheticPool(300, 24)
+	s := mustSession(t, pool, linear.NewSVM(24), Margin{}, Config{Seed: 24, MaxLabels: 60, Workers: 1})
+	tr := obs.NewTrace()
+	s.AddObserver(NewTraceObserver(tr))
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	got := make([]goldenSpan, len(spans))
+	for i, sp := range spans {
+		got[i] = goldenSpan{Name: sp.Name, Iteration: sp.Iteration, Attrs: sp.Attrs}
+	}
+
+	goldenPath := filepath.Join("testdata", "golden_trace.json")
+	if *update {
+		writeGolden(t, goldenPath, got)
+		return
+	}
+	var want []goldenSpan
+	readGolden(t, goldenPath, &want)
+	if !reflect.DeepEqual(got, want) {
+		g, _ := json.MarshalIndent(got, "", "  ")
+		w, _ := json.MarshalIndent(want, "", "  ")
+		t.Errorf("trace manifest drifted from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", g, w)
+	}
+}
+
+func writeGolden(t *testing.T, path string, v any) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("golden rewritten: %s", path)
+}
+
+func readGolden(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+}

@@ -185,9 +185,15 @@ func (s *Session) Step(ctx context.Context) (bool, error) {
 		return true, s.err
 	}
 	if !s.seeded {
+		start := time.Now()
 		if err := s.seedPhase(ctx); err != nil {
 			return true, err
 		}
+		s.emit(PhaseDone{
+			Phase: "seed", Iteration: -1, Elapsed: time.Since(start),
+			Labels: len(s.labeled), LabelsDelta: len(s.labeled),
+			Workers: workerCount(s.cfg.Workers), PoolRemaining: len(s.unlabeled),
+		})
 	}
 
 	s.emit(IterationStart{
@@ -201,6 +207,10 @@ func (s *Session) Step(ctx context.Context) (bool, error) {
 
 	trainTime := s.trainPhase()
 	s.emit(TrainDone{Iteration: s.iter, Labels: len(s.labeled), Elapsed: trainTime})
+	s.emit(PhaseDone{
+		Phase: "train", Iteration: s.iter, Elapsed: trainTime,
+		Labels: len(s.labeled), Workers: 1, PoolRemaining: len(s.unlabeled),
+	})
 	if err := ctx.Err(); err != nil {
 		return true, s.cancel(err)
 	}
@@ -228,12 +238,18 @@ func (s *Session) Step(ctx context.Context) (bool, error) {
 		s.prevPred = pred
 	}
 
+	selStart := time.Now()
 	batch, reason := s.selectPhase(ctx, &pt)
 	if err := ctx.Err(); err != nil {
 		// Cancelled inside the selector: the iteration is incomplete, so
 		// its point is not recorded.
 		return true, s.cancel(err)
 	}
+	s.emit(PhaseDone{
+		Phase: "select", Iteration: s.iter, Elapsed: time.Since(selStart),
+		Labels: len(s.labeled), Batch: len(batch),
+		Workers: workerCount(s.cfg.Workers), PoolRemaining: len(s.unlabeled),
+	})
 	if s.cfg.OnIteration != nil {
 		s.cfg.OnIteration(s.learner, &pt)
 	}
@@ -249,9 +265,16 @@ func (s *Session) Step(ctx context.Context) (bool, error) {
 		Score:           pt.ScoreTime,
 	})
 
+	labStart := time.Now()
+	before := len(s.labeled)
 	if err := s.labelPhase(ctx, batch); err != nil {
 		return true, s.failLabeling(err)
 	}
+	s.emit(PhaseDone{
+		Phase: "label", Iteration: s.iter, Elapsed: time.Since(labStart),
+		Labels: len(s.labeled), LabelsDelta: len(s.labeled) - before,
+		Batch: len(batch), Workers: 1, PoolRemaining: len(s.unlabeled),
+	})
 	s.iter++
 	return false, nil
 }
@@ -397,7 +420,13 @@ func (s *Session) evalPhase(ctx context.Context, trainTime time.Duration) (eval.
 		return eval.Point{}, nil, err
 	}
 	pt := evalPoint(s.pool, s.testIdx, pred, len(s.labeled), trainTime)
-	s.emit(EvalDone{Iteration: s.iter, Point: pt, Elapsed: time.Since(start)})
+	elapsed := time.Since(start)
+	s.emit(EvalDone{Iteration: s.iter, Point: pt, Elapsed: elapsed})
+	s.emit(PhaseDone{
+		Phase: "evaluate", Iteration: s.iter, Elapsed: elapsed,
+		Labels: len(s.labeled), Workers: workerCount(s.cfg.Workers),
+		PoolRemaining: len(s.unlabeled),
+	})
 	return pt, pred, nil
 }
 

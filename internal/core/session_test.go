@@ -5,6 +5,7 @@ import (
 	"context"
 	"math/rand"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -206,15 +207,6 @@ func TestSnapshotRestoreIdenticalCurve(t *testing.T) {
 	}
 }
 
-func mustSession(t *testing.T, pool *Pool, l Learner, sel Selector, cfg Config) *Session {
-	t.Helper()
-	s, err := NewSession(pool, l, sel, poolOracle(pool), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
-}
-
 func TestSnapshotRejectsCorruptState(t *testing.T) {
 	pool := syntheticPool(100, 22)
 	s := mustSession(t, pool, linear.NewSVM(22), Margin{}, Config{Seed: 22, MaxLabels: 40})
@@ -286,14 +278,35 @@ func TestSessionEventOrdering(t *testing.T) {
 	if iters == 0 {
 		t.Fatal("no iterations ran")
 	}
-	// Per iteration: IterationStart, TrainDone, EvalDone, then
-	// BatchSelected on every iteration but the last; one RunEnd closes
-	// the stream.
+	// The seed bootstrap emits one PhaseDone(-1). Then per iteration:
+	// IterationStart, TrainDone, PhaseDone(train), EvalDone,
+	// PhaseDone(evaluate), PhaseDone(select); every iteration but the last
+	// adds BatchSelected and PhaseDone(label). One RunEnd closes the
+	// stream.
 	want := 0
+	expectPhase := func(name string, iter int) {
+		t.Helper()
+		if want >= len(events) {
+			t.Fatalf("stream ended early before PhaseDone(%s) of iteration %d", name, iter)
+		}
+		pd, ok := events[want].(PhaseDone)
+		if !ok || pd.Phase != name || pd.Iteration != iter {
+			t.Fatalf("event %d is %T%+v, want PhaseDone(%s) of iteration %d", want, events[want], events[want], name, iter)
+		}
+		if pd.Workers < 1 {
+			t.Fatalf("PhaseDone(%s) has unresolved Workers=%d", name, pd.Workers)
+		}
+		want++
+	}
+	expectPhase("seed", -1)
 	for i := 0; i < iters; i++ {
-		for _, typ := range []string{"start", "train", "eval"} {
+		for _, typ := range []string{"start", "train", "phase:train", "eval", "phase:evaluate", "phase:select"} {
 			if want >= len(events) {
 				t.Fatalf("stream ended early at iteration %d (%s)", i, typ)
+			}
+			if phase, isPhase := strings.CutPrefix(typ, "phase:"); isPhase {
+				expectPhase(phase, i)
+				continue
 			}
 			var ok bool
 			switch typ {
@@ -318,6 +331,7 @@ func TestSessionEventOrdering(t *testing.T) {
 				t.Fatalf("event %d is %T, want BatchSelected", want, events[want])
 			}
 			want++
+			expectPhase("label", i)
 		}
 	}
 	if _, ok := events[want].(RunEnd); !ok {

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"github.com/alem/alem/internal/obs"
+)
+
+// NewTraceObserver adapts an obs.Trace to the Session event stream:
+// every PhaseDone event becomes one span, so a run driven with this
+// observer attached produces a complete phase-level manifest — one span
+// for the seed bootstrap, then train/evaluate/select per iteration and
+// label per Oracle round. Other events pass through untouched, so the
+// observer composes with progress printers and event logs.
+func NewTraceObserver(tr *obs.Trace) Observer {
+	return ObserverFunc(func(e Event) {
+		pd, ok := e.(PhaseDone)
+		if !ok {
+			return
+		}
+		tr.Record(pd.Phase, pd.Iteration, pd.Elapsed, map[string]float64{
+			"labels":         float64(pd.Labels),
+			"labels_delta":   float64(pd.LabelsDelta),
+			"batch":          float64(pd.Batch),
+			"workers":        float64(pd.Workers),
+			"pool_remaining": float64(pd.PoolRemaining),
+		})
+	})
+}

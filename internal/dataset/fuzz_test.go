@@ -1,0 +1,37 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the table importer — the entry
+// point user-supplied files hit first (almatch -mode apply, Import).
+// Malformed input must come back as an error, never a panic, and a
+// successful parse must return a structurally sound table: a non-empty
+// schema and every row as wide as that schema, the invariant the
+// feature extractor indexes by without re-checking.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,name,city\n1,alice,berlin\n2,bob,paris\n")
+	f.Add("id,name\n\"unterminated,quote\n")
+	f.Add("name,city\n1,2\n") // no leading id column
+	f.Add("id\n1\n")          // id only, schema empty
+	f.Add("id,a,b\n1,x\n")    // ragged row
+	f.Add("\xef\xbb\xbfid,a\n1,x\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		tab, err := ReadCSV("fuzz", strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(tab.Schema) == 0 {
+			t.Fatal("ReadCSV succeeded with an empty schema")
+		}
+		for i, row := range tab.Rows {
+			if len(row.Values) != len(tab.Schema) {
+				t.Fatalf("row %d has %d values for %d schema attributes",
+					i, len(row.Values), len(tab.Schema))
+			}
+		}
+	})
+}

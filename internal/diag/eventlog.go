@@ -63,6 +63,9 @@ func (l *EventLog) Observe(e core.Event) {
 	case core.RunEnd:
 		fmt.Fprintf(l.w, "[%8s] run end: %s after %d iterations, %d labels\n",
 			elapsed, ev.Reason, ev.Iterations, ev.LabelsUsed)
+	case core.PhaseDone:
+		// Timing spans duplicate what the phase-specific lines above
+		// already show; they are collected by trace observers, not logged.
 	default:
 		// Events from outside core (embedding core.ExternalEvent) supply
 		// their own one-line rendering; anything else falls back to %T.

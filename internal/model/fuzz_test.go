@@ -1,0 +1,73 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/alem/alem/internal/feature"
+	"github.com/alem/alem/internal/linear"
+)
+
+// validArtifactBytes builds a well-formed artifact to seed the fuzzer:
+// a tiny SVM trained at the dimensionality the one-attribute float
+// pipeline implies, so mutations explore the space near real files
+// instead of bouncing off the envelope checks immediately.
+func validArtifactBytes(tb testing.TB) []byte {
+	tb.Helper()
+	schema := []string{"name"}
+	dim := feature.NewExtractor(schema).Dim()
+	r := rand.New(rand.NewSource(1))
+	X := make([]feature.Vector, 40)
+	y := make([]bool, 40)
+	for i := range X {
+		v := make(feature.Vector, dim)
+		for j := range v {
+			v[j] = r.Float64()
+		}
+		X[i] = v
+		y[i] = i%2 == 0
+	}
+	svm := linear.NewSVM(1)
+	svm.Train(X, y)
+	var buf bytes.Buffer
+	if err := Save(&buf, svm, Meta{Schema: schema}); err != nil {
+		tb.Fatalf("building seed artifact: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadModel asserts the artifact loader's safety contract: arbitrary
+// bytes — truncated files, bit-flipped envelopes, hostile JSON — must
+// come back as an error, never a panic or a successfully "loaded" model
+// that violates its own invariants. Artifacts are the trust boundary
+// between training and serving (almserve loads whatever file it is
+// pointed at), so the loader is the right place to be paranoid.
+func FuzzLoadModel(f *testing.F) {
+	valid := validArtifactBytes(f)
+	f.Add(valid)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"format":"alem-model","version":1}`))
+	f.Add([]byte(`{"format":"alem-model","version":1,"kind":"svm","meta":{"schema":["a"]}}`))
+	if len(valid) > 10 {
+		f.Add(valid[:len(valid)/2]) // truncated file
+		mutated := bytes.Replace(valid, []byte(`"svm"`), []byte(`"rules"`), 1)
+		f.Add(mutated) // kind/payload mismatch
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		art, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A load that claims success must hand back a usable artifact.
+		if art.Learner == nil {
+			t.Fatal("Load succeeded with a nil learner")
+		}
+		if art.Dim <= 0 {
+			t.Fatalf("Load succeeded with non-positive dim %d", art.Dim)
+		}
+		if len(art.Meta.Schema) == 0 {
+			t.Fatal("Load succeeded with an empty schema")
+		}
+	})
+}

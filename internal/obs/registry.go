@@ -1,0 +1,322 @@
+// Package obs is the framework's unified observability layer: a
+// dependency-free metrics registry with canonical Prometheus text
+// rendering, and lightweight span tracing that turns a run's phase
+// timings into a JSONL manifest.
+//
+// The paper's contribution is a *benchmark* — comparable, reproducible
+// measurements of learner×selector combinations — so measurement is not
+// an afterthought here: the AL engine reports per-phase spans through
+// this package (core.NewTraceObserver), the serving layer sources its
+// /metrics endpoint from a Registry, and the CLIs write and summarize
+// run manifests. Everything is stdlib-only so the package can sit below
+// every other layer of the stack.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a process's metric families and renders them in the
+// Prometheus text exposition format. Metric registration is typically
+// done once at construction time; observation methods on the returned
+// handles are lock-free (atomics), so hot paths pay no registry lock.
+//
+// Rendering is canonical: families sort by name, series sort by label
+// values, so consecutive scrapes of an idle process are byte-identical
+// and diffs are meaningful.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family is one named metric with HELP/TYPE metadata and its series.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter" or "gauge" or "histogram"
+	labels  []string
+	buckets []float64
+
+	mu     sync.Mutex
+	series map[string]metric // keyed by joined label values
+	order  []string          // insertion keys, sorted at render
+
+	// fn, when set, makes this a callback family: the value is computed
+	// at scrape time (breaker state, queue depths, derived rates).
+	fn func() float64
+	// intFn renders without a decimal point (callback counters).
+	intFn func() int64
+}
+
+type metric interface {
+	write(w io.Writer, fam *family, labelValues []string)
+}
+
+func (r *Registry) family(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, typ, f.typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, buckets: buckets,
+		series: map[string]metric{}}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) get(key string, mk func() metric) metric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.series[key]
+	if !ok {
+		m = mk()
+		f.series[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// ---- counters ----
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics; this is
+// not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, fam *family, lv []string) {
+	fmt.Fprintf(w, "%s%s %d\n", fam.name, renderLabels(fam.labels, lv), c.v.Load())
+}
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, "counter", nil, nil)
+	return f.get("", func() metric { return &Counter{} }).(*Counter)
+}
+
+// CounterFunc registers a callback counter whose value is read at scrape
+// time — for counts owned by another subsystem (the breaker's trip
+// count, the matcher's cache statistics).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	f := r.family(name, help, "counter", nil, nil)
+	f.intFn = fn
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, "counter", labelNames, nil)}
+}
+
+// With returns the counter for the given label values (created on first
+// use), which must match the family's label names in count and order.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if len(labelValues) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	return v.f.get(key, func() metric { return &Counter{} }).(*Counter)
+}
+
+// ---- gauges ----
+
+// Gauge is a metric that can go up and down, stored as float64 bits so
+// Add never loses a concurrent increment.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta (CAS loop; safe concurrently).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, fam *family, lv []string) {
+	fmt.Fprintf(w, "%s%s %g\n", fam.name, renderLabels(fam.labels, lv), g.Value())
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge", nil, nil)
+	return f.get("", func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a callback gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "gauge", nil, nil)
+	f.fn = fn
+}
+
+// ---- histograms ----
+
+// Histogram is a fixed-bucket distribution with atomic counters; the sum
+// is float64 bits CAS-updated so concurrent observes never lose an
+// increment. Buckets render cumulatively at scrape, per the Prometheus
+// exposition format.
+type Histogram struct {
+	buckets []float64
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) write(w io.Writer, fam *family, lv []string) {
+	// Bucket series carry the family labels plus the "le" bound.
+	names := make([]string, 0, len(fam.labels)+1)
+	names = append(names, fam.labels...)
+	names = append(names, "le")
+	values := make([]string, len(names))
+	copy(values, lv)
+	cum := int64(0)
+	for i, ub := range h.buckets {
+		cum += h.counts[i].Load()
+		values[len(values)-1] = fmt.Sprintf("%g", ub)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, renderLabels(names, values), cum)
+	}
+	values[len(values)-1] = "+Inf"
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, renderLabels(names, values), h.count.Load())
+	fmt.Fprintf(w, "%s_sum%s %g\n", fam.name, renderLabels(fam.labels, lv), h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(fam.labels, lv), h.count.Load())
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram with
+// the given bucket upper bounds (ascending, +Inf implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, "histogram", nil, buckets)
+	return f.get("", func() metric {
+		return &Histogram{buckets: buckets, counts: make([]atomic.Int64, len(buckets))}
+	}).(*Histogram)
+}
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, "histogram", labelNames, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if len(labelValues) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	return v.f.get(key, func() metric {
+		return &Histogram{buckets: v.f.buckets, counts: make([]atomic.Int64, len(v.f.buckets))}
+	}).(*Histogram)
+}
+
+// ---- rendering ----
+
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format: families sorted by name, each preceded by its HELP and TYPE
+// lines, series sorted by label values.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		switch {
+		case f.intFn != nil:
+			fmt.Fprintf(w, "%s %d\n", f.name, f.intFn())
+		case f.fn != nil:
+			fmt.Fprintf(w, "%s %g\n", f.name, f.fn())
+		default:
+			f.mu.Lock()
+			keys := append([]string(nil), f.order...)
+			f.mu.Unlock()
+			sort.Strings(keys)
+			for _, key := range keys {
+				f.mu.Lock()
+				m := f.series[key]
+				f.mu.Unlock()
+				var lv []string
+				if key != "" || len(f.labels) > 0 {
+					lv = strings.Split(key, "\x00")
+				}
+				m.write(w, f, lv)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestCounterRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A test counter.")
+	c.Inc()
+	c.Add(2)
+	out := render(r)
+	for _, want := range []string{
+		"# HELP test_total A test counter.",
+		"# TYPE test_total counter",
+		"test_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 3 {
+		t.Errorf("Value = %d, want 3", c.Value())
+	}
+}
+
+func TestCounterVecLabelsAndSorting(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "Requests.", "route", "code")
+	v.With("/b", "500").Inc()
+	v.With("/a", "200").Add(2)
+	v.With("/a", "200").Inc() // same series, not a new one
+	out := render(r)
+	aIdx := strings.Index(out, `req_total{route="/a",code="200"} 3`)
+	bIdx := strings.Index(out, `req_total{route="/b",code="500"} 1`)
+	if aIdx < 0 || bIdx < 0 {
+		t.Fatalf("missing series:\n%s", out)
+	}
+	if aIdx > bIdx {
+		t.Errorf("series not sorted by label values:\n%s", out)
+	}
+}
+
+func TestGaugeSetAddAndFunc(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(5)
+	g.Add(-2)
+	r.GaugeFunc("derived", "Computed at scrape.", func() float64 { return 0.25 })
+	r.CounterFunc("ticks_total", "Callback counter.", func() int64 { return 7 })
+	out := render(r)
+	for _, want := range []string{"depth 3", "derived 0.25", "ticks_total 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100) // over the top bucket: only +Inf counts it
+	out := render(r)
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="10"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 100.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVecSeparatesSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("dur_seconds", "Duration.", []float64{1}, "route")
+	v.With("/x").Observe(0.5)
+	v.With("/y").Observe(2)
+	out := render(r)
+	for _, want := range []string{
+		`dur_seconds_bucket{route="/x",le="1"} 1`,
+		`dur_seconds_bucket{route="/y",le="1"} 0`,
+		`dur_seconds_bucket{route="/y",le="+Inf"} 1`,
+		`dur_seconds_count{route="/x"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFamiliesSortedAndIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "Last.")
+	r.Counter("aaa_total", "First.")
+	if c1, c2 := r.Counter("aaa_total", "First."), r.Counter("aaa_total", "ignored"); c1 != c2 {
+		t.Error("re-registering a counter returned a different handle")
+	}
+	out := render(r)
+	if strings.Index(out, "aaa_total") > strings.Index(out, "zzz_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering the same name with a different type did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total", "counter")
+	r.Gauge("x_total", "gauge")
+}
+
+// TestConcurrentObservation hammers every metric type from several
+// goroutines while scraping; run under -race this is the registry's
+// soundness check, and the final counts must be exact.
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", []float64{0.5})
+	v := r.CounterVec("v_total", "v", "k")
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.1)
+				v.With("a").Inc()
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		render(r)
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*each)
+	}
+	if g.Value() != workers*each {
+		t.Errorf("gauge = %g, want %d", g.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*each)
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed unit of work in a run manifest: a session phase
+// (seed/train/evaluate/select/label), one iteration of it, how long it
+// took, and a small bag of numeric attributes (labels spent, batch
+// size, worker count). Spans are deliberately flat — a manifest is a
+// JSONL file with one span per line, so it can be streamed, appended
+// to, grepped, and summarized without loading a tree.
+type Span struct {
+	// Name is the phase or operation name, e.g. "train".
+	Name string `json:"name"`
+	// Iteration is the zero-based engine iteration the span belongs to
+	// (-1 for spans outside the iteration loop, like "seed").
+	Iteration int `json:"iteration"`
+	// StartMS is the span's start offset in milliseconds since the trace
+	// began.
+	StartMS float64 `json:"start_ms"`
+	// WallMS is the span's wall-clock duration in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Attrs carries numeric attributes: "labels" (cumulative), "labels_delta"
+	// (granted during the span), "batch", "workers", "pool_remaining".
+	Attrs map[string]float64 `json:"attrs,omitempty"`
+}
+
+// Trace collects spans in memory as a run executes. It is safe for
+// concurrent use (several sessions may share one trace; their spans
+// interleave). The zero value is not ready — use NewTrace.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	now   func() time.Time
+	spans []Span
+}
+
+// NewTrace returns a trace whose span offsets are measured from now.
+func NewTrace() *Trace { return newTrace(time.Now) }
+
+// newTrace injects the clock for deterministic tests.
+func newTrace(now func() time.Time) *Trace {
+	return &Trace{start: now(), now: now}
+}
+
+// Record appends a span that ended now and lasted wall. Attrs is taken
+// as-is (not copied); callers must not mutate it afterwards.
+func (t *Trace) Record(name string, iteration int, wall time.Duration, attrs map[string]float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.now().Sub(t.start)
+	t.spans = append(t.spans, Span{
+		Name:      name,
+		Iteration: iteration,
+		StartMS:   durMS(end - wall),
+		WallMS:    durMS(wall),
+		Attrs:     attrs,
+	})
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// Spans returns a copy of the collected spans, in record order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Len reports how many spans have been recorded.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// WriteManifest renders the trace as a JSONL run manifest: one span per
+// line, in record order. The format is append-friendly and partial
+// files (a crashed run) remain parseable line by line.
+func (t *Trace) WriteManifest(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("obs: encoding manifest span: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadManifest parses a JSONL run manifest written by WriteManifest.
+// Blank lines are skipped; a malformed line is an error (manifests are
+// machine-written — silence would hide truncation bugs).
+func ReadManifest(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("obs: manifest line %d: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading manifest: %w", err)
+	}
+	return spans, nil
+}
+
+// PhaseSummary aggregates every span of one name: where a run spent its
+// time and labels.
+type PhaseSummary struct {
+	Name        string
+	Count       int
+	TotalMS     float64
+	MeanMS      float64
+	MaxMS       float64
+	LabelsDelta float64 // total labels granted in spans of this phase
+	Batch       float64 // total batch size across spans
+}
+
+// Summarize aggregates spans per name, ordered by descending total wall
+// time — the "where did the run spend its time" view aldiag renders.
+func Summarize(spans []Span) []PhaseSummary {
+	byName := map[string]*PhaseSummary{}
+	var order []string
+	for _, s := range spans {
+		ps, ok := byName[s.Name]
+		if !ok {
+			ps = &PhaseSummary{Name: s.Name}
+			byName[s.Name] = ps
+			order = append(order, s.Name)
+		}
+		ps.Count++
+		ps.TotalMS += s.WallMS
+		if s.WallMS > ps.MaxMS {
+			ps.MaxMS = s.WallMS
+		}
+		ps.LabelsDelta += s.Attrs["labels_delta"]
+		ps.Batch += s.Attrs["batch"]
+	}
+	out := make([]PhaseSummary, 0, len(order))
+	for _, n := range order {
+		ps := byName[n]
+		if ps.Count > 0 {
+			ps.MeanMS = ps.TotalMS / float64(ps.Count)
+		}
+		out = append(out, *ps)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalMS > out[j].TotalMS })
+	return out
+}
+
+// WriteSummary renders a phase summary table for humans: one row per
+// phase, ordered by total wall time, plus a totals row.
+func WriteSummary(w io.Writer, spans []Span) {
+	sums := Summarize(spans)
+	iters := -1
+	var totalMS, totalLabels float64
+	for _, s := range spans {
+		if s.Iteration > iters {
+			iters = s.Iteration
+		}
+	}
+	for _, ps := range sums {
+		totalMS += ps.TotalMS
+		totalLabels += ps.LabelsDelta
+	}
+	fmt.Fprintf(w, "run manifest: %d spans, %d iterations, %.1f ms traced, %.0f labels\n\n",
+		len(spans), iters+1, totalMS, totalLabels)
+	fmt.Fprintf(w, "%-10s %7s %12s %10s %10s %8s %8s\n",
+		"phase", "spans", "total ms", "mean ms", "max ms", "labels", "batch")
+	for _, ps := range sums {
+		fmt.Fprintf(w, "%-10s %7d %12.2f %10.3f %10.3f %8.0f %8.0f\n",
+			ps.Name, ps.Count, ps.TotalMS, ps.MeanMS, ps.MaxMS, ps.LabelsDelta, ps.Batch)
+	}
+}

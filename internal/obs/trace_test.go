@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRecordAndOffsets(t *testing.T) {
+	clock := time.Unix(0, 0)
+	tr := newTrace(func() time.Time { return clock })
+	clock = clock.Add(10 * time.Millisecond)
+	tr.Record("train", 0, 4*time.Millisecond, map[string]float64{"labels": 30})
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "train" || s.Iteration != 0 {
+		t.Errorf("span identity %+v", s)
+	}
+	if s.WallMS != 4 {
+		t.Errorf("WallMS = %g, want 4", s.WallMS)
+	}
+	if s.StartMS != 6 { // ended at 10ms, lasted 4ms
+		t.Errorf("StartMS = %g, want 6", s.StartMS)
+	}
+	if s.Attrs["labels"] != 30 {
+		t.Errorf("attrs %v", s.Attrs)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.Record("seed", -1, time.Millisecond, map[string]float64{"labels_delta": 30})
+	tr.Record("train", 0, 2*time.Millisecond, nil)
+	tr.Record("evaluate", 0, 3*time.Millisecond, map[string]float64{"workers": 2})
+
+	var buf bytes.Buffer
+	if err := tr.WriteManifest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("manifest has %d lines, want 3:\n%s", got, buf.String())
+	}
+	spans, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tr.Spans()
+	if len(spans) != len(orig) {
+		t.Fatalf("round-trip lost spans: %d vs %d", len(spans), len(orig))
+	}
+	for i := range spans {
+		if spans[i].Name != orig[i].Name || spans[i].Iteration != orig[i].Iteration {
+			t.Errorf("span %d = %+v, want %+v", i, spans[i], orig[i])
+		}
+	}
+	if spans[2].Attrs["workers"] != 2 {
+		t.Errorf("span 2 attrs %v", spans[2].Attrs)
+	}
+}
+
+func TestReadManifestRejectsGarbage(t *testing.T) {
+	if _, err := ReadManifest(strings.NewReader("{\"name\":\"ok\",\"iteration\":0}\nnot json\n")); err == nil {
+		t.Error("ReadManifest accepted a malformed line")
+	}
+	spans, err := ReadManifest(strings.NewReader("\n\n"))
+	if err != nil || len(spans) != 0 {
+		t.Errorf("blank manifest: spans=%v err=%v", spans, err)
+	}
+}
+
+func TestSummarizeAggregatesPerPhase(t *testing.T) {
+	spans := []Span{
+		{Name: "train", Iteration: 0, WallMS: 2},
+		{Name: "train", Iteration: 1, WallMS: 4},
+		{Name: "evaluate", Iteration: 0, WallMS: 10},
+		{Name: "label", Iteration: 0, WallMS: 1, Attrs: map[string]float64{"labels_delta": 10, "batch": 10}},
+	}
+	sums := Summarize(spans)
+	if len(sums) != 3 {
+		t.Fatalf("got %d summaries, want 3", len(sums))
+	}
+	// Ordered by descending total wall time.
+	if sums[0].Name != "evaluate" || sums[1].Name != "train" {
+		t.Errorf("order %v %v, want evaluate then train", sums[0].Name, sums[1].Name)
+	}
+	tr := sums[1]
+	if tr.Count != 2 || tr.TotalMS != 6 || tr.MeanMS != 3 || tr.MaxMS != 4 {
+		t.Errorf("train summary %+v", tr)
+	}
+	for _, ps := range sums {
+		if ps.Name == "label" && (ps.LabelsDelta != 10 || ps.Batch != 10) {
+			t.Errorf("label summary %+v", ps)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteSummary(&buf, spans)
+	out := buf.String()
+	for _, want := range []string{"4 spans", "2 iterations", "10 labels", "evaluate", "train"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

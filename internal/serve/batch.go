@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"github.com/alem/alem/internal/core"
 	"github.com/alem/alem/internal/feature"
 	"github.com/alem/alem/internal/match"
+	"github.com/alem/alem/internal/obs"
 )
 
 // ErrDraining is returned by submit once the pool has begun shutting
@@ -222,23 +222,23 @@ func totalVecs(jobs []*scoreJob) int {
 	return n
 }
 
-// writeMetrics renders the pool's batching statistics for /metrics.
-func (p *scorePool) writeMetrics(w io.Writer) {
-	jobs, batches := p.jobsTotal.Load(), p.batchesTotal.Load()
-	fmt.Fprintln(w, "# HELP alem_score_requests_total Score jobs accepted by the batching pool.")
-	fmt.Fprintln(w, "# TYPE alem_score_requests_total counter")
-	fmt.Fprintf(w, "alem_score_requests_total %d\n", jobs)
-	fmt.Fprintln(w, "# HELP alem_score_batches_total Merged batches executed by the worker pool.")
-	fmt.Fprintln(w, "# TYPE alem_score_batches_total counter")
-	fmt.Fprintf(w, "alem_score_batches_total %d\n", batches)
-	fmt.Fprintln(w, "# HELP alem_score_vectors_total Feature vectors scored.")
-	fmt.Fprintln(w, "# TYPE alem_score_vectors_total counter")
-	fmt.Fprintf(w, "alem_score_vectors_total %d\n", p.vectorsTotal.Load())
-	rate := 0.0
-	if jobs > 0 {
-		rate = 1 - float64(batches)/float64(jobs)
-	}
-	fmt.Fprintln(w, "# HELP alem_score_batch_reuse_rate Fraction of score jobs that coalesced into an already-open batch.")
-	fmt.Fprintln(w, "# TYPE alem_score_batch_reuse_rate gauge")
-	fmt.Fprintf(w, "alem_score_batch_reuse_rate %g\n", rate)
+// registerMetrics publishes the pool's batching statistics on the shared
+// registry as scrape-time callbacks over the pool's own atomics, keeping
+// the dispatch path free of registry traffic.
+func (p *scorePool) registerMetrics(reg *obs.Registry) {
+	reg.CounterFunc("alem_score_requests_total",
+		"Score jobs accepted by the batching pool.", p.jobsTotal.Load)
+	reg.CounterFunc("alem_score_batches_total",
+		"Merged batches executed by the worker pool.", p.batchesTotal.Load)
+	reg.CounterFunc("alem_score_vectors_total",
+		"Feature vectors scored.", p.vectorsTotal.Load)
+	reg.GaugeFunc("alem_score_batch_reuse_rate",
+		"Fraction of score jobs that coalesced into an already-open batch.",
+		func() float64 {
+			jobs, batches := p.jobsTotal.Load(), p.batchesTotal.Load()
+			if jobs == 0 {
+				return 0
+			}
+			return 1 - float64(batches)/float64(jobs)
+		})
 }

@@ -115,14 +115,29 @@ func TestChaosHandlerPanicRecovered(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status %d, want 500: %s", resp.StatusCode, raw)
 	}
-	if s.met.panics.Load() != 1 {
-		t.Errorf("panic counter = %d, want 1", s.met.panics.Load())
+	if s.met.panics.Value() != 1 {
+		t.Errorf("panic counter = %d, want 1", s.met.panics.Value())
 	}
 	// The panic is visible on /metrics.
 	mresp, mraw := metricsText(t, ts.URL)
 	mresp.Body.Close()
 	if !strings.Contains(mraw, "alem_http_panics_total 1") {
 		t.Errorf("/metrics missing panic counter:\n%s", grepLines(mraw, "panic"))
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes. It is
+// the deflaked replacement for wall-clock sleeps: on 1-CPU containers
+// a fixed sleep races the scheduler, while polling an observable
+// condition cannot.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -213,8 +228,9 @@ func TestChaosBreakerOpensShedsAndRecovers(t *testing.T) {
 	}
 
 	// Cooldown expires; the healthy model answers the probe and the
-	// circuit closes.
-	time.Sleep(60 * time.Millisecond)
+	// circuit closes. Polling the breaker's own clock instead of sleeping
+	// a fixed margin keeps this robust on slow 1-CPU containers.
+	waitUntil(t, 5*time.Second, func() bool { return s.breaker.RetryAfter() == 0 }, "breaker cooldown")
 	_, X := beerArtifact(t)
 	resp, raw := postJSON(t, ts.URL+"/v1/score", scoreRequest{Vectors: [][]float64{X[0]}})
 	if resp.StatusCode != http.StatusOK {
@@ -236,7 +252,7 @@ func TestChaosClientErrorProbeDoesNotWedgeBreaker(t *testing.T) {
 		BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond, Linger: -1,
 	})
 	s.breaker.Record(errors.New("model failure"))
-	time.Sleep(20 * time.Millisecond)
+	waitUntil(t, 5*time.Second, func() bool { return s.breaker.RetryAfter() == 0 }, "breaker cooldown")
 
 	// The probe slot goes to a malformed request.
 	resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader("{not json"))
@@ -277,8 +293,8 @@ func TestPanicOnNonModelRouteLeavesBreakerAlone(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking /healthz: status %d, want 500", rec.Code)
 	}
-	if s.met.panics.Load() != 1 {
-		t.Errorf("panic counter = %d, want 1", s.met.panics.Load())
+	if s.met.panics.Value() != 1 {
+		t.Errorf("panic counter = %d, want 1", s.met.panics.Value())
 	}
 	if state := s.breaker.State(); state != resilience.BreakerClosed {
 		t.Fatalf("breaker %v after non-model panic, want closed", state)
@@ -332,8 +348,8 @@ func TestChaosBreakerOpenUnderLoadNeverHangs(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 3*time.Second {
 		t.Errorf("shedding a 32-client burst took %s; open-breaker rejects must be fast", elapsed)
 	}
-	if s.met.shed.Load() != clients {
-		t.Errorf("shed counter = %d, want %d", s.met.shed.Load(), clients)
+	if s.met.shed.Value() != clients {
+		t.Errorf("shed counter = %d, want %d", s.met.shed.Value(), clients)
 	}
 }
 
@@ -388,7 +404,7 @@ func TestChaosShedWatermark(t *testing.T) {
 	if shed == 0 {
 		t.Error("no requests shed despite queue over watermark")
 	}
-	if got := s.met.shed.Load(); got != int64(shed) {
+	if got := s.met.shed.Value(); got != int64(shed) {
 		t.Errorf("shed counter = %d, want %d", got, shed)
 	}
 }

@@ -22,10 +22,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -75,6 +76,12 @@ type Config struct {
 	// relies on submit backpressure alone). Set it below QueueDepth to
 	// turn overload into fast rejections rather than queue-long waits.
 	ShedWatermark int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profile endpoints are unauthenticated and a CPU
+	// profile holds a request open for its whole sampling window, so they
+	// are opt-in (almserve -pprof) and bypass the request-timeout
+	// middleware that would otherwise cut profiles short.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -135,9 +142,9 @@ type Server struct {
 // New builds a Server for the artifact. Observers receive the serve
 // event stream (RequestDone per request, ServerStart/DrainStart/
 // ServerStop around the lifecycle).
-func New(art *model.Artifact, cfg Config, obs ...core.Observer) *Server {
+func New(art *model.Artifact, cfg Config, observers ...core.Observer) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		art:     art,
 		matcher: art.Matcher(),
@@ -147,9 +154,26 @@ func New(art *model.Artifact, cfg Config, obs ...core.Observer) *Server {
 			FailureThreshold: cfg.BreakerThreshold,
 			Cooldown:         cfg.BreakerCooldown,
 		}),
-		observers: obs,
+		observers: observers,
 		ready:     make(chan struct{}),
 	}
+	// Breaker, pool and matcher statistics live in their own components;
+	// they join the scrape as registry callbacks so /metrics stays one
+	// rendering pass over one registry.
+	reg := s.met.reg
+	reg.GaugeFunc("alem_breaker_state",
+		"Circuit breaker position (0 closed, 1 open, 2 half-open).",
+		func() float64 { return float64(s.breaker.State()) })
+	reg.CounterFunc("alem_breaker_opens_total",
+		"Times the circuit breaker has tripped.", s.breaker.Opens)
+	s.pool.registerMetrics(reg)
+	reg.CounterFunc("alem_matcher_extractor_reuse_hits_total",
+		"Match calls that reused the cached extractor.",
+		func() int64 { hits, _ := s.matcher.ExtractorReuse(); return int64(hits) })
+	reg.CounterFunc("alem_matcher_extractor_reuse_misses_total",
+		"Match calls that built a fresh extractor.",
+		func() int64 { _, misses := s.matcher.ExtractorReuse(); return int64(misses) })
+	return s
 }
 
 func (s *Server) emit(e core.Event) {
@@ -218,13 +242,34 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 // Handler returns the server's route tree, instrumented with deadlines,
 // body limits, metrics and request logging. It is exported so tests can
 // drive the server through httptest without a real listener.
+//
+// With Config.EnablePprof the net/http/pprof endpoints are mounted under
+// /debug/pprof/, routed before the instrumentation middleware: profile
+// requests legitimately outlive RequestTimeout and must not feed the
+// request metrics or the breaker.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
 	mux.HandleFunc("POST /v1/score", s.handleScore)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.instrument(mux)
+	h := s.instrument(mux)
+	if !s.cfg.EnablePprof {
+		return h
+	}
+	debug := http.NewServeMux()
+	debug.HandleFunc("/debug/pprof/", pprof.Index)
+	debug.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	debug.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	debug.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	debug.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			debug.ServeHTTP(w, r)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // instrument wraps the mux with the cross-cutting serving concerns:
@@ -561,22 +606,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, func(w2 io.Writer) {
-		fmt.Fprintln(w2, "# HELP alem_breaker_state Circuit breaker position (0 closed, 1 open, 2 half-open).")
-		fmt.Fprintln(w2, "# TYPE alem_breaker_state gauge")
-		fmt.Fprintf(w2, "alem_breaker_state %d\n", int(s.breaker.State()))
-		fmt.Fprintln(w2, "# HELP alem_breaker_opens_total Times the circuit breaker has tripped.")
-		fmt.Fprintln(w2, "# TYPE alem_breaker_opens_total counter")
-		fmt.Fprintf(w2, "alem_breaker_opens_total %d\n", s.breaker.Opens())
-		s.pool.writeMetrics(w2)
-		hits, misses := s.matcher.ExtractorReuse()
-		fmt.Fprintln(w2, "# HELP alem_matcher_extractor_reuse_hits_total Match calls that reused the cached extractor.")
-		fmt.Fprintln(w2, "# TYPE alem_matcher_extractor_reuse_hits_total counter")
-		fmt.Fprintf(w2, "alem_matcher_extractor_reuse_hits_total %d\n", hits)
-		fmt.Fprintln(w2, "# HELP alem_matcher_extractor_reuse_misses_total Match calls that built a fresh extractor.")
-		fmt.Fprintln(w2, "# TYPE alem_matcher_extractor_reuse_misses_total counter")
-		fmt.Fprintf(w2, "alem_matcher_extractor_reuse_misses_total %d\n", misses)
-	})
+	s.met.reg.WritePrometheus(w)
 }
 
 func toTable(name string, t tableJSON) (*dataset.Table, error) {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/alem/alem/internal/blocking"
+	"github.com/alem/alem/internal/core"
 	"github.com/alem/alem/internal/dataset"
 	"github.com/alem/alem/internal/feature"
 	"github.com/alem/alem/internal/linear"
@@ -268,7 +269,7 @@ func TestScoreDeadlineExceeded(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("deadline status %d, want 504: %s", resp.StatusCode, raw)
 	}
-	if s.met.timeouts.Load() == 0 {
+	if s.met.timeouts.Value() == 0 {
 		t.Error("timeout counter not incremented")
 	}
 }
@@ -320,13 +321,64 @@ func TestConcurrentScore(t *testing.T) {
 	}
 }
 
-// TestShutdownDrain holds a slow request in flight, triggers shutdown,
-// and verifies the request completes before ListenAndServe returns and
-// that the server refuses work afterwards.
+// gatedLearner blocks every prediction on an explicit gate: started is
+// closed when the first prediction enters the learner, and predictions
+// finish only once release is closed. Drain tests coordinate on these
+// channels instead of wall-clock sleeps, so they hold on 1-CPU
+// containers where "sleep long enough" margins routinely flake.
+type gatedLearner struct {
+	dim     int
+	once    *sync.Once
+	started chan struct{}
+	release chan struct{}
+}
+
+func newGatedLearner(dim int) gatedLearner {
+	return gatedLearner{
+		dim:     dim,
+		once:    &sync.Once{},
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (g gatedLearner) Name() string                     { return "gated" }
+func (g gatedLearner) Train(X []feature.Vector, y []bool) {}
+func (g gatedLearner) Predict(x feature.Vector) bool {
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	return true
+}
+func (g gatedLearner) PredictAll(X []feature.Vector) []bool {
+	out := make([]bool, len(X))
+	for i := range X {
+		out[i] = g.Predict(X[i])
+	}
+	return out
+}
+func (g gatedLearner) Dim() int { return g.dim }
+
+// TestShutdownDrain holds a request in flight at the learner, triggers
+// shutdown while it is provably mid-work, and verifies the request
+// completes before ListenAndServe returns and that the server refuses
+// work afterwards. Every step synchronizes on a channel — request at
+// learner, drain begun, learner released — so there is no timing margin
+// to mis-tune.
 func TestShutdownDrain(t *testing.T) {
-	s := New(slowArtifact(200*time.Millisecond), Config{
+	gl := newGatedLearner(3)
+	drainStarted := make(chan struct{})
+	s := New(&model.Artifact{
+		Kind:    "gated",
+		Learner: gl,
+		Meta:    model.Meta{Schema: []string{"a"}},
+		Dim:     3,
+	}, Config{
 		RequestTimeout: 5 * time.Second, DrainTimeout: 5 * time.Second, Linger: -1,
-	})
+	}, core.ObserverFunc(func(e core.Event) {
+		if _, ok := e.(DrainStart); ok {
+			close(drainStarted)
+		}
+	}))
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
 	go func() { served <- s.ListenAndServe(ctx) }()
@@ -350,9 +402,12 @@ func TestShutdownDrain(t *testing.T) {
 		inflight <- result{status: resp.StatusCode}
 	}()
 
-	// Let the request reach the worker, then pull the plug.
-	time.Sleep(60 * time.Millisecond)
+	// The request is at the learner; pull the plug, and only let the
+	// learner finish once the drain has actually begun.
+	<-gl.started
 	cancel()
+	<-drainStarted
+	close(gl.release)
 
 	res := <-inflight
 	if res.err != nil {
@@ -400,6 +455,76 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, series) {
 			t.Errorf("metrics output missing %q\n%s", series, body)
 		}
+	}
+	_ = s
+}
+
+// TestMetricsNamesStable pins the full scrape vocabulary: every metric
+// family the hand-rolled renderer used to emit must survive the
+// migration onto the internal/obs registry with its name and TYPE
+// unchanged — dashboards and alert rules depend on these strings.
+func TestMetricsNamesStable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	for _, typeLine := range []string{
+		"# TYPE alem_http_requests_total counter",
+		"# TYPE alem_http_request_duration_seconds histogram",
+		"# TYPE alem_http_in_flight_requests gauge",
+		"# TYPE alem_http_requests_rejected_total counter",
+		"# TYPE alem_http_request_timeouts_total counter",
+		"# TYPE alem_http_requests_shed_total counter",
+		"# TYPE alem_http_panics_total counter",
+		"# TYPE alem_breaker_state gauge",
+		"# TYPE alem_breaker_opens_total counter",
+		"# TYPE alem_score_requests_total counter",
+		"# TYPE alem_score_batches_total counter",
+		"# TYPE alem_score_vectors_total counter",
+		"# TYPE alem_score_batch_reuse_rate gauge",
+		"# TYPE alem_matcher_extractor_reuse_hits_total counter",
+		"# TYPE alem_matcher_extractor_reuse_misses_total counter",
+	} {
+		if !strings.Contains(body, typeLine+"\n") {
+			t.Errorf("metrics output missing %q", typeLine)
+		}
+	}
+}
+
+// TestPprofOptIn: /debug/pprof is absent by default and served (bypassing
+// the instrumentation middleware) when Config.EnablePprof is set.
+func TestPprofOptIn(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without opt-in: status %d, want 404", resp.StatusCode)
+	}
+
+	s, on := newTestServer(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with opt-in: status %d, want 200", resp.StatusCode)
+	}
+	// The debug route must not leak into request metrics.
+	mresp, mbody := metricsText(t, on.URL+"/metrics")
+	mresp.Body.Close()
+	if strings.Contains(mbody, "/debug/pprof") {
+		t.Error("pprof requests were counted by the request metrics")
 	}
 	_ = s
 }

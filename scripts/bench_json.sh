@@ -55,6 +55,27 @@ BEGIN { gomaxprocs = "" }
         gomaxprocs = substr($1, RSTART + 1)
 }
 END {
+    # Validate before emitting anything: a silent empty or half-paired
+    # summary looks like a healthy run to whatever consumes the JSON.
+    if (n == 0) {
+        print "bench_json: no benchmark lines parsed (did the -bench filter match anything?)" > "/dev/stderr"
+        exit 1
+    }
+    bad = 0
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        base = name
+        if (sub(/\/serial$/, "", base) && !((base "/parallel") in nsByName)) {
+            printf "bench_json: %s has no /parallel counterpart\n", name > "/dev/stderr"
+            bad = 1
+        }
+        base = name
+        if (sub(/\/parallel$/, "", base) && !((base "/serial") in nsByName)) {
+            printf "bench_json: %s has no /serial counterpart\n", name > "/dev/stderr"
+            bad = 1
+        }
+    }
+    if (bad) exit 1
     if (gomaxprocs == "") gomaxprocs = 1
     printf "{\n  \"gomaxprocs\": %d,\n  \"benchmarks\": [\n", gomaxprocs
     for (i = 1; i <= n; i++) {

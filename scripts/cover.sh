@@ -1,0 +1,30 @@
+#!/bin/sh
+# Coverage gate: print per-package statement coverage and fail if the
+# engine package (internal/core) drops below the ratchet the Makefile
+# records. The floor only moves up: raise COVER_FLOOR_CORE after a PR
+# that durably lifts coverage, never down to absorb a regression.
+set -eu
+
+GO="${GO:-go}"
+FLOOR="${COVER_FLOOR_CORE:-88.0}"
+
+out=$("$GO" test -cover ./... 2>&1) || {
+    echo "$out"
+    echo "cover: test failures; coverage not evaluated" >&2
+    exit 1
+}
+echo "$out" | grep -v '\[no test files\]'
+
+core=$(echo "$out" | awk '$2 ~ /internal\/core$/ { gsub(/%/, "", $5); print $5 }')
+if [ -z "$core" ]; then
+    echo "cover: no coverage line for internal/core" >&2
+    exit 1
+fi
+
+echo
+echo "internal/core coverage: ${core}% (floor ${FLOOR}%)"
+below=$(awk -v c="$core" -v f="$FLOOR" 'BEGIN { print (c < f) ? 1 : 0 }')
+if [ "$below" -eq 1 ]; then
+    echo "cover: internal/core coverage ${core}% fell below the ${FLOOR}% ratchet" >&2
+    exit 1
+fi
