@@ -9,9 +9,9 @@ GO ?= go
 # lifts internal/core coverage; never lower it to absorb a regression.
 COVER_FLOOR_CORE ?= 88.0
 
-.PHONY: check vet build test race cover fuzz bench bench-json chaos serve-smoke
+.PHONY: check vet build test race cover fuzz bench bench-json chaos serve-smoke equiv
 
-check: vet build race cover fuzz chaos serve-smoke
+check: vet build race equiv cover fuzz chaos serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,14 @@ cover:
 # CSV import (see scripts/fuzz_smoke.sh; FUZZTIME=1m for longer runs).
 fuzz:
 	GO="$(GO)" sh scripts/fuzz_smoke.sh
+
+# Bit-identity gate for the Scorer×Picker selection framework: every
+# paper selector against its frozen pre-refactor implementation, plus
+# the serial-vs-parallel pins, under the race detector. `race` already
+# covers these; the dedicated target keeps the refactor contract visible
+# and quick to re-run on its own.
+equiv:
+	$(GO) test -race -count=1 -run 'CompositionEquivalence|SerialParallelEquivalent|WorkerInvariant' ./internal/core/
 
 bench:
 	$(GO) test -bench . -benchtime 1x .

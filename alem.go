@@ -202,7 +202,61 @@ type (
 	// BlockedForestQBC is ForestQBC with mined-DNF blocking, the §5
 	// sketch for tree-based selection realized as an extension.
 	BlockedForestQBC = core.BlockedForestQBC
+
+	// Scorer is the informativeness half of a selection strategy
+	// (pool → per-pair scores on the deterministic parallel substrate).
+	Scorer = core.Scorer
+	// Picker is the batch-query half (scores + features → batch).
+	Picker = core.Picker
+	// ScoredSet is a Scorer's output: candidates with aligned scores,
+	// higher = more informative.
+	ScoredSet = core.ScoredSet
+	// ComposedSelector glues any Scorer to any Picker into a Selector.
+	ComposedSelector = core.ComposedSelector
+	// MarginScorer scores by negated |margin| — the uncertainty half of
+	// margin selection, reusable under any Picker.
+	MarginScorer = core.MarginScorer
+	// VoteScorer scores by committee/forest vote variance — ForestQBC's
+	// uncertainty half, reusable under any Picker.
+	VoteScorer = core.VoteScorer
+	// KCenterPicker is greedy k-center (core-set) diverse batch picking.
+	KCenterPicker = core.KCenterPicker
+	// ScoredClusterPicker samples score-weighted across feature-space
+	// clusters of near-duplicate candidates.
+	ScoredClusterPicker = core.ScoredClusterPicker
+	// SelectorSpec is one selector-registry entry (name, help text,
+	// constructor).
+	SelectorSpec = core.SelectorSpec
+	// SelectorParams carries the tunables registry constructors accept.
+	SelectorParams = core.SelectorParams
+	// IncompatibleError reports a selector composed with a learner it
+	// cannot serve; it wraps ErrIncompatibleSelector.
+	IncompatibleError = core.IncompatibleError
 )
+
+// ErrIncompatibleSelector is the sentinel selector/learner mismatch
+// errors wrap; NewSession and Config validation return it when e.g.
+// LFPLFN is composed with a non-rule learner.
+var ErrIncompatibleSelector = core.ErrIncompatibleSelector
+
+// Selectors returns every registered selection strategy (paper set,
+// extensions, and diversity-aware Scorer×Picker recombinations).
+func Selectors() []SelectorSpec { return core.Selectors() }
+
+// NewSelector constructs a registered selection strategy by -selector
+// name; unknown names error with the registered list attached.
+func NewSelector(name string, p SelectorParams) (Selector, error) {
+	return core.NewSelector(name, p)
+}
+
+// FormatSelectorList renders the selector registry the way the CLIs'
+// -list-selectors flag prints it.
+func FormatSelectorList() string { return core.FormatSelectorList() }
+
+// ValidateSelection checks a (learner, selector) pair up front the same
+// way session construction does, returning a typed *IncompatibleError
+// (wrapping ErrIncompatibleSelector) on a mismatch.
+func ValidateSelection(l Learner, s Selector) error { return core.ValidateSelection(l, s) }
 
 // Evaluation modes.
 const (

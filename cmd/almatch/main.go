@@ -6,6 +6,13 @@
 //
 //	almatch -mode train -dataset beer -scale 1.0 -model forest.json
 //
+// Any registered selection strategy works via -selector (list them with
+// -list-selectors), including the diversity-aware Scorer×Picker
+// recombinations; margin-family strategies need -learner svm:
+//
+//	almatch -mode train -dataset beer -learner svm -selector kcenter-margin \
+//	        -model svm.json
+//
 // Apply a saved model to your own tables (CSV with a leading id column):
 //
 //	almatch -mode apply -model forest.json -left left.csv -right right.csv \
@@ -59,8 +66,16 @@ func main() {
 		flaky     = flag.Float64("flaky", 0, "inject this transient oracle-failure rate, with retries — a resilience drill (train mode)")
 		workers   = flag.Int("workers", 0, "worker goroutines for selection/evaluation; 0 = all CPUs, 1 = serial — results are identical either way (train mode)")
 		tracePath = flag.String("trace", "", "write a JSONL run manifest (one span per phase per iteration) to this file; summarize with aldiag -trace (train mode)")
+		selector  = flag.String("selector", "forest-qbc", "selection strategy; see -list-selectors (train mode)")
+		learnerN  = flag.String("learner", "forest", "learner family: forest or svm (train mode)")
+		listSel   = flag.Bool("list-selectors", false, "list registered selection strategies and exit")
 	)
 	flag.Parse()
+
+	if *listSel {
+		fmt.Print(alem.FormatSelectorList())
+		return
+	}
 
 	var err error
 	switch *mode {
@@ -70,6 +85,7 @@ func main() {
 			modelPath: *modelPath, trees: *trees, maxLabels: *maxLabels,
 			progress: *progress, checkpoint: *ckpt, resume: *resume, flaky: *flaky,
 			workers: *workers, trace: *tracePath,
+			selector: *selector, learner: *learnerN,
 		})
 	case "apply":
 		err = apply(*modelPath, *leftPath, *rightPath, *threshold, *outPath)
@@ -97,6 +113,8 @@ type trainOpts struct {
 	flaky      float64
 	workers    int
 	trace      string
+	selector   string
+	learner    string
 }
 
 func train(o trainOpts) error {
@@ -105,7 +123,24 @@ func train(o trainOpts) error {
 		return err
 	}
 	pool := alem.NewPool(d)
-	forest := alem.NewRandomForest(o.trees, o.seed)
+	var learner alem.Learner
+	switch o.learner {
+	case "", "forest":
+		learner = alem.NewRandomForest(o.trees, o.seed)
+	case "svm":
+		learner = alem.NewSVM(o.seed)
+	default:
+		return fmt.Errorf("-learner %q: must be forest or svm", o.learner)
+	}
+	sel, err := alem.NewSelector(o.selector, alem.SelectorParams{Seed: o.seed})
+	if err != nil {
+		return err
+	}
+	// Fail a mismatched -learner/-selector pair here, before any dataset
+	// labels are spent (the same check session construction runs).
+	if err := alem.ValidateSelection(learner, sel); err != nil {
+		return err
+	}
 	cfg := alem.Config{Seed: o.seed, MaxLabels: o.maxLabels, TargetF1: 0.99, Workers: o.workers}
 
 	// The oracle is fallible end to end; -flaky layers deterministic fault
@@ -136,7 +171,7 @@ func train(o trainOpts) error {
 			return err
 		}
 		wal = w
-		session, err = alem.RestoreSessionWithWAL(pool, forest, alem.ForestQBC{}, labeler, sn, records)
+		session, err = alem.RestoreSessionWithWAL(pool, learner, sel, labeler, sn, records)
 		if err != nil {
 			wal.Close()
 			return err
@@ -148,7 +183,7 @@ func train(o trainOpts) error {
 		// would poison the WAL replay, so they are removed up front.
 		os.Remove(o.checkpoint)
 		os.Remove(walPath)
-		session, err = alem.NewFallibleSession(pool, forest, alem.ForestQBC{}, labeler, cfg)
+		session, err = alem.NewFallibleSession(pool, learner, sel, labeler, cfg)
 		if err != nil {
 			return err
 		}
@@ -158,7 +193,7 @@ func train(o trainOpts) error {
 		}
 		wal = w
 	default:
-		session, err = alem.NewFallibleSession(pool, forest, alem.ForestQBC{}, labeler, cfg)
+		session, err = alem.NewFallibleSession(pool, learner, sel, labeler, cfg)
 		if err != nil {
 			return err
 		}
@@ -224,14 +259,14 @@ func train(o trainOpts) error {
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "%v; saving the model as of iteration %d\n", runErr, len(res.Curve))
 	}
-	fmt.Printf("trained Trees(%d) on %s: best F1 %.3f with %d labels (%s)\n",
-		o.trees, o.dataset, res.Curve.BestF1(), res.LabelsUsed, res.Reason)
+	fmt.Printf("trained %s/%s on %s: best F1 %.3f with %d labels (%s)\n",
+		learner.Name(), sel.Name(), o.dataset, res.Curve.BestF1(), res.LabelsUsed, res.Reason)
 	// The unified artifact records the schema, blocking threshold and
-	// featurization alongside the forest, so apply mode and almserve can
+	// featurization alongside the learner, so apply mode and almserve can
 	// rebuild the exact pipeline with no extra flags. Written atomically:
 	// a crash mid-save must not leave a torn model file behind.
 	if err := alem.WriteFileAtomic(o.modelPath, func(w io.Writer) error {
-		return alem.SaveModel(w, forest, alem.ModelMeta{
+		return alem.SaveModel(w, learner, alem.ModelMeta{
 			Schema:         d.Left.Schema,
 			BlockThreshold: d.BlockThreshold,
 			Dataset:        o.dataset,

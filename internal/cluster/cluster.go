@@ -81,6 +81,62 @@ func Connected(nLeft, nRight int, edges []Edge) *Clusters {
 	return c
 }
 
+// Components is the single-set counterpart of Connected: it partitions
+// the nodes 0..n-1 into connected components over undirected edges
+// {a, b}. Every node appears (isolated nodes become singletons), each
+// component is sorted ascending, and components are ordered by their
+// smallest node — fully deterministic, independent of edge order. The
+// selection layer uses it to group near-duplicate candidate pairs in
+// feature space before diversity-aware batch sampling; edges whose
+// endpoints fall outside [0, n) are ignored.
+func Components(n int, edges [][2]int) [][]int {
+	if n <= 0 {
+		return nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			continue
+		}
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Root at the smaller index so the representative is stable.
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	groups := make(map[int][]int, n)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		members := groups[r]
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	return out
+}
+
 func nodeLess(a, b Node) bool {
 	if a.Side != b.Side {
 		return a.Side < b.Side

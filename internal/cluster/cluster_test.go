@@ -1,7 +1,13 @@
-package cluster
+// External test package: the test drives a full core.Session to produce
+// predictions worth clustering, and core itself now imports cluster for
+// the diversity-aware batch pickers — an in-package test would be an
+// import cycle.
+package cluster_test
 
 import (
 	"testing"
+
+	. "github.com/alem/alem/internal/cluster"
 
 	"github.com/alem/alem/internal/core"
 	"github.com/alem/alem/internal/dataset"
@@ -53,6 +59,40 @@ func TestConnectedDeterministicOrder(t *testing.T) {
 		for j := range a.Members[i] {
 			if a.Members[i][j] != b.Members[i][j] {
 				t.Fatal("edge order changed member ordering")
+			}
+		}
+	}
+}
+
+func TestComponentsGrouping(t *testing.T) {
+	// 0-2 and 4-5 connect; 9 and -1 are out of range and silently
+	// dropped. Components come back ordered by smallest member, members
+	// ascending.
+	got := Components(6, [][2]int{{0, 2}, {4, 5}, {9, 1}, {-1, 3}})
+	want := [][]int{{0, 2}, {1}, {3}, {4, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("Components = %v, want %v", got, want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if c := Components(0, [][2]int{{0, 1}}); c != nil {
+		t.Errorf("Components(0, ...) = %v, want nil", c)
+	}
+	// Edge order must not change the result.
+	a := Components(5, [][2]int{{3, 4}, {1, 3}, {0, 2}})
+	b := Components(5, [][2]int{{0, 2}, {3, 4}, {1, 3}})
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("edge order changed components: %v vs %v", a, b)
 			}
 		}
 	}

@@ -61,6 +61,14 @@ func TestGoldenRegressionGrid(t *testing.T) {
 		{"neural", "margin", func() (Learner, Selector) { return neural.NewNet(4, seed), Margin{} }},
 		{"forest", "forest-qbc", func() (Learner, Selector) { return tree.NewForest(5, seed), ForestQBC{} }},
 		{"forest", "random", func() (Learner, Selector) { return tree.NewForest(5, seed), Random{} }},
+		// The two diversity-aware pickers, composed with margin scoring —
+		// the same strategies -selector kcenter-margin/cluster-margin build.
+		{"svm", "kcenter-margin", func() (Learner, Selector) {
+			return linear.NewSVM(seed), ComposedSelector{ID: "kcenter-margin", Scorer: MarginScorer{}, Picker: KCenterPicker{}}
+		}},
+		{"svm", "cluster-margin", func() (Learner, Selector) {
+			return linear.NewSVM(seed), ComposedSelector{ID: "cluster-margin", Scorer: MarginScorer{}, Picker: ScoredClusterPicker{}}
+		}},
 	}
 
 	got := make([]gridCell, 0, len(combos))

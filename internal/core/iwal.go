@@ -1,10 +1,5 @@
 package core
 
-import (
-	"math"
-	"time"
-)
-
 // IWAL is a simplified importance-weighted active learning selector
 // (Beygelzimer, Dasgupta & Langford, ICML 2009), one of the alternative
 // algorithms the paper's related work discusses (§2) and dismisses for
@@ -29,53 +24,18 @@ type IWAL struct {
 // Name implements Selector.
 func (IWAL) Name() string { return "iwal" }
 
+// Composition returns the selector's Scorer×Picker decomposition:
+// normalized-inverse-margin ambiguity scored in a parallel sweep,
+// rejection-sampled serially in random order.
+func (iw IWAL) Composition() ComposedSelector {
+	return ComposedSelector{
+		ID:     iw.Name(),
+		Scorer: AmbiguityScorer{},
+		Picker: AcceptanceSamplePicker{PMin: iw.PMin},
+	}
+}
+
 // Select implements Selector. It requires a MarginLearner.
 func (iw IWAL) Select(ctx *SelectContext, k int) []int {
-	ml, ok := ctx.Learner.(MarginLearner)
-	if !ok {
-		return nil
-	}
-	pmin := iw.PMin
-	if pmin <= 0 {
-		pmin = 0.1
-	}
-	start := time.Now()
-	defer func() { ctx.Score = time.Since(start) }()
-
-	// Normalize margins into [0,1] ambiguity scores. The margin sweep
-	// fans out; the max reduction and the sequential rejection sampling
-	// below (which draws from the shared RNG) stay serial.
-	margins := make([]float64, len(ctx.Unlabeled))
-	if err := parallelFor(ctx.Ctx, len(ctx.Unlabeled), ctx.Workers, parallelCutoff, func(j int) {
-		margins[j] = math.Abs(ml.Margin(ctx.Pool.X[ctx.Unlabeled[j]]))
-	}); err != nil {
-		return nil
-	}
-	maxM := 0.0
-	for _, m := range margins {
-		if m > maxM {
-			maxM = m
-		}
-	}
-	if maxM == 0 {
-		maxM = 1
-	}
-	// Rejection-sample in random order until k accepts (or the pool is
-	// exhausted): each example is accepted with its own probability, so
-	// low-information examples still consume label budget at rate PMin.
-	out := make([]int, 0, k)
-	for n, j := range ctx.Rand.Perm(len(ctx.Unlabeled)) {
-		if len(out) == k {
-			break
-		}
-		if n%cancelCheckStride == 0 && ctx.Cancelled() {
-			return nil
-		}
-		ambiguity := 1 - margins[j]/maxM
-		p := pmin + (1-pmin)*ambiguity
-		if ctx.Rand.Float64() < p {
-			out = append(out, ctx.Unlabeled[j])
-		}
-	}
-	return out
+	return iw.Composition().Select(ctx, k)
 }

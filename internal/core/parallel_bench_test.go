@@ -89,6 +89,25 @@ func BenchmarkForestQBCSelect(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { benchSelect(b, ForestQBC{}, st.forest, 0) })
 }
 
+// Greedy k-center picking over margin scores: k distance-update sweeps
+// across the candidate set ride the substrate, one per pick.
+func BenchmarkKCenterMarginSelect(b *testing.B) {
+	sel := ComposedSelector{ID: "kcenter-margin", Scorer: MarginScorer{}, Picker: KCenterPicker{}}
+	st := benchSetup(b)
+	b.Run("serial", func(b *testing.B) { benchSelect(b, sel, st.svm, 1) })
+	b.Run("parallel", func(b *testing.B) { benchSelect(b, sel, st.svm, 0) })
+}
+
+// Score-weighted cluster sampling over margin scores: the margin sweep
+// parallelizes; the O((PoolMult·k)²) pairwise clustering and the serial
+// RNG draws are the fixed cost the ratio exposes.
+func BenchmarkClusterMarginSelect(b *testing.B) {
+	sel := ComposedSelector{ID: "cluster-margin", Scorer: MarginScorer{}, Picker: ScoredClusterPicker{}}
+	st := benchSetup(b)
+	b.Run("serial", func(b *testing.B) { benchSelect(b, sel, st.svm, 1) })
+	b.Run("parallel", func(b *testing.B) { benchSelect(b, sel, st.svm, 0) })
+}
+
 // Pooled prediction, the evaluation-phase hot path that predated the
 // substrate and now rides on it.
 func BenchmarkParallelPredict(b *testing.B) {

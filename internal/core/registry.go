@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/alem/alem/internal/linear"
+)
+
+// The selector registry: one table mapping every selection strategy the
+// framework ships — the paper set and the Scorer×Picker recombinations —
+// to a constructor and flag-help text. cmd/almatch, cmd/albench and the
+// alem facade all resolve -selector names here, so adding a strategy is
+// one registration, not three hand-written switches.
+
+// SelectorParams carries the tunables a registry constructor may use.
+// The zero value is fully usable: every field has a documented default.
+type SelectorParams struct {
+	// Seed seeds any learner factories the selector trains internally
+	// (QBC committees).
+	Seed int64
+	// Committee is the committee size for learner-agnostic QBC
+	// (default 10, the paper's evaluation setting).
+	Committee int
+	// Factory builds committee members for learner-agnostic QBC
+	// (default: linear SVMs).
+	Factory Factory
+}
+
+func (p SelectorParams) withDefaults() SelectorParams {
+	if p.Committee <= 0 {
+		p.Committee = 10
+	}
+	if p.Factory == nil {
+		p.Factory = func(seed int64) Learner { return linear.NewSVM(seed) }
+	}
+	return p
+}
+
+// SelectorSpec describes one registered selection strategy.
+type SelectorSpec struct {
+	// Name is the -selector flag value.
+	Name string
+	// Description is the one-line help text -list-selectors prints.
+	Description string
+	// Needs names the learner capability the strategy requires, if any
+	// ("MarginLearner"); empty means any learner works.
+	Needs string
+	// New constructs the selector.
+	New func(p SelectorParams) Selector
+}
+
+// selectorRegistry is ordered: paper selectors first (the Fig. 2 set and
+// the §5 blocking variants), then extensions, then the diversity-aware
+// Scorer×Picker recombinations.
+var selectorRegistry = []SelectorSpec{
+	{
+		Name:        "random",
+		Description: "uniform random batches — the supervised-learning baseline (Figs. 16-17)",
+		New:         func(SelectorParams) Selector { return Random{} },
+	},
+	{
+		Name:        "qbc",
+		Description: "learner-agnostic query-by-committee over bootstrap resamples (§4.1)",
+		New: func(p SelectorParams) Selector {
+			p = p.withDefaults()
+			return QBC{B: p.Committee, Factory: p.Factory}
+		},
+	},
+	{
+		Name:        "margin",
+		Description: "smallest |margin| — examples nearest the decision boundary (§4.2)",
+		Needs:       "MarginLearner",
+		New:         func(SelectorParams) Selector { return Margin{} },
+	},
+	{
+		Name:        "margin-blocked",
+		Description: "margin with §5.1 blocking dimensions pruning zero-weight-overlap pairs",
+		Needs:       "WeightedLinear",
+		New:         func(SelectorParams) Selector { return BlockedMargin{TopK: 1} },
+	},
+	{
+		Name:        "forest-qbc",
+		Description: "learner-aware QBC: the forest's own trees vote (§4.1.1)",
+		Needs:       "VoteLearner",
+		New:         func(SelectorParams) Selector { return ForestQBC{} },
+	},
+	{
+		Name:        "forest-qbc-blocked",
+		Description: "forest QBC behind a blocking DNF mined from the trees (§5)",
+		Needs:       "VoteLearner",
+		New:         func(SelectorParams) Selector { return BlockedForestQBC{} },
+	},
+	{
+		Name:        "lfp-lfn",
+		Description: "likely-false-positive/negative ranking for the rule learner (§4.3)",
+		Needs:       "rules.Model",
+		New:         func(SelectorParams) Selector { return LFPLFN{} },
+	},
+	{
+		Name:        "iwal",
+		Description: "importance-weighted rejection sampling with a PMin floor (§2 extension)",
+		Needs:       "MarginLearner",
+		New:         func(SelectorParams) Selector { return IWAL{} },
+	},
+	{
+		Name:        "kcenter-margin",
+		Description: "margin scores picked by greedy k-center — batches spread over the ambiguous region",
+		Needs:       "MarginLearner",
+		New: func(SelectorParams) Selector {
+			return ComposedSelector{ID: "kcenter-margin", Scorer: MarginScorer{}, Picker: KCenterPicker{}}
+		},
+	},
+	{
+		Name:        "cluster-margin",
+		Description: "margin scores sampled round-robin across feature-space clusters of near-duplicates",
+		Needs:       "MarginLearner",
+		New: func(SelectorParams) Selector {
+			return ComposedSelector{ID: "cluster-margin", Scorer: MarginScorer{}, Picker: ScoredClusterPicker{}}
+		},
+	},
+	{
+		Name:        "kcenter-qbc",
+		Description: "forest-vote disagreement picked by greedy k-center",
+		Needs:       "VoteLearner",
+		New: func(SelectorParams) Selector {
+			return ComposedSelector{ID: "kcenter-qbc", Scorer: VoteScorer{}, Picker: KCenterPicker{}}
+		},
+	},
+	{
+		Name:        "cluster-qbc",
+		Description: "forest-vote disagreement sampled round-robin across feature-space clusters",
+		Needs:       "VoteLearner",
+		New: func(SelectorParams) Selector {
+			return ComposedSelector{ID: "cluster-qbc", Scorer: VoteScorer{}, Picker: ScoredClusterPicker{}}
+		},
+	},
+}
+
+// Selectors returns every registered strategy in registry order (paper
+// set first, then extensions and recombinations). The slice is a copy.
+func Selectors() []SelectorSpec {
+	return append([]SelectorSpec(nil), selectorRegistry...)
+}
+
+// LookupSelector finds a registered strategy by -selector name.
+func LookupSelector(name string) (SelectorSpec, bool) {
+	for _, s := range selectorRegistry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SelectorSpec{}, false
+}
+
+// NewSelector constructs a registered strategy by name. Unknown names
+// error with the full list, so CLI typos fail with the fix attached.
+func NewSelector(name string, p SelectorParams) (Selector, error) {
+	spec, ok := LookupSelector(name)
+	if !ok {
+		names := make([]string, len(selectorRegistry))
+		for i, s := range selectorRegistry {
+			names[i] = s.Name
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("core: unknown selector %q (registered: %s)", name, strings.Join(names, ", "))
+	}
+	return spec.New(p), nil
+}
+
+// FormatSelectorList renders the registry as -list-selectors prints it:
+// aligned name, requirement (if any), one-line description.
+func FormatSelectorList() string {
+	width := 0
+	for _, s := range selectorRegistry {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	var sb strings.Builder
+	for _, s := range selectorRegistry {
+		fmt.Fprintf(&sb, "%-*s  %s", width, s.Name, s.Description)
+		if s.Needs != "" {
+			fmt.Fprintf(&sb, " (needs %s)", s.Needs)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

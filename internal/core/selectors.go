@@ -4,10 +4,8 @@ import (
 	"context"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
-	"github.com/alem/alem/internal/feature"
 	"github.com/alem/alem/internal/rules"
 )
 
@@ -54,6 +52,12 @@ func (ctx *SelectContext) Cancelled() bool {
 // to k pool indices drawn from ctx.Unlabeled; an empty result signals the
 // selector has no informative examples left (rule learners terminate on
 // this).
+//
+// Every built-in selector is a Scorer×Picker composition (strategy.go)
+// behind its exported type; the concrete types below are kept for
+// API stability and for carrying their strategy parameters. Each exposes
+// its decomposition via a Composition method, so callers can re-pair its
+// informativeness measure with a different batch picker.
 type Selector interface {
 	Name() string
 	Select(ctx *SelectContext, k int) []int
@@ -68,20 +72,14 @@ type Random struct{}
 // Name implements Selector.
 func (Random) Name() string { return "random" }
 
+// Composition returns the selector's Scorer×Picker decomposition.
+func (r Random) Composition() ComposedSelector {
+	return ComposedSelector{ID: r.Name(), Scorer: UniformScorer{}, Picker: RandomPicker{}}
+}
+
 // Select implements Selector.
-func (Random) Select(ctx *SelectContext, k int) []int {
-	start := time.Now()
-	defer func() { ctx.Score = time.Since(start) }()
-	n := len(ctx.Unlabeled)
-	if n <= k {
-		return append([]int(nil), ctx.Unlabeled...)
-	}
-	perm := ctx.Rand.Perm(n)[:k]
-	out := make([]int, 0, k)
-	for _, i := range perm {
-		out = append(out, ctx.Unlabeled[i])
-	}
-	return out
+func (r Random) Select(ctx *SelectContext, k int) []int {
+	return r.Composition().Select(ctx, k)
 }
 
 // QBC is learner-agnostic query-by-committee (§4.1, Mozafari et al.): B
@@ -104,73 +102,18 @@ type QBC struct {
 // Name implements Selector.
 func (q QBC) Name() string { return "qbc" }
 
+// Composition returns the selector's Scorer×Picker decomposition.
+func (q QBC) Composition() ComposedSelector {
+	return ComposedSelector{
+		ID:     q.Name(),
+		Scorer: QBCScorer{B: q.B, Factory: q.Factory, UseEntropy: q.UseEntropy},
+		Picker: ShuffledTopPicker{},
+	}
+}
+
 // Select implements Selector.
 func (q QBC) Select(ctx *SelectContext, k int) []int {
-	if q.B <= 0 || q.Factory == nil || len(ctx.LabeledIdx) == 0 {
-		return nil
-	}
-	// Committee creation (timed separately; it dominates QBC latency and
-	// grows with the labeled set, Fig. 10a-b). All bootstrap draws and
-	// factory seeds come out of the shared RNG *before* the fan-out, in
-	// the exact order the serial loop consumed them, so draw counts and
-	// trained members are bit-identical for every worker count.
-	start := time.Now()
-	if ctx.Cancelled() {
-		ctx.CommitteeCreate = time.Since(start)
-		return nil
-	}
-	n := len(ctx.LabeledIdx)
-	resamples := make([][]int, q.B)
-	seeds := make([]int64, q.B)
-	for b := 0; b < q.B; b++ {
-		draws := make([]int, n)
-		for i := range draws {
-			draws[i] = ctx.Rand.Intn(n)
-		}
-		resamples[b] = draws
-		seeds[b] = ctx.Rand.Int63()
-	}
-	committee := make([]Learner, q.B)
-	if err := parallelFor(ctx.Ctx, q.B, ctx.Workers, 2, func(b int) {
-		X := make([]feature.Vector, 0, n)
-		y := make([]bool, 0, n)
-		for _, j := range resamples[b] {
-			X = append(X, ctx.Pool.X[ctx.LabeledIdx[j]])
-			y = append(y, ctx.Labels[j])
-		}
-		m := q.Factory(seeds[b])
-		m.Train(X, y)
-		committee[b] = m
-	}); err != nil {
-		ctx.CommitteeCreate = time.Since(start)
-		return nil
-	}
-	ctx.CommitteeCreate = time.Since(start)
-
-	// Example scoring: committee variance over every unlabeled example,
-	// each independent of the others.
-	start = time.Now()
-	variance := make([]float64, len(ctx.Unlabeled))
-	if err := parallelFor(ctx.Ctx, len(ctx.Unlabeled), ctx.Workers, parallelCutoff, func(j int) {
-		pos := 0
-		for _, m := range committee {
-			if m.Predict(ctx.Pool.X[ctx.Unlabeled[j]]) {
-				pos++
-			}
-		}
-		p := float64(pos) / float64(q.B)
-		if q.UseEntropy {
-			variance[j] = binaryEntropy(p)
-		} else {
-			variance[j] = p * (1 - p)
-		}
-	}); err != nil {
-		ctx.Score = time.Since(start)
-		return nil
-	}
-	picked := variancePick(ctx.Rand, ctx.Unlabeled, variance, k)
-	ctx.Score = time.Since(start)
-	return picked
+	return q.Composition().Select(ctx, k)
 }
 
 // binaryEntropy is -p log p - (1-p) log(1-p), 0 at p ∈ {0, 1}.
@@ -179,24 +122,6 @@ func binaryEntropy(p float64) float64 {
 		return 0
 	}
 	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
-}
-
-// variancePick selects the k highest-variance indices with random
-// tie-breaking: candidates are shuffled first, then stably sorted by
-// variance, so equal-variance examples come out in random order (§4.1).
-func variancePick(r *rand.Rand, unlabeled []int, variance []float64, k int) []int {
-	order := r.Perm(len(unlabeled))
-	sort.SliceStable(order, func(a, b int) bool {
-		return variance[order[a]] > variance[order[b]]
-	})
-	if k > len(order) {
-		k = len(order)
-	}
-	out := make([]int, 0, k)
-	for _, oi := range order[:k] {
-		out = append(out, unlabeled[oi])
-	}
-	return out
 }
 
 // Margin is learner-aware margin-based selection (§4.2): the unlabeled
@@ -208,49 +133,14 @@ type Margin struct{}
 // Name implements Selector.
 func (Margin) Name() string { return "margin" }
 
+// Composition returns the selector's Scorer×Picker decomposition.
+func (m Margin) Composition() ComposedSelector {
+	return ComposedSelector{ID: m.Name(), Scorer: MarginScorer{}, Picker: TopPicker{}}
+}
+
 // Select implements Selector.
-func (Margin) Select(ctx *SelectContext, k int) []int {
-	ml, ok := ctx.Learner.(MarginLearner)
-	if !ok {
-		return nil
-	}
-	start := time.Now()
-	defer func() { ctx.Score = time.Since(start) }()
-	s := make([]scored, len(ctx.Unlabeled))
-	if err := parallelFor(ctx.Ctx, len(ctx.Unlabeled), ctx.Workers, parallelCutoff, func(j int) {
-		i := ctx.Unlabeled[j]
-		s[j] = scored{i, math.Abs(ml.Margin(ctx.Pool.X[i]))}
-	}); err != nil {
-		return nil
-	}
-	return smallestMargins(s, k)
-}
-
-// scored pairs a pool index with its selection score.
-type scored struct {
-	idx int
-	m   float64
-}
-
-// smallestMargins returns the indices of the k smallest scores, ties
-// broken by pool index — the fully deterministic ordering §4.2.1 credits
-// margin with. The (score, idx) key is a total order, so the result does
-// not depend on the input's arrangement.
-func smallestMargins(s []scored, k int) []int {
-	sort.Slice(s, func(a, b int) bool {
-		if s[a].m != s[b].m {
-			return s[a].m < s[b].m
-		}
-		return s[a].idx < s[b].idx
-	})
-	if k > len(s) {
-		k = len(s)
-	}
-	out := make([]int, 0, k)
-	for _, x := range s[:k] {
-		out = append(out, x.idx)
-	}
-	return out
+func (m Margin) Select(ctx *SelectContext, k int) []int {
+	return m.Composition().Select(ctx, k)
 }
 
 // BlockedMargin is Margin with the §5.1 blocking-dimension optimization
@@ -266,68 +156,18 @@ type BlockedMargin struct {
 // Name implements Selector.
 func (BlockedMargin) Name() string { return "margin-blocked" }
 
-// Select implements Selector.
-func (bm BlockedMargin) Select(ctx *SelectContext, k int) []int {
-	wl, ok := ctx.Learner.(WeightedLinear)
-	if !ok {
-		return nil
+// Composition returns the selector's Scorer×Picker decomposition.
+func (bm BlockedMargin) Composition() ComposedSelector {
+	return ComposedSelector{
+		ID:     bm.Name(),
+		Scorer: BlockedMarginScorer{TopK: bm.TopK},
+		Picker: TopPicker{},
 	}
-	start := time.Now()
-	defer func() { ctx.Score = time.Since(start) }()
-	w := wl.Weights()
-	if len(w) == 0 {
-		return Random{}.Select(ctx, k)
-	}
-	topK := bm.TopK
-	if topK <= 0 || topK > len(w) {
-		topK = len(w)
-	}
-	dims := topWeightDims(w, topK)
-
-	// Score in parallel: an example whose blocking dimensions are all
-	// zero records a sentinel instead of paying the dot product; the
-	// survivors are collected serially in pool order afterwards, so the
-	// result is identical at every worker count.
-	margins := make([]float64, len(ctx.Unlabeled))
-	if err := parallelFor(ctx.Ctx, len(ctx.Unlabeled), ctx.Workers, parallelCutoff, func(j int) {
-		x := ctx.Pool.X[ctx.Unlabeled[j]]
-		for _, d := range dims {
-			if x[d] != 0 {
-				margins[j] = math.Abs(wl.Margin(x))
-				return
-			}
-		}
-		margins[j] = blockedSentinel // margin == |bias|: pruned without the dot product
-	}); err != nil {
-		return nil
-	}
-	var s []scored
-	for j, i := range ctx.Unlabeled {
-		if margins[j] != blockedSentinel {
-			s = append(s, scored{i, margins[j]})
-		}
-	}
-	if len(s) == 0 {
-		// Degenerate: everything pruned; fall back to plain margin.
-		return Margin{}.Select(ctx, k)
-	}
-	return smallestMargins(s, k)
 }
 
-// blockedSentinel marks an example pruned by the blocking dimensions.
-// Margins are non-negative, so a negative value can never collide.
-const blockedSentinel = -1.0
-
-// topWeightDims returns the indices of the k largest |w| entries.
-func topWeightDims(w []float64, k int) []int {
-	idx := make([]int, len(w))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		return math.Abs(w[idx[a]]) > math.Abs(w[idx[b]])
-	})
-	return idx[:k]
+// Select implements Selector.
+func (bm BlockedMargin) Select(ctx *SelectContext, k int) []int {
+	return bm.Composition().Select(ctx, k)
 }
 
 // ForestQBC is learner-aware QBC for tree ensembles (§4.1.1): the random
@@ -339,54 +179,56 @@ type ForestQBC struct{}
 // Name implements Selector.
 func (ForestQBC) Name() string { return "forest-qbc" }
 
-// Select implements Selector.
-func (ForestQBC) Select(ctx *SelectContext, k int) []int {
-	vl, ok := ctx.Learner.(VoteLearner)
-	if !ok {
-		return nil
-	}
-	start := time.Now()
-	defer func() { ctx.Score = time.Since(start) }()
-	variance, err := voteVariance(ctx, vl, ctx.Unlabeled)
-	if err != nil {
-		return nil
-	}
-	return variancePick(ctx.Rand, ctx.Unlabeled, variance, k)
+// Composition returns the selector's Scorer×Picker decomposition.
+func (f ForestQBC) Composition() ComposedSelector {
+	return ComposedSelector{ID: f.Name(), Scorer: VoteScorer{}, Picker: ShuffledTopPicker{}}
 }
 
-// voteVariance computes the (P/C)(1−P/C) disagreement of a vote committee
-// over the candidate examples, fanning out across ctx.Workers.
-func voteVariance(ctx *SelectContext, vl VoteLearner, candidates []int) ([]float64, error) {
-	variance := make([]float64, len(candidates))
-	err := parallelFor(ctx.Ctx, len(candidates), ctx.Workers, parallelCutoff, func(j int) {
-		pos, total := vl.Votes(ctx.Pool.X[candidates[j]])
-		if total == 0 {
-			return
-		}
-		p := float64(pos) / float64(total)
-		variance[j] = p * (1 - p)
-	})
-	return variance, err
+// Select implements Selector.
+func (f ForestQBC) Select(ctx *SelectContext, k int) []int {
+	return f.Composition().Select(ctx, k)
 }
 
 // LFPLFN adapts the rule learner's Likely-False-Positive / Negative
 // heuristic (§4.3) to the Selector interface. It is compatible only with
 // rules.Model — the framework's way of recording that this selector has
-// no other children in the Fig. 2 hierarchy.
+// no other children in the Fig. 2 hierarchy. Composing it with any other
+// learner is a configuration error: CompatibleWith reports it as a typed
+// *IncompatibleError, and session construction rejects it before the
+// seed phase spends any label budget.
 type LFPLFN struct{}
 
 // Name implements Selector.
 func (LFPLFN) Name() string { return "lfp-lfn" }
 
+// Composition returns the selector's Scorer×Picker decomposition: the
+// LFP/LFN interleave rank as the informativeness measure, picked
+// deterministically (the interleave is prefix-stable, so top-k of the
+// full ranking is exactly the §4.3 batch).
+func (l LFPLFN) Composition() ComposedSelector {
+	return ComposedSelector{ID: l.Name(), Scorer: LFPLFNScorer{}, Picker: TopPicker{}}
+}
+
 // Select implements Selector. Scoring polls the run's cancellation
 // signal on the standard stride, so rule-learner runs respond to
 // SIGINT/deadlines like every other selector.
-func (LFPLFN) Select(ctx *SelectContext, k int) []int {
-	m, ok := ctx.Learner.(*rules.Model)
-	if !ok {
+func (l LFPLFN) Select(ctx *SelectContext, k int) []int {
+	return l.Composition().Select(ctx, k)
+}
+
+// CompatibleWith implements LearnerChecker: LFP/LFN works only with the
+// rule learner, whose DNF it relaxes to mine likely false negatives.
+func (l LFPLFN) CompatibleWith(lr Learner) error {
+	if _, ok := lr.(*rules.Model); ok {
 		return nil
 	}
-	start := time.Now()
-	defer func() { ctx.Score = time.Since(start) }()
-	return m.SelectLFPLFNCancel(ctx.Pool.X, ctx.Unlabeled, k, ctx.Cancelled)
+	name := "<nil>"
+	if lr != nil {
+		name = lr.Name()
+	}
+	return &IncompatibleError{
+		Selector: l.Name(),
+		Learner:  name,
+		Needs:    "the DNF rule learner (rules.Model), whose Rule-Minus relaxation mines likely false negatives",
+	}
 }

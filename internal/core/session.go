@@ -113,6 +113,14 @@ func NewFallibleSession(pool *Pool, learner Learner, sel Selector, fo resilience
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Same pre-seed validation path as Config.Validate: a selector that
+	// declares learner requirements (LearnerChecker) is checked here, so
+	// e.g. LFP/LFN composed with a non-rule learner fails with a typed
+	// *IncompatibleError at construction instead of terminating mid-run
+	// with an inscrutable StopSelectorEmpty.
+	if err := ValidateSelection(learner, sel); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	src := newCountingSource(cfg.Seed)
 	s := &Session{

@@ -1,12 +1,5 @@
 package core
 
-import (
-	"time"
-
-	"github.com/alem/alem/internal/interp"
-	"github.com/alem/alem/internal/tree"
-)
-
 // BlockedForestQBC is the §5 sketch the paper leaves unevaluated:
 // blocking during example selection for tree-based learners. A
 // high-recall blocking DNF is mined from the current forest's own trees
@@ -23,52 +16,18 @@ type BlockedForestQBC struct {
 // Name implements Selector.
 func (BlockedForestQBC) Name() string { return "forest-qbc-blocked" }
 
-// Select implements Selector. It requires a VoteLearner that is a
-// *tree.Forest (the DNF is mined from its trees).
+// Composition returns the selector's Scorer×Picker decomposition.
+func (bf BlockedForestQBC) Composition() ComposedSelector {
+	return ComposedSelector{
+		ID:     bf.Name(),
+		Scorer: BlockedVoteScorer{TargetRecall: bf.TargetRecall},
+		Picker: ShuffledTopPicker{},
+	}
+}
+
+// Select implements Selector. It requires a VoteLearner; when the
+// learner is additionally a *tree.Forest, the blocking DNF is mined
+// from its trees, otherwise scoring degrades to plain learner-aware QBC.
 func (bf BlockedForestQBC) Select(ctx *SelectContext, k int) []int {
-	vl, ok := ctx.Learner.(VoteLearner)
-	if !ok {
-		return nil
-	}
-	forest, ok := ctx.Learner.(*tree.Forest)
-	if !ok {
-		// Any other committee learner: plain learner-aware QBC.
-		return ForestQBC{}.Select(ctx, k)
-	}
-	target := bf.TargetRecall
-	if target <= 0 {
-		target = 0.95
-	}
-	start := time.Now()
-	defer func() { ctx.Score = time.Since(start) }()
-
-	// Mine the blocking DNF on the labeled data.
-	X := make([][]float64, len(ctx.LabeledIdx))
-	for j, i := range ctx.LabeledIdx {
-		X[j] = ctx.Pool.X[i]
-	}
-	dnf := interp.MineBlockingDNF(forest, X, ctx.Labels, target)
-
-	// Prune: only DNF-covered unlabeled examples get scored. The
-	// blocking predicate itself is cheap (a handful of clauses) compared
-	// to voting all trees.
-	candidates := ctx.Unlabeled
-	if len(dnf) > 0 {
-		pruned := make([]int, 0, len(ctx.Unlabeled))
-		for _, i := range ctx.Unlabeled {
-			if interp.EvalDNF(dnf, ctx.Pool.X[i]) {
-				pruned = append(pruned, i)
-			}
-		}
-		// Ambiguous matches live near the positive region the DNF
-		// covers; if pruning left too few candidates, fall back.
-		if len(pruned) >= k {
-			candidates = pruned
-		}
-	}
-	variance, err := voteVariance(ctx, vl, candidates)
-	if err != nil {
-		return nil
-	}
-	return variancePick(ctx.Rand, candidates, variance, k)
+	return bf.Composition().Select(ctx, k)
 }

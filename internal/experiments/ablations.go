@@ -465,3 +465,44 @@ func AblationStability(opts Options) (*Report, error) {
 		"stop churning — §6.2's \"when to terminate\" question, answered cheaply")
 	return r, nil
 }
+
+// AblationDiversity compares pure margin selection against the two
+// diversity-aware Scorer×Picker recombinations (greedy k-center and
+// score-weighted cluster sampling) on linear SVMs over Abt-Buy — the
+// redundant-batch question pool-based AL raises: pure uncertainty spends
+// a batch's labels on near-duplicate pairs straddling the same boundary
+// segment, while a diverse picker covers distinct ambiguous
+// neighborhoods. Selectors come from the central registry, exactly as
+// `almatch -selector` constructs them.
+func AblationDiversity(opts Options) (*Report, error) {
+	pool, d, err := loadPool("abt-buy", floatPool, opts)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:      "ablation-diversity",
+		Title:   "Extension: diversity-aware batch pickers vs pure margin (SVM, Abt-Buy)",
+		Headers: []string{"selector", "best F1", "#labels to converge", "F1 per 100 labels"},
+	}
+	for _, name := range []string{"margin", "kcenter-margin", "cluster-margin"} {
+		sel, err := core.NewSelector(name, core.SelectorParams{Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res := runApproach(opts, pool, svmFactory(opts.Seed), sel, perfectOracle(d), mkCfg(opts))
+		perLabel := 0.0
+		if res.LabelsUsed > 0 {
+			perLabel = res.Curve.BestF1() / float64(res.LabelsUsed) * 100
+		}
+		r.Rows = append(r.Rows, []string{
+			name,
+			fmt.Sprintf("%.3f", res.Curve.BestF1()),
+			fmt.Sprintf("%d", res.Curve.ConvergenceLabels(0.01)),
+			fmt.Sprintf("%.3f", perLabel),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"diverse pickers trade per-example informativeness for batch coverage;",
+		"the win shows up in F1 per label when margin's batches are redundant")
+	return r, nil
+}

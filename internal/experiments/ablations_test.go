@@ -7,10 +7,11 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	want := []string{"ablation-batch", "ablation-blockdims",
-		"ablation-classweight", "ablation-committee", "ablation-features",
-		"ablation-iwal", "ablation-majority", "ablation-nnensemble",
-		"ablation-plugin", "ablation-seedset", "ablation-stability",
-		"ablation-tau", "ablation-treeblock", "ablation-trees", "summary"}
+		"ablation-classweight", "ablation-committee", "ablation-diversity",
+		"ablation-features", "ablation-iwal", "ablation-majority",
+		"ablation-nnensemble", "ablation-plugin", "ablation-seedset",
+		"ablation-stability", "ablation-tau", "ablation-treeblock",
+		"ablation-trees", "summary"}
 	got := AblationIDs()
 	if len(got) != len(want) {
 		t.Fatalf("ablations = %v, want %v", got, want)
@@ -179,5 +180,23 @@ func TestAblationFeaturesAndTreeBlock(t *testing.T) {
 	}
 	if rep, err := AblationIWAL(opts); err != nil || len(rep.Rows) != 4 {
 		t.Errorf("iwal: err=%v rows=%d", err, len(rep.Rows))
+	}
+}
+
+func TestAblationDiversity(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := AblationDiversity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want margin + 2 diversity pickers", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		f1, _ := strconv.ParseFloat(row[1], 64)
+		if f1 <= 0 {
+			t.Errorf("%s: best F1 = %v, want > 0 (selector never picked anything?)", row[0], row[1])
+		}
 	}
 }

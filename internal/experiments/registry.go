@@ -42,6 +42,7 @@ var ablationRegistry = map[string]Driver{
 	"ablation-treeblock":   AblationTreeBlock,
 	"ablation-majority":    AblationMajority,
 	"ablation-classweight": AblationClassWeight,
+	"ablation-diversity":   AblationDiversity,
 	"ablation-nnensemble":  AblationNNEnsemble,
 	"ablation-stability":   AblationStability,
 	"summary":              Summary,

@@ -275,10 +275,35 @@ func (m *Model) SelectLFPLFNCancel(X []feature.Vector, unlabeled []int, k int, c
 	if len(m.rules) == 0 || k <= 0 {
 		return nil
 	}
+	rank, ok := m.RankLFPLFN(X, unlabeled, cancelled)
+	if !ok || len(rank) == 0 {
+		return nil
+	}
+	if k > len(rank) {
+		k = len(rank)
+	}
+	return rank[:k]
+}
+
+// RankLFPLFN returns the FULL LFP/LFN interleaved ranking of the
+// unlabeled pool — every likely false positive and likely false negative
+// in the §4.3 order (LFPs ascending by similarity interleaved with LFNs
+// descending), with no batch cap. The interleaving is prefix-stable:
+// for any k, the first k entries are exactly SelectLFPLFN's batch, which
+// is what lets core express LFP/LFN as a rank-valued informativeness
+// score composable with any deterministic picker. The second result is
+// false iff the cancellation hook (nil-safe, polled every
+// cancelCheckStride examples) fired, distinguishing an abandoned scan
+// from a genuinely empty ranking — the paper's rule-learning
+// early-termination condition.
+func (m *Model) RankLFPLFN(X []feature.Vector, unlabeled []int, cancelled func() bool) ([]int, bool) {
+	if len(m.rules) == 0 {
+		return nil, true
+	}
 	var lfps, lfns []scored
 	for n, i := range unlabeled {
 		if cancelled != nil && n%cancelCheckStride == 0 && cancelled() {
-			return nil
+			return nil, false
 		}
 		x := X[i]
 		if m.Predict(x) {
@@ -295,18 +320,18 @@ func (m *Model) SelectLFPLFNCancel(X []feature.Vector, unlabeled []int, k int, c
 	// descending (most match-like first).
 	sortScored(lfps, true)
 	sortScored(lfns, false)
-	out := make([]int, 0, k)
-	for li, fi := 0, 0; len(out) < k && (li < len(lfps) || fi < len(lfns)); {
+	out := make([]int, 0, len(lfps)+len(lfns))
+	for li, fi := 0, 0; li < len(lfps) || fi < len(lfns); {
 		if li < len(lfps) {
 			out = append(out, lfps[li].idx)
 			li++
 		}
-		if len(out) < k && fi < len(lfns) {
+		if fi < len(lfns) {
 			out = append(out, lfns[fi].idx)
 			fi++
 		}
 	}
-	return out
+	return out, true
 }
 
 func (m *Model) coveredByRuleMinus(x feature.Vector) bool {
