@@ -34,21 +34,25 @@ cover:
 fuzz:
 	GO="$(GO)" sh scripts/fuzz_smoke.sh
 
-# Bit-identity gate for the Scorer×Picker selection framework: every
-# paper selector against its frozen pre-refactor implementation, plus
-# the serial-vs-parallel pins, under the race detector. `race` already
-# covers these; the dedicated target keeps the refactor contract visible
-# and quick to re-run on its own.
+# Bit-identity gates, under the race detector: every paper selector
+# against its frozen pre-refactor implementation plus the
+# serial-vs-parallel pins (internal/core), and the indexed candidate
+# generator against the brute-force blocking reference, including
+# incremental Add and shard-count sweeps (internal/blocking). `race`
+# already covers these; the dedicated target keeps the refactor
+# contracts visible and quick to re-run on their own.
 equiv:
 	$(GO) test -race -count=1 -run 'CompositionEquivalence|SerialParallelEquivalent|WorkerInvariant' ./internal/core/
+	$(GO) test -race -count=1 -run 'IndexEquivalence|BruteForce|HotTokenRecall|ThresholdBoundary' ./internal/blocking/
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
 
-# Serial/parallel selector benchmark pairs → BENCH_4.json (ns/op,
-# allocs/op, and per-path speedup at this machine's GOMAXPROCS).
+# Selector serial/parallel pairs plus blocking naive/indexed pairs →
+# BENCH_7.json (ns/op, allocs/op, per-path speedups at this machine's
+# GOMAXPROCS, and the algorithmic indexed-vs-naive speedup).
 bench-json:
-	GO="$(GO)" sh scripts/bench_json.sh BENCH_4.json
+	GO="$(GO)" sh scripts/bench_json.sh BENCH_7.json
 
 # Seeded fault-injection suite: kill/resume bit-identity, oracle stall
 # termination, panic containment, breaker lifecycle — all replayable

@@ -65,7 +65,43 @@ type (
 	// BlockingResult holds post-blocking candidate pairs and blocking
 	// recall.
 	BlockingResult = blocking.Result
+	// CandidateGenerator is the candidate-generation contract: build an
+	// index over the right table, stream further records in with Add, and
+	// enumerate candidate pairs under a context.
+	CandidateGenerator = blocking.CandidateGenerator
+	// CandidateIndex is the indexed generator: sharded inverted posting
+	// lists with prefix and size filters, built in parallel and
+	// incrementally extendable.
+	CandidateIndex = blocking.CandidateIndex
+	// CandidateIndexOptions sizes a CandidateIndex (threshold, shards,
+	// workers); the zero value takes the dataset's defaults.
+	CandidateIndexOptions = blocking.IndexOptions
+	// CandidateIndexStats reports index shape and the probe → size-filter
+	// → verify → keep funnel.
+	CandidateIndexStats = blocking.IndexStats
 )
+
+// ErrIndexNotBuilt is returned by generator Add/Candidates before Build.
+var ErrIndexNotBuilt = blocking.ErrNotBuilt
+
+// NewCandidateIndex returns an unbuilt candidate index over d; call
+// Build (or GenerateCandidates) before Add or Candidates.
+func NewCandidateIndex(d *Dataset, opts CandidateIndexOptions) *CandidateIndex {
+	return blocking.NewCandidateIndex(d, opts)
+}
+
+// NewNaiveGenerator returns the Cartesian reference generator — the
+// specification CandidateIndex is pinned against, useful for testing
+// custom thresholds.
+func NewNaiveGenerator(d *Dataset, threshold float64) CandidateGenerator {
+	return blocking.NewNaive(d, threshold)
+}
+
+// GenerateCandidates builds gen and enumerates its candidates in one
+// cancellable call.
+func GenerateCandidates(ctx context.Context, gen CandidateGenerator) (*BlockingResult, error) {
+	return blocking.Generate(ctx, gen)
+}
 
 // LoadDataset generates the named dataset profile at the given scale
 // (1.0 ≈ the paper's post-blocking sizes) and seed. Known names:
@@ -91,10 +127,17 @@ func ReadTableCSV(name string, r io.Reader) (*Table, error) {
 }
 
 // Block applies the offline token-Jaccard blocking step at the dataset's
-// profile threshold.
+// profile threshold. The result is bit-identical to the indexed API.
+//
+// Deprecated: Block remains for convenience but cannot be cancelled and
+// exposes no index statistics. New code should use
+// GenerateCandidates(ctx, NewCandidateIndex(d, CandidateIndexOptions{})).
 func Block(d *Dataset) *BlockingResult { return blocking.Block(d) }
 
 // BlockThreshold is Block with an explicit Jaccard threshold.
+//
+// Deprecated: like Block, kept as a one-shot wrapper; use
+// NewCandidateIndex with CandidateIndexOptions.Threshold instead.
 func BlockThreshold(d *Dataset, threshold float64) *BlockingResult {
 	return blocking.BlockThreshold(d, threshold)
 }
@@ -269,6 +312,11 @@ const (
 // NewPool blocks and featurizes a dataset with the standard extractor.
 func NewPool(d *Dataset) *Pool { return core.NewPool(d) }
 
+// NewPoolContext is NewPool with cancellable candidate generation.
+func NewPoolContext(ctx context.Context, d *Dataset) (*Pool, error) {
+	return core.NewPoolContext(ctx, d)
+}
+
 // NewBoolPool blocks and featurizes a dataset with Boolean atoms (rules).
 func NewBoolPool(d *Dataset) *Pool { return core.NewBoolPool(d) }
 
@@ -417,6 +465,11 @@ func WriteTraceSummary(w io.Writer, spans []TraceSpan) { obs.WriteSummary(w, spa
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RegisterBlockingMetrics exposes the process-wide candidate-index
+// counters (builds, adds, postings, filter funnel) on r; the MatchServer
+// registers them on its own /metrics registry automatically.
+func RegisterBlockingMetrics(r *MetricsRegistry) { blocking.RegisterMetrics(r) }
 
 // Learners.
 type (

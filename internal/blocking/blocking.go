@@ -1,9 +1,15 @@
 // Package blocking implements the offline blocking step of the pipeline
 // (§6): out of the Cartesian product of left × right records, keep only
-// pairs whose full-record token sets have Jaccard similarity at or above a
-// dataset-specific threshold (0.1875 / 0.12 / 0.16 in the paper). The
+// pairs whose full-record token sets have Jaccard similarity at or above
+// a dataset-specific threshold (0.1875 / 0.12 / 0.16 in the paper). The
 // survivors are the post-blocking candidate pairs every learner and
 // selector operates on.
+//
+// Candidate generation is served by the CandidateGenerator interface:
+// CandidateIndex (sharded inverted posting lists with prefix and size
+// filters, built in parallel, incrementally extendable with Add) is the
+// production path, Naive is the Cartesian reference it is pinned against.
+// Block and BlockThreshold remain as one-shot convenience wrappers.
 //
 // This is distinct from the *blocking dimensions* optimization of §5.1,
 // which lives in the core package and prunes example scoring, not
@@ -11,14 +17,10 @@
 package blocking
 
 import (
-	"math"
-	"runtime"
-	"sort"
-	"strings"
-	"sync"
+	"context"
+	"fmt"
 
 	"github.com/alem/alem/internal/dataset"
-	"github.com/alem/alem/internal/textsim"
 )
 
 // Result holds the post-blocking candidate pairs of a dataset together
@@ -47,151 +49,20 @@ func (r *Result) Skew(d *dataset.Dataset) float64 {
 }
 
 // Block computes the post-blocking candidate pairs of d at its profile
-// threshold using an inverted token index: only pairs sharing at least one
-// non-stop token are scored, never the full Cartesian product.
+// threshold through an indexed CandidateGenerator. It is a one-shot
+// convenience wrapper; callers that want cancellation, incremental
+// ingest or index statistics should build a CandidateIndex themselves.
 func Block(d *dataset.Dataset) *Result {
 	return BlockThreshold(d, d.BlockThreshold)
 }
 
 // BlockThreshold is Block with an explicit Jaccard threshold.
 func BlockThreshold(d *dataset.Dataset, threshold float64) *Result {
-	// Tokens occurring in a large fraction of records are stop words:
-	// they generate enormous candidate lists while contributing almost
-	// nothing to Jaccard overlap at the thresholds in use.
-	maxDF := len(d.Right.Rows) / 5
-	if maxDF < 50 {
-		maxDF = 50
-	}
-	return blockWithMaxDF(d, threshold, maxDF)
-}
-
-// blockWithMaxDF is the full blocking algorithm with an explicit
-// stop-token cutoff: posting lists longer than maxDF are skipped during
-// candidate generation, then repaired per left record (see the pigeonhole
-// argument inline) so the output is exactly the pairs at or above the
-// threshold that share at least one token — identical to brute force.
-func blockWithMaxDF(d *dataset.Dataset, threshold float64, maxDF int) *Result {
-	tok := textsim.Whitespace{}
-	leftTokens := tokenizeAll(d.Left, tok)
-	rightTokens := tokenizeAll(d.Right, tok)
-
-	// Inverted index over right-record tokens.
-	index := make(map[string][]int32)
-	for ri, toks := range rightTokens {
-		seen := make(map[string]struct{}, len(toks))
-		for _, t := range toks {
-			if _, ok := seen[t]; ok {
-				continue
-			}
-			seen[t] = struct{}{}
-			index[t] = append(index[t], int32(ri))
-		}
-	}
-
-	nWorkers := runtime.GOMAXPROCS(0)
-	perLeft := make([][]dataset.PairKey, len(d.Left.Rows))
-	var wg sync.WaitGroup
-	chunk := (len(d.Left.Rows) + nWorkers - 1) / nWorkers
-	for w := 0; w < nWorkers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(d.Left.Rows) {
-			hi = len(d.Left.Rows)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			cand := make(map[int32]struct{})
-			for li := lo; li < hi; li++ {
-				clear(cand)
-				seen := make(map[string]struct{}, len(leftTokens[li]))
-				var prunedLists [][]int32
-				distinct := 0
-				for _, t := range leftTokens[li] {
-					if _, ok := seen[t]; ok {
-						continue
-					}
-					seen[t] = struct{}{}
-					distinct++
-					post := index[t]
-					if len(post) > maxDF {
-						prunedLists = append(prunedLists, post)
-						continue
-					}
-					for _, ri := range post {
-						cand[ri] = struct{}{}
-					}
-				}
-				// Stop-token recall repair. A right record reachable only
-				// through pruned posting lists shares nothing but stop
-				// tokens with this left record; to reach the threshold it
-				// must share at least need = ceil(threshold · distinct) of
-				// them, because the Jaccard denominator is at least the
-				// left record's distinct-token count. Such a record sits in
-				// at least need of the pruned lists, so by pigeonhole any
-				// len(prunedLists)−need+1 of them — the smallest, to bound
-				// the cost — are guaranteed to surface it. When need
-				// exceeds the pruned-token count no qualifying pair can
-				// exist and nothing extra is scanned, which is the common
-				// case for records with a handful of stop words; without
-				// this step every such pair was silently dropped, capping
-				// recall below the package contract.
-				if need := stopTokenNeed(threshold, distinct); len(prunedLists) >= need {
-					sort.Slice(prunedLists, func(a, b int) bool {
-						return len(prunedLists[a]) < len(prunedLists[b])
-					})
-					for _, post := range prunedLists[:len(prunedLists)-need+1] {
-						for _, ri := range post {
-							cand[ri] = struct{}{}
-						}
-					}
-				}
-				for ri := range cand {
-					if textsim.JaccardTokens(leftTokens[li], rightTokens[ri]) >= threshold {
-						perLeft[li] = append(perLeft[li], dataset.PairKey{L: li, R: int(ri)})
-					}
-				}
-				sort.Slice(perLeft[li], func(a, b int) bool {
-					return perLeft[li][a].R < perLeft[li][b].R
-				})
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	res := &Result{MatchesTotal: d.NumMatches()}
-	for _, ps := range perLeft {
-		res.Pairs = append(res.Pairs, ps...)
-	}
-	for _, p := range res.Pairs {
-		if d.IsMatch(p) {
-			res.MatchesKept++
-		}
+	res, err := Generate(context.Background(), NewCandidateIndex(d, IndexOptions{Threshold: threshold}))
+	if err != nil {
+		// Unreachable: Build and Candidates fail only through context
+		// cancellation, and the background context never cancels.
+		panic(fmt.Sprintf("blocking: uncancellable generation failed: %v", err))
 	}
 	return res
-}
-
-// stopTokenNeed is the minimum number of shared tokens a pair must have
-// to reach the threshold against a left record with the given
-// distinct-token count: ceil(threshold · distinct), floored at one (a
-// pair sharing no token at all is invisible to any inverted index; the
-// thresholds in use are strictly positive, so such pairs are below
-// threshold anyway).
-func stopTokenNeed(threshold float64, distinct int) int {
-	need := int(math.Ceil(threshold * float64(distinct)))
-	if need < 1 {
-		need = 1
-	}
-	return need
-}
-
-// tokenizeAll tokenizes the concatenated attribute values of every record.
-func tokenizeAll(t *dataset.Table, tok textsim.Tokenizer) [][]string {
-	out := make([][]string, len(t.Rows))
-	for i, r := range t.Rows {
-		out[i] = tok.Tokens(strings.Join(r.Values, " "))
-	}
-	return out
 }

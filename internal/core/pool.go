@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"github.com/alem/alem/internal/blocking"
 	"github.com/alem/alem/internal/dataset"
 	"github.com/alem/alem/internal/feature"
@@ -16,18 +19,43 @@ type Pool struct {
 	Truth []bool
 }
 
+// blockCandidates runs the dataset through the indexed candidate
+// generator under ctx.
+func blockCandidates(ctx context.Context, d *dataset.Dataset) (*blocking.Result, error) {
+	return blocking.Generate(ctx, blocking.NewCandidateIndex(d, blocking.IndexOptions{}))
+}
+
+// mustBlock is blockCandidates for the non-context constructors: under
+// the background context generation cannot fail, so an error is a bug.
+func mustBlock(d *dataset.Dataset) *blocking.Result {
+	res, err := blockCandidates(context.Background(), d)
+	if err != nil {
+		panic(fmt.Sprintf("core: uncancellable blocking failed: %v", err))
+	}
+	return res
+}
+
 // NewPool blocks the dataset and featurizes the surviving candidate pairs
 // with the standard 21-metric extractor.
 func NewPool(d *dataset.Dataset) *Pool {
-	res := blocking.Block(d)
-	ext := feature.NewExtractor(d.Left.Schema)
-	return poolFrom(d, res.Pairs, ext.ExtractPairs(d, res.Pairs))
+	res := mustBlock(d)
+	return poolFrom(d, res.Pairs, feature.NewExtractor(d.Left.Schema).ExtractPairs(d, res.Pairs))
+}
+
+// NewPoolContext is NewPool with cancellable candidate generation; it
+// returns the context's error if blocking is cut short.
+func NewPoolContext(ctx context.Context, d *dataset.Dataset) (*Pool, error) {
+	res, err := blockCandidates(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return poolFrom(d, res.Pairs, feature.NewExtractor(d.Left.Schema).ExtractPairs(d, res.Pairs)), nil
 }
 
 // NewBoolPool is NewPool for the rule learner: Boolean atoms encoded as
 // 0/1 float vectors.
 func NewBoolPool(d *dataset.Dataset) *Pool {
-	res := blocking.Block(d)
+	res := mustBlock(d)
 	ext := feature.NewBoolExtractor(d.Left.Schema)
 	bits := ext.ExtractPairs(d, res.Pairs)
 	X := make([]feature.Vector, len(bits))
@@ -47,7 +75,7 @@ func NewBoolPool(d *dataset.Dataset) *Pool {
 // (standard 21 plus TF-IDF cosine, SoftTFIDF, numeric similarity and
 // generalized Jaccard, weighted over the dataset's own corpus).
 func NewExtendedPool(d *dataset.Dataset) *Pool {
-	res := blocking.Block(d)
+	res := mustBlock(d)
 	ext := feature.NewExtendedExtractor(d.Left.Schema, feature.CorpusOf(d))
 	return poolFrom(d, res.Pairs, ext.ExtractPairs(d, res.Pairs))
 }

@@ -6,6 +6,7 @@
 package diag
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -29,6 +30,9 @@ type Report struct {
 	// ten [0,1] bins.
 	MatchHist    [10]int
 	NonMatchHist [10]int
+	// Index is the candidate-index shape and filter funnel of the
+	// blocking pass that produced the pairs above.
+	Index blocking.IndexStats
 }
 
 // AttrStats is one attribute's class-conditional mean similarity.
@@ -42,7 +46,13 @@ type AttrStats struct {
 
 // Analyze blocks and featurizes the dataset, then computes the report.
 func Analyze(d *dataset.Dataset) *Report {
-	res := blocking.Block(d)
+	idx := blocking.NewCandidateIndex(d, blocking.IndexOptions{})
+	res, err := blocking.Generate(context.Background(), idx)
+	if err != nil {
+		// Unreachable: generation fails only by cancellation and the
+		// background context never cancels.
+		panic(fmt.Sprintf("diag: uncancellable blocking failed: %v", err))
+	}
 	ext := feature.NewExtractor(d.Left.Schema)
 	X := ext.ExtractPairs(d, res.Pairs)
 
@@ -52,6 +62,7 @@ func Analyze(d *dataset.Dataset) *Report {
 		Skew:              res.Skew(d),
 		MatchesKept:       res.MatchesKept,
 		MatchesTotal:      res.MatchesTotal,
+		Index:             idx.Stats(),
 	}
 	nAttrs := len(d.Left.Schema)
 	perAttr := 0
@@ -134,6 +145,9 @@ func (r *Report) Separation() float64 {
 func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "dataset %s: %d post-blocking pairs, skew %.3f, matches kept %d/%d\n",
 		r.Dataset, r.PostBlockingPairs, r.Skew, r.MatchesKept, r.MatchesTotal)
+	fmt.Fprintf(w, "candidate index: %d tokens, %d postings in %d shards; probed %d, size-filtered %d, verified %d, kept %d\n",
+		r.Index.Tokens, r.Index.Postings, r.Index.Shards,
+		r.Index.Probed, r.Index.SizeSkipped, r.Index.Verified, r.Index.Kept)
 	fmt.Fprintf(w, "class separation %.3f (match-mean minus non-match-mean similarity)\n\n", r.Separation())
 	fmt.Fprintf(w, "%-20s %11s %14s %11s %11s\n", "attribute", "match mean", "non-match mean", "null left", "null right")
 	for _, a := range r.AttrSeparation {

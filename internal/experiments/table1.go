@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,7 +27,11 @@ func Table1(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := blocking.Block(d)
+		res, err := blocking.Generate(context.Background(),
+			blocking.NewCandidateIndex(d, blocking.IndexOptions{}))
+		if err != nil {
+			return nil, err
+		}
 		r.Rows = append(r.Rows, []string{
 			p.Name,
 			fmt.Sprintf("%d", len(p.Paper.MatchedColumns)),

@@ -152,8 +152,11 @@ func (m *Matcher) Match(ctx context.Context, left, right *dataset.Table) ([]Pair
 	}
 
 	d := dataset.NewDataset("match", left, right, nil, m.BlockThreshold)
-	res := blocking.Block(d)
-	if err := ctx.Err(); err != nil {
+	// Candidate generation is the heaviest pre-scoring stage, so it runs
+	// under the caller's context: a cancelled request aborts mid-build
+	// instead of after the full index pass.
+	res, err := blocking.Generate(ctx, blocking.NewCandidateIndex(d, blocking.IndexOptions{}))
+	if err != nil {
 		return nil, 0, err
 	}
 

@@ -60,7 +60,11 @@ func TestMatcherOnFreshTables(t *testing.T) {
 	for _, p := range pairs {
 		pred[ids(p)] = true
 	}
-	res := blocking.Block(fresh)
+	res, err := blocking.Generate(context.Background(),
+		blocking.NewCandidateIndex(fresh, blocking.IndexOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	tp, fp, fn := 0, 0, 0
 	for _, pk := range res.Pairs {
 		pair := [2]string{fresh.Left.Rows[pk.L].ID, fresh.Right.Rows[pk.R].ID}
@@ -128,7 +132,11 @@ func TestMatcherExtendedFeatures(t *testing.T) {
 	}
 	corpus := feature.CorpusOf(d)
 	ext := feature.NewExtendedExtractor(d.Left.Schema, corpus)
-	res := blocking.Block(d)
+	res, err := blocking.Generate(context.Background(),
+		blocking.NewCandidateIndex(d, blocking.IndexOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	X := ext.ExtractPairs(d, res.Pairs)
 	y := make([]bool, len(X))
 	for i, p := range res.Pairs {
@@ -227,7 +235,11 @@ func TestMatcherBoolFeaturesWithRules(t *testing.T) {
 	}
 	// Spot-check precision against fresh truth.
 	truthByID := map[[2]string]bool{}
-	res := blocking.Block(fresh)
+	res, err := blocking.Generate(context.Background(),
+		blocking.NewCandidateIndex(fresh, blocking.IndexOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, pk := range res.Pairs {
 		truthByID[[2]string{fresh.Left.Rows[pk.L].ID, fresh.Right.Rows[pk.R].ID}] = fresh.IsMatch(pk)
 	}

@@ -40,7 +40,11 @@ func beerFixture(t *testing.T) *fixture {
 		if err != nil {
 			panic(err)
 		}
-		res := blocking.Block(d)
+		res, err := blocking.Generate(context.Background(),
+			blocking.NewCandidateIndex(d, blocking.IndexOptions{}))
+		if err != nil {
+			panic(err)
+		}
 		ext := feature.NewExtractor(d.Left.Schema)
 		X := ext.ExtractPairs(d, res.Pairs)
 		bext := feature.NewBoolExtractor(d.Left.Schema)

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"github.com/alem/alem/internal/blocking"
 	"github.com/alem/alem/internal/obs"
 )
 
@@ -52,6 +53,10 @@ func newMetrics() *metrics {
 	reg.GaugeFunc("alem_http_in_flight_requests",
 		"Requests currently being served.",
 		func() float64 { return float64(m.inFlight.Load()) })
+	// The match path runs candidate generation per request; expose the
+	// process-wide index build/ingest and filter-funnel counters on the
+	// same scrape.
+	blocking.RegisterMetrics(reg)
 	return m
 }
 

@@ -37,7 +37,11 @@ func beerArtifact(t *testing.T) (*model.Artifact, []feature.Vector) {
 		if err != nil {
 			panic(err)
 		}
-		res := blocking.Block(d)
+		res, err := blocking.Generate(context.Background(),
+			blocking.NewCandidateIndex(d, blocking.IndexOptions{}))
+		if err != nil {
+			panic(err)
+		}
 		ext := feature.NewExtractor(d.Left.Schema)
 		X := ext.ExtractPairs(d, res.Pairs)
 		y := make([]bool, len(res.Pairs))
@@ -491,6 +495,13 @@ func TestMetricsNamesStable(t *testing.T) {
 		"# TYPE alem_score_batch_reuse_rate gauge",
 		"# TYPE alem_matcher_extractor_reuse_hits_total counter",
 		"# TYPE alem_matcher_extractor_reuse_misses_total counter",
+		"# TYPE alem_blocking_index_builds_total counter",
+		"# TYPE alem_blocking_index_adds_total counter",
+		"# TYPE alem_blocking_index_postings_total counter",
+		"# TYPE alem_blocking_candidates_probed_total counter",
+		"# TYPE alem_blocking_size_filter_skipped_total counter",
+		"# TYPE alem_blocking_pairs_verified_total counter",
+		"# TYPE alem_blocking_pairs_kept_total counter",
 	} {
 		if !strings.Contains(body, typeLine+"\n") {
 			t.Errorf("metrics output missing %q", typeLine)

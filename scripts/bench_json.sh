@@ -1,16 +1,20 @@
 #!/bin/sh
-# bench_json.sh — run the serial/parallel selector benchmarks and emit a
-# machine-readable summary.
+# bench_json.sh — run the serial/parallel selector benchmarks and the
+# blocking index benchmarks, and emit a machine-readable summary.
 #
 # Usage: sh scripts/bench_json.sh [OUT.json]
 #
-# Runs the paired benchmarks in internal/core with -benchmem, parses the
-# standard `go test -bench` output with awk, and writes one JSON document
-# containing every benchmark's ns/op, B/op and allocs/op plus a
-# "speedups" section pairing each <name>/serial with its <name>/parallel
-# counterpart (speedup = serial ns / parallel ns). GOMAXPROCS is
-# recorded alongside: the parallel variants use every CPU the machine
-# offers, so the ratio is only meaningful relative to that count (on a
+# Runs the paired benchmarks in internal/core and internal/blocking with
+# -benchmem, parses the standard `go test -bench` output with awk, and
+# writes one JSON document containing every benchmark's ns/op, B/op and
+# allocs/op plus two speedup sections: "speedups" pairing each
+# <name>/serial with its <name>/parallel counterpart (speedup = serial
+# ns / parallel ns), and "indexed_speedups" pairing each <name>/naive
+# with its <name>/indexed counterpart (speedup = naive ns / indexed ns —
+# the algorithmic win of the inverted candidate index over the Cartesian
+# scan, independent of CPU count). GOMAXPROCS is recorded alongside: the
+# parallel variants use every CPU the machine offers, so the
+# serial/parallel ratio is only meaningful relative to that count (on a
 # single-CPU machine it is ~1.0 by construction).
 #
 # Environment:
@@ -19,7 +23,7 @@
 
 set -eu
 
-OUT="${1:-BENCH_4.json}"
+OUT="${1:-BENCH_7.json}"
 GO="${GO:-go}"
 BENCHTIME="${BENCHTIME:-10x}"
 
@@ -29,7 +33,9 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 "$GO" test -run '^$' -bench 'Select|ParallelPredict' -benchmem \
-    -benchtime "$BENCHTIME" ./internal/core/ | tee "$RAW" >&2
+    -benchtime "$BENCHTIME" ./internal/core/ | tee -a "$RAW" >&2
+"$GO" test -run '^$' -bench 'IndexBuild|Candidates|BlockPairs' -benchmem \
+    -benchtime "$BENCHTIME" ./internal/blocking/ | tee -a "$RAW" >&2
 
 # The -<n> suffix go attaches to each benchmark name is GOMAXPROCS.
 awk '
@@ -74,6 +80,16 @@ END {
             printf "bench_json: %s has no /serial counterpart\n", name > "/dev/stderr"
             bad = 1
         }
+        base = name
+        if (sub(/\/naive$/, "", base) && !((base "/indexed") in nsByName)) {
+            printf "bench_json: %s has no /indexed counterpart\n", name > "/dev/stderr"
+            bad = 1
+        }
+        base = name
+        if (sub(/\/indexed$/, "", base) && !((base "/naive") in nsByName)) {
+            printf "bench_json: %s has no /naive counterpart\n", name > "/dev/stderr"
+            bad = 1
+        }
     }
     if (bad) exit 1
     if (gomaxprocs == "") gomaxprocs = 1
@@ -97,6 +113,19 @@ END {
                              base, nsByName[name], nsByName[par], nsByName[name] / nsByName[par])
     }
     for (i = 1; i <= m; i++) printf "%s%s\n", pairs[i], (i < m ? "," : "")
+    printf "  ],\n  \"indexed_speedups\": [\n"
+    m = 0
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        if (name !~ /\/naive$/) continue
+        base = name
+        sub(/\/naive$/, "", base)
+        idx = base "/indexed"
+        if (!(idx in nsByName)) continue
+        ipairs[++m] = sprintf("    {\"name\": \"%s\", \"naive_ns\": %s, \"indexed_ns\": %s, \"speedup\": %.3f}",
+                              base, nsByName[name], nsByName[idx], nsByName[name] / nsByName[idx])
+    }
+    for (i = 1; i <= m; i++) printf "%s%s\n", ipairs[i], (i < m ? "," : "")
     printf "  ]\n}\n"
 }' "$RAW" > "$OUT"
 
