@@ -55,13 +55,15 @@ bench-json:
 	GO="$(GO)" sh scripts/bench_json.sh BENCH_7.json
 
 # Seeded fault-injection suite: kill/resume bit-identity, oracle stall
-# termination, panic containment, breaker lifecycle — all replayable
-# because every fault pattern is a pure function of its seed.
+# termination, panic containment, breaker lifecycle, hot model swaps
+# under load, corrupt-artifact swap rejection, per-tenant admission
+# isolation — all deterministic (seeded faults, gated learners).
 chaos:
 	$(GO) test -race -run Chaos ./...
 
-# End-to-end train → save → serve loop: builds almatch + almserve,
-# trains a small model, serves it on a random port, hits /healthz and
-# /v1/match, and asserts SIGTERM drains cleanly.
+# End-to-end train → save → serve → hot-swap loop: builds almatch +
+# almserve + almload, trains two small models, serves one on a random
+# port, hits /healthz and /v1/match, swaps to the second mid-traffic
+# asserting zero non-2xx, and asserts SIGTERM drains cleanly.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh

@@ -598,10 +598,20 @@ type (
 
 	// MatchServer serves a ModelArtifact over HTTP: POST /v1/match,
 	// POST /v1/score (batched through a bounded worker pool),
-	// GET /healthz, GET /metrics. See cmd/almserve.
+	// GET /v1/models, GET /healthz, GET /metrics. See cmd/almserve.
 	MatchServer = serve.Server
-	// MatchServerConfig sizes a MatchServer (workers, batching, timeouts).
+	// MatchServerConfig sizes a MatchServer (workers, batching, timeouts,
+	// per-tenant admission, registry admin routes).
 	MatchServerConfig = serve.Config
+
+	// ModelRegistry is the server's versioned model store: Publish
+	// validates a new version, Activate flips the default alias with one
+	// atomic pointer store (zero dropped requests), Remove drains a
+	// retired version on its own pool. Reach it via (*MatchServer).Models.
+	ModelRegistry = serve.Registry
+	// RegistryModelInfo is one registry entry's public state, as served
+	// by GET /v1/models and embedded per model in /healthz.
+	RegistryModelInfo = serve.ModelInfo
 
 	// ServeRequestDone is emitted on the event stream per HTTP request.
 	ServeRequestDone = serve.RequestDone
@@ -611,6 +621,33 @@ type (
 	ServeDrainStart = serve.DrainStart
 	// ServeStop is emitted when shutdown completes.
 	ServeStop = serve.ServerStop
+	// ServeModelPublished is emitted when a model version is published.
+	ServeModelPublished = serve.ModelPublished
+	// ServeModelActivated is emitted when the default alias flips.
+	ServeModelActivated = serve.ModelActivated
+	// ServeModelSwapFailed is emitted when a publish is rejected; the
+	// serving version is untouched and /healthz turns degraded.
+	ServeModelSwapFailed = serve.ModelSwapFailed
+)
+
+// BootModelVersion is the version id NewMatchServer (and almserve's
+// -model flag) publishes its boot artifact under.
+const BootModelVersion = serve.BootVersion
+
+// Registry errors, re-exported for errors.Is against admin API results.
+var (
+	// ErrModelSwapRejected wraps every failed publish: the artifact did
+	// not validate or the version id was unusable; nothing was applied.
+	ErrModelSwapRejected = serve.ErrSwapRejected
+	// ErrNoActiveModel: the registry holds no activated version.
+	ErrNoActiveModel = serve.ErrNoActiveModel
+	// ErrUnknownModelVersion: a request named a version id the registry
+	// does not hold.
+	ErrUnknownModelVersion = serve.ErrUnknownModel
+	// ErrInvalidModelArtifact is the model loader's typed rejection for
+	// truncated, garbage, or drifted artifacts; it rides inside
+	// ErrModelSwapRejected chains.
+	ErrInvalidModelArtifact = model.ErrInvalidArtifact
 )
 
 // NewMatchServer builds an HTTP matching service over a loaded artifact.
@@ -618,6 +655,15 @@ type (
 // through the same stream Session uses.
 func NewMatchServer(art *ModelArtifact, cfg MatchServerConfig, observers ...Observer) *MatchServer {
 	return serve.New(art, cfg, observers...)
+}
+
+// NewMultiModelServer builds an HTTP matching service with an empty
+// model registry: publish versions through (*MatchServer).Models (or the
+// admin POST /v1/models route when cfg.EnableAdmin is set) and activate
+// one to start serving. Until then model routes answer 503 and /healthz
+// reports degraded.
+func NewMultiModelServer(cfg MatchServerConfig, observers ...Observer) *MatchServer {
+	return serve.NewMulti(cfg, observers...)
 }
 
 // Oracles.
@@ -677,6 +723,12 @@ type (
 	CircuitBreaker = resilience.Breaker
 	// CircuitBreakerConfig sizes a CircuitBreaker.
 	CircuitBreakerConfig = resilience.BreakerConfig
+	// TokenBucket is a burst-then-steady-rate admission limiter; its
+	// Allow also reports how long a denied caller should back off.
+	TokenBucket = resilience.TokenBucket
+	// TenantLimiter keys TokenBuckets by tenant id with a bounded table
+	// (stalest-evicted); MatchServer runs one when TenantRate is set.
+	TenantLimiter = resilience.TenantLimiter
 )
 
 // Resilience errors.
@@ -712,6 +764,18 @@ func NewFaultyOracle(inner FallibleOracle, cfg FaultConfig, seed int64) *FaultyO
 // own; this is for callers guarding other dependencies).
 func NewCircuitBreaker(cfg CircuitBreakerConfig) *CircuitBreaker {
 	return resilience.NewBreaker(cfg)
+}
+
+// NewTokenBucket builds a standalone rate limiter admitting `rate`
+// calls per second after an initial burst of `burst`.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	return resilience.NewTokenBucket(rate, burst, nil)
+}
+
+// NewTenantLimiter builds a per-tenant admission table; each tenant id
+// gets its own TokenBucket (burst <= 0 defaults to twice the rate).
+func NewTenantLimiter(rate float64, burst int) *TenantLimiter {
+	return resilience.NewTenantLimiter(rate, burst, nil)
 }
 
 // OpenLabelWAL opens (or creates) a label write-ahead log, replaying

@@ -103,7 +103,10 @@ func BenchmarkBlocking(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		alem.Block(d)
+		idx := alem.NewCandidateIndex(d, alem.CandidateIndexOptions{})
+		if _, err := alem.GenerateCandidates(context.Background(), idx); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -112,7 +115,11 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res := alem.Block(d)
+	res, err := alem.GenerateCandidates(context.Background(),
+		alem.NewCandidateIndex(d, alem.CandidateIndexOptions{}))
+	if err != nil {
+		b.Fatal(err)
+	}
 	ext := alem.NewFeatureExtractor(d.Left.Schema)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

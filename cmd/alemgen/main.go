@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,7 +50,12 @@ func main() {
 		fmt.Printf("%-16s %6d left rows  %6d right rows  %7d matches  -> %s\n",
 			n, len(d.Left.Rows), len(d.Right.Rows), d.NumMatches(), dir)
 		if *doBlock {
-			res := alem.Block(d)
+			idx := alem.NewCandidateIndex(d, alem.CandidateIndexOptions{})
+			res, err := alem.GenerateCandidates(context.Background(), idx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "alemgen: %v\n", err)
+				os.Exit(1)
+			}
 			fmt.Printf("%-16s %7d post-blocking pairs, skew %.3f, matches kept %d/%d\n",
 				"", len(res.Pairs), res.Skew(d), res.MatchesKept, res.MatchesTotal)
 		}

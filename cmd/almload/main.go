@@ -1,0 +1,381 @@
+// Command almload drives synthetic traffic at a running almserve and
+// reports what both sides saw: client-side status counts and latency
+// percentiles, and the server-side /metrics delta over the run (request
+// counts, sheds, batching efficiency). It is the load half of the
+// serving chaos story — `make serve-smoke` uses it to prove a hot model
+// swap under sustained traffic loses zero requests.
+//
+//	almload -addr http://127.0.0.1:8080 -qps 200 -duration 10s \
+//	        -concurrency 8 -tenants alpha,beta,beta
+//
+// The vector dimensionality is discovered from the server's /healthz,
+// so the same invocation works against any published model. Requests
+// carry tenants round-robin from -tenants (empty = anonymous traffic);
+// -model pins every request to an explicit version id instead of the
+// default alias. The summary line is machine-greppable:
+//
+//	almload: sent=2000 ok=2000 non2xx=0 ...
+//
+// and -fail-non2xx turns any non-2xx answer into a non-zero exit code
+// for use in CI gates.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the almserve instance")
+		qps      = flag.Float64("qps", 200, "target request rate (0 = unpaced, as fast as -concurrency allows)")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive traffic")
+		conc     = flag.Int("concurrency", 8, "concurrent request workers")
+		vectors  = flag.Int("vectors", 16, "feature vectors per /v1/score request")
+		tenants  = flag.String("tenants", "", "comma-separated tenant mix, assigned round-robin (empty = anonymous)")
+		modelID  = flag.String("model", "", "pin requests to this model version instead of the default alias")
+		seed     = flag.Int64("seed", 1, "RNG seed for the synthetic feature vectors")
+		failHard = flag.Bool("fail-non2xx", false, "exit non-zero if any request is answered outside 2xx")
+	)
+	flag.Parse()
+
+	cfg := loadConfig{
+		addr: strings.TrimRight(*addr, "/"), qps: *qps, duration: *duration,
+		concurrency: *conc, vectors: *vectors, modelID: *modelID, seed: *seed,
+	}
+	if *tenants != "" {
+		cfg.tenants = strings.Split(*tenants, ",")
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "almload: %v\n", err)
+		os.Exit(1)
+	}
+	rep.print(os.Stdout)
+	if *failHard && rep.non2xx() > 0 {
+		fmt.Fprintf(os.Stderr, "almload: %d non-2xx response(s) with -fail-non2xx set\n", rep.non2xx())
+		os.Exit(1)
+	}
+}
+
+type loadConfig struct {
+	addr        string
+	qps         float64
+	duration    time.Duration
+	concurrency int
+	vectors     int
+	tenants     []string
+	modelID     string
+	seed        int64
+}
+
+// report aggregates both views of the run: what the clients measured
+// and how the server's counters moved while we were driving it.
+type report struct {
+	sent      int
+	statuses  map[int]int
+	errors    int
+	elapsed   time.Duration
+	latencies []time.Duration
+	metrics   map[string]float64 // server-side /metrics delta
+}
+
+func (r *report) non2xx() int {
+	n := r.errors
+	for code, c := range r.statuses {
+		if code < 200 || code > 299 {
+			n += c
+		}
+	}
+	return n
+}
+
+func (r *report) percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(r.latencies)-1))
+	return r.latencies[i]
+}
+
+func (r *report) print(w io.Writer) {
+	ok := 0
+	for code, c := range r.statuses {
+		if code >= 200 && code <= 299 {
+			ok += c
+		}
+	}
+	fmt.Fprintf(w, "almload: sent=%d ok=%d non2xx=%d errors=%d qps=%.1f p50=%s p95=%s p99=%s max=%s\n",
+		r.sent, ok, r.non2xx(), r.errors, float64(r.sent)/r.elapsed.Seconds(),
+		r.percentile(0.50).Round(time.Microsecond), r.percentile(0.95).Round(time.Microsecond),
+		r.percentile(0.99).Round(time.Microsecond), r.percentile(1.0).Round(time.Microsecond))
+
+	codes := make([]int, 0, len(r.statuses))
+	for code := range r.statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(w, "almload: status %d ×%d\n", code, r.statuses[code])
+	}
+	if len(r.metrics) > 0 {
+		keys := make([]string, 0, len(r.metrics))
+		for k := range r.metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "almload: server-side deltas over the run (/metrics):")
+		for _, k := range keys {
+			fmt.Fprintf(w, "almload:   %-55s %+g\n", k, r.metrics[k])
+		}
+	}
+}
+
+func run(cfg loadConfig) (*report, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	dim, err := discoverDim(ctx, client, cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	before, err := scrapeMetrics(ctx, client, cfg.addr)
+	if err != nil {
+		return nil, fmt.Errorf("scraping /metrics before the run: %w", err)
+	}
+
+	// Pre-build one request body per worker so the hot loop allocates
+	// nothing but the HTTP request itself.
+	bodies := make([][]byte, cfg.concurrency)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	for i := range bodies {
+		vecs := make([][]float64, cfg.vectors)
+		for j := range vecs {
+			v := make([]float64, dim)
+			for k := range v {
+				v[k] = rng.Float64()
+			}
+			vecs[j] = v
+		}
+		raw, err := json.Marshal(struct {
+			Vectors [][]float64 `json:"vectors"`
+		}{vecs})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = raw
+	}
+
+	// Pacing: one pacer goroutine feeds a token channel at the target
+	// rate; workers block on it. qps <= 0 closes the loop to "as fast as
+	// the workers go".
+	var ticks chan struct{}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+	if cfg.qps > 0 {
+		ticks = make(chan struct{}, cfg.concurrency)
+		interval := time.Duration(float64(time.Second) / cfg.qps)
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					close(ticks)
+					return
+				case <-tick.C:
+					select {
+					case ticks <- struct{}{}:
+					default: // workers saturated; drop the token rather than queue debt
+					}
+				}
+			}
+		}()
+	}
+
+	rep := &report{statuses: make(map[int]int)}
+	var mu sync.Mutex
+	var next int64 // round-robin tenant cursor
+	var nextMu sync.Mutex
+	tenantFor := func() string {
+		if len(cfg.tenants) == 0 {
+			return ""
+		}
+		nextMu.Lock()
+		t := cfg.tenants[int(next)%len(cfg.tenants)]
+		next++
+		nextMu.Unlock()
+		return t
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.concurrency; i++ {
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			for {
+				if ticks != nil {
+					if _, ok := <-ticks; !ok {
+						return
+					}
+				} else if runCtx.Err() != nil {
+					return
+				}
+				status, lat, err := scoreOnce(runCtx, client, cfg, body, tenantFor())
+				if runCtx.Err() != nil && status == 0 {
+					return // shutdown race, not a server failure
+				}
+				mu.Lock()
+				rep.sent++
+				if err != nil {
+					rep.errors++
+				} else {
+					rep.statuses[status]++
+					rep.latencies = append(rep.latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}(bodies[i])
+	}
+	wg.Wait()
+	rep.elapsed = time.Since(start)
+	sort.Slice(rep.latencies, func(i, j int) bool { return rep.latencies[i] < rep.latencies[j] })
+
+	after, err := scrapeMetrics(ctx, client, cfg.addr)
+	if err != nil {
+		return nil, fmt.Errorf("scraping /metrics after the run: %w", err)
+	}
+	rep.metrics = diffMetrics(before, after)
+	return rep, nil
+}
+
+func scoreOnce(ctx context.Context, client *http.Client, cfg loadConfig, body []byte, tenant string) (int, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.addr+"/v1/score", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Alem-Tenant", tenant)
+	}
+	if cfg.modelID != "" {
+		req.Header.Set("X-Alem-Model", cfg.modelID)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, time.Since(start), nil
+}
+
+// discoverDim reads the active model's vector dimensionality from
+// /healthz so the generated load matches whatever is being served.
+func discoverDim(ctx context.Context, client *http.Client, addr string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("reaching %s/healthz: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status string  `json:"status"`
+		Dim    float64 `json:"dim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return 0, fmt.Errorf("decoding /healthz: %w", err)
+	}
+	if health.Dim < 1 {
+		return 0, fmt.Errorf("server reports no active model (status %q); publish and activate one first", health.Status)
+	}
+	return int(health.Dim), nil
+}
+
+// scrapeMetrics parses the server's Prometheus text exposition into a
+// flat map keyed by metric name plus label set. Only numeric samples
+// are kept; comment and type lines are skipped.
+func scrapeMetrics(ctx context.Context, client *http.Client, addr string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			continue
+		}
+		val, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:cut]] = val
+	}
+	return out, nil
+}
+
+// diffMetrics reports after-minus-before for the counters that tell the
+// run's story; gauges and histogram buckets are left out of the report.
+func diffMetrics(before, after map[string]float64) map[string]float64 {
+	interesting := func(name string) bool {
+		switch {
+		case strings.HasPrefix(name, "alem_http_requests_total"),
+			strings.HasPrefix(name, "alem_http_requests_shed_total"),
+			strings.HasPrefix(name, "alem_http_requests_tenant_limited_total"),
+			strings.HasPrefix(name, "alem_http_requests_rejected_total"),
+			strings.HasPrefix(name, "alem_http_request_timeouts_total"),
+			strings.HasPrefix(name, "alem_score_requests_total"),
+			strings.HasPrefix(name, "alem_score_batches_total"),
+			strings.HasPrefix(name, "alem_score_vectors_total"),
+			strings.HasPrefix(name, "alem_model_swaps_total"),
+			strings.HasPrefix(name, "alem_model_swap_failures_total"),
+			strings.HasPrefix(name, "alem_breaker_opens_total"):
+			return true
+		}
+		return false
+	}
+	out := make(map[string]float64)
+	for name, now := range after {
+		if !interesting(name) {
+			continue
+		}
+		if d := now - before[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,7 +52,13 @@ L4,R4
 		len(d.Left.Rows), len(d.Right.Rows), d.NumMatches())
 
 	// Blocking prunes the obvious non-matches from the 25-pair product.
-	res := alem.Block(d)
+	// The indexed generator only touches pairs surfaced by posting-list
+	// probes and is cancellable mid-build.
+	idx := alem.NewCandidateIndex(d, alem.CandidateIndexOptions{})
+	res, err := alem.GenerateCandidates(context.Background(), idx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("blocking: %d of %d pairs survive\n", len(res.Pairs), d.TotalPairs())
 
 	// Featurize one pair to see what the learners consume.

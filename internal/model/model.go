@@ -15,6 +15,7 @@ package model
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -35,6 +36,21 @@ const Format = "alem-model"
 // Version is the current envelope version. Loaders reject versions they
 // do not know rather than guess.
 const Version = 1
+
+// ErrInvalidArtifact is the sentinel every Load failure wraps: a
+// truncated file, garbage bytes, an unknown version, a drifted metric
+// set — anything that means the bytes do not yield a usable model.
+// Callers swapping models at runtime branch on it with errors.Is to
+// tell "this artifact is bad, keep serving the old one" apart from I/O
+// plumbing errors, and Load never returns a partially-applied Artifact
+// alongside it.
+var ErrInvalidArtifact = errors.New("invalid model artifact")
+
+// invalidf builds a Load rejection: the formatted reason, wrapping
+// ErrInvalidArtifact so errors.Is works across every rejection path.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("model: %w: %s", ErrInvalidArtifact, fmt.Sprintf(format, args...))
+}
 
 // Kind identifies the learner family inside an artifact. Values match
 // the learners' Name() methods.
@@ -118,7 +134,7 @@ func Save(w io.Writer, l core.Learner, meta Meta) error {
 	}
 	dim, metrics, err := pipelineInfo(meta)
 	if err != nil {
-		return err
+		return fmt.Errorf("model: %w", err)
 	}
 	if err := match.ValidateDim(l, dim); err != nil {
 		return fmt.Errorf("model: %w", err)
@@ -176,23 +192,23 @@ func Save(w io.Writer, l core.Learner, meta Meta) error {
 func Load(r io.Reader) (*Artifact, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("model: decoding artifact: %w", err)
+		return nil, invalidf("decoding artifact: %v", err)
 	}
 	if env.Format != Format {
-		return nil, fmt.Errorf("model: not a model artifact (format %q, want %q); legacy single-learner files load via the deprecated Load* helpers", env.Format, Format)
+		return nil, invalidf("not a model artifact (format %q, want %q); legacy single-learner files load via the deprecated Load* helpers", env.Format, Format)
 	}
 	if env.Version != Version {
-		return nil, fmt.Errorf("model: unsupported artifact version %d (this build reads %d)", env.Version, Version)
+		return nil, invalidf("unsupported artifact version %d (this build reads %d)", env.Version, Version)
 	}
 	feats, err := match.ParseFeaturization(env.Featurization)
 	if err != nil {
-		return nil, fmt.Errorf("model: %w", err)
+		return nil, invalidf("%v", err)
 	}
 	if len(env.Schema) == 0 {
-		return nil, fmt.Errorf("model: artifact has no schema")
+		return nil, invalidf("artifact has no schema")
 	}
 	if feats == match.ExtendedFeatures && env.Corpus == nil {
-		return nil, fmt.Errorf("model: extended featurization but no corpus in the artifact")
+		return nil, invalidf("extended featurization but no corpus in the artifact")
 	}
 
 	meta := Meta{
@@ -205,13 +221,13 @@ func Load(r io.Reader) (*Artifact, error) {
 	}
 	dim, metrics, err := pipelineInfo(meta)
 	if err != nil {
-		return nil, err
+		return nil, invalidf("%v", err)
 	}
 	if dim != env.Dim {
-		return nil, fmt.Errorf("model: artifact expects %d feature dims but this build's %s pipeline produces %d (metric set changed?)", env.Dim, feats, dim)
+		return nil, invalidf("artifact expects %d feature dims but this build's %s pipeline produces %d (metric set changed?)", env.Dim, feats, dim)
 	}
 	if len(env.Metrics) != 0 && !equalStrings(env.Metrics, metrics) {
-		return nil, fmt.Errorf("model: artifact metric list %v does not match this build's %s pipeline %v", env.Metrics, feats, metrics)
+		return nil, invalidf("artifact metric list %v does not match this build's %s pipeline %v", env.Metrics, feats, metrics)
 	}
 
 	var l core.Learner
@@ -225,17 +241,17 @@ func Load(r io.Reader) (*Artifact, error) {
 		l, err = tree.LoadJSON(lr)
 	case KindRules:
 		if feats != match.BoolFeatures {
-			return nil, fmt.Errorf("model: rule-model artifact with %s featurization", feats)
+			return nil, invalidf("rule-model artifact with %s featurization", feats)
 		}
 		l, err = rules.LoadJSON(lr, feature.NewBoolExtractor(env.Schema))
 	default:
-		return nil, fmt.Errorf("model: unknown learner kind %q", env.Kind)
+		return nil, invalidf("unknown learner kind %q", env.Kind)
 	}
 	if err != nil {
-		return nil, err
+		return nil, invalidf("loading %s learner: %v", env.Kind, err)
 	}
 	if err := match.ValidateDim(l, dim); err != nil {
-		return nil, fmt.Errorf("model: %w", err)
+		return nil, invalidf("%v", err)
 	}
 	return &Artifact{Kind: env.Kind, Learner: l, Meta: meta, Dim: dim}, nil
 }
@@ -248,14 +264,14 @@ func pipelineInfo(meta Meta) (int, []string, error) {
 		return feature.NewExtractor(meta.Schema).Dim(), metricNames(textsim.All()), nil
 	case match.ExtendedFeatures:
 		if meta.Corpus == nil {
-			return 0, nil, fmt.Errorf("model: extended featurization requires Meta.Corpus")
+			return 0, nil, fmt.Errorf("extended featurization requires Meta.Corpus")
 		}
 		ext := feature.NewExtendedExtractor(meta.Schema, meta.Corpus)
 		return ext.Dim(), metricNames(append(textsim.All(), textsim.Extended(meta.Corpus)...)), nil
 	case match.BoolFeatures:
 		return feature.NewBoolExtractor(meta.Schema).Dim(), metricNames(textsim.ForRules()), nil
 	}
-	return 0, nil, fmt.Errorf("model: unknown featurization %v", meta.Features)
+	return 0, nil, fmt.Errorf("unknown featurization %v", meta.Features)
 }
 
 func metricNames(ms []textsim.Metric) []string {

@@ -3,6 +3,7 @@ package model
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -230,6 +231,49 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	for name, raw := range cases {
 		if _, err := Load(strings.NewReader(raw)); err == nil {
 			t.Errorf("%s: Load accepted %q", name, raw)
+		}
+	}
+}
+
+// TestLoadErrorsAreTypedInvalidArtifact pins the contract the serving
+// registry's hot-swap path depends on: every way an artifact can fail
+// to load — truncated mid-stream, garbage, drifted pipeline — surfaces
+// through the single typed ErrInvalidArtifact sentinel, so callers can
+// distinguish "the offered model is bad" from I/O faults with errors.Is
+// instead of string matching. And a rejected Load returns a nil
+// artifact: there is no partially-applied model to leak into serving.
+func TestLoadErrorsAreTypedInvalidArtifact(t *testing.T) {
+	fx := beerFixture(t)
+	svm := linear.NewSVM(11)
+	svm.Train(fx.X, fx.y)
+	var buf bytes.Buffer
+	if err := Save(&buf, svm, Meta{Schema: fx.d.Left.Schema}); err != nil {
+		t.Fatal(err)
+	}
+	valid := strings.TrimRight(buf.String(), "\n")
+
+	cases := map[string]string{
+		"truncated early":     valid[:10],
+		"truncated mid-body":  valid[:len(valid)/2],
+		"truncated last byte": valid[:len(valid)-1],
+		"garbage":             "\x00\xffnot a model at all",
+		"wrong format":        `{"format":"something-else","version":1}`,
+		"wrong version":       `{"format":"alem-model","version":99}`,
+		"no schema":           `{"format":"alem-model","version":1,"kind":"linear-svm","featurization":"float","learner":{}}`,
+		"unknown kind":        `{"format":"alem-model","version":1,"kind":"nope","schema":["a"],"featurization":"float","dim":21,"learner":{}}`,
+		"learner garbage":     strings.Replace(valid, `"learner"`, `"learner_gone"`, 1),
+	}
+	for name, raw := range cases {
+		art, err := Load(strings.NewReader(raw))
+		if err == nil {
+			t.Errorf("%s: Load accepted the artifact", name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidArtifact) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidArtifact", name, err)
+		}
+		if art != nil {
+			t.Errorf("%s: rejected Load returned a non-nil artifact", name)
 		}
 	}
 }

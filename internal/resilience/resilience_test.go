@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -432,6 +434,63 @@ func TestWriteFileAtomic(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("temp litter left behind: %v", entries)
+	}
+}
+
+// TestWriteFileAtomicOverwriteAndErrors completes the atomicity
+// coverage: a successful overwrite fully replaces the old content, a
+// missing parent directory fails cleanly before any write, and
+// concurrent writers racing the same path each land a complete file —
+// the final content is one writer's payload in full, never a splice.
+func TestWriteFileAtomicOverwriteAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	write := func(content string) error {
+		return WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := w.Write([]byte(content))
+			return err
+		})
+	}
+	if err := write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := write("version-two"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "version-two" {
+		t.Fatalf("content after overwrite = %q, want version-two", got)
+	}
+
+	missing := filepath.Join(dir, "no-such-dir", "state.json")
+	if err := WriteFileAtomic(missing, func(w io.Writer) error { return nil }); err == nil {
+		t.Fatal("write into a missing directory not reported")
+	}
+
+	const writers = 8
+	var wg sync.WaitGroup
+	payloads := make(map[string]bool, writers)
+	for i := 0; i < writers; i++ {
+		content := strings.Repeat(string(rune('a'+i)), 64)
+		payloads[content] = true
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := write(content); err != nil {
+				t.Errorf("concurrent write: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !payloads[string(got)] {
+		t.Fatalf("final content %q is not any writer's full payload — torn write", got)
 	}
 }
 

@@ -1,0 +1,185 @@
+package resilience
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic refill-on-read rate limiter: the bucket
+// holds up to Burst tokens, refills at Rate tokens per second, and each
+// admitted request spends one. It is the admission primitive the
+// serving layer runs per tenant, so one hot client degrades to fast
+// 429s instead of starving everyone sharing the fleet.
+//
+// Safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a full bucket admitting a sustained rate of
+// rate requests per second with bursts of up to burst. rate must be
+// positive; burst below 1 is raised to 1 (a bucket that can never hold
+// a whole token would never admit anything). The now hook injects a
+// clock for tests; nil means time.Now.
+func NewTokenBucket(rate float64, burst int, now func() time.Time) *TokenBucket {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	b := &TokenBucket{rate: rate, burst: float64(burst), now: now}
+	b.tokens = b.burst
+	b.last = now()
+	return b
+}
+
+// Allow spends one token if the bucket holds one. When it does not,
+// retry reports how long until the next token accrues — the value the
+// serving layer rounds up into a Retry-After header.
+func (b *TokenBucket) Allow() (ok bool, retry time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(math.Ceil(need / b.rate * float64(time.Second)))
+}
+
+// refill must be called with b.mu held.
+func (b *TokenBucket) refill() {
+	now := b.now()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += elapsed * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Tokens reports the current token count (after refill) — a test and
+// metrics convenience, not part of the admission path.
+func (b *TokenBucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	return b.tokens
+}
+
+// TenantLimiter multiplexes one TokenBucket per tenant key, creating
+// buckets lazily on first sight. The tenant universe is untrusted input
+// (a header), so the map is capped: past maxTenants the stalest bucket
+// — the one idle longest — is evicted to make room. An evicted tenant
+// that returns simply starts over with a full bucket, which errs toward
+// admission, never toward a livelock.
+//
+// Safe for concurrent use.
+type TenantLimiter struct {
+	rate  float64
+	burst int
+	now   func() time.Time
+
+	mu         sync.Mutex
+	buckets    map[string]*tenantBucket
+	maxTenants int
+}
+
+type tenantBucket struct {
+	b        *TokenBucket
+	lastSeen time.Time
+}
+
+// DefaultMaxTenants caps the per-tenant bucket map when
+// NewTenantLimiter is given no explicit cap.
+const DefaultMaxTenants = 4096
+
+// NewTenantLimiter returns a limiter granting each tenant an
+// independent bucket of rate requests per second with bursts of burst.
+// burst <= 0 defaults to twice the sustained rate (rounded up, minimum
+// 1) so short spikes ride through. The now hook injects a clock for
+// tests; nil means time.Now.
+func NewTenantLimiter(rate float64, burst int, now func() time.Time) *TenantLimiter {
+	if burst <= 0 {
+		burst = int(math.Ceil(2 * rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &TenantLimiter{
+		rate:       rate,
+		burst:      burst,
+		now:        now,
+		buckets:    make(map[string]*tenantBucket),
+		maxTenants: DefaultMaxTenants,
+	}
+}
+
+// SetMaxTenants overrides the bucket-map cap (tests shrink it to
+// exercise eviction). Values below 1 are ignored.
+func (l *TenantLimiter) SetMaxTenants(n int) {
+	if n < 1 {
+		return
+	}
+	l.mu.Lock()
+	l.maxTenants = n
+	l.mu.Unlock()
+}
+
+// Allow spends one token from tenant's bucket, creating it on first
+// sight. retry is the time until the tenant's next token when denied.
+func (l *TenantLimiter) Allow(tenant string) (ok bool, retry time.Duration) {
+	l.mu.Lock()
+	tb, found := l.buckets[tenant]
+	if !found {
+		if len(l.buckets) >= l.maxTenants {
+			l.evictStalest()
+		}
+		tb = &tenantBucket{b: NewTokenBucket(l.rate, l.burst, l.now)}
+		l.buckets[tenant] = tb
+	}
+	tb.lastSeen = l.now()
+	l.mu.Unlock()
+	// The bucket has its own lock; admission for one tenant never holds
+	// the map lock while another tenant is being admitted.
+	return tb.b.Allow()
+}
+
+// Tenants reports how many tenants currently hold buckets.
+func (l *TenantLimiter) Tenants() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// evictStalest must be called with l.mu held.
+func (l *TenantLimiter) evictStalest() {
+	var stalest string
+	var when time.Time
+	first := true
+	for k, tb := range l.buckets {
+		if first || tb.lastSeen.Before(when) {
+			stalest, when, first = k, tb.lastSeen, false
+		}
+	}
+	if !first {
+		delete(l.buckets, stalest)
+	}
+}

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic refill tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewTokenBucket(2, 3, clk.now) // 2 tokens/s, burst 3
+
+	// The bucket starts full: the whole burst is admitted back to back.
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("burst request %d denied on a full bucket", i)
+		}
+	}
+	ok, retry := b.Allow()
+	if ok {
+		t.Fatal("request admitted past the burst with no time elapsed")
+	}
+	// At 2 tokens/s an empty bucket accrues its next token in 500ms.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retry hint = %v, want in (0, 500ms]", retry)
+	}
+
+	// Refill is continuous: half a second buys exactly one token.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("request denied after refill interval")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second request admitted after a single-token refill")
+	}
+
+	// Refill never overfills past the burst.
+	clk.advance(time.Hour)
+	if got := b.Tokens(); got != 3 {
+		t.Fatalf("tokens after long idle = %v, want burst cap 3", got)
+	}
+}
+
+func TestTokenBucketDefensiveDefaults(t *testing.T) {
+	// Nonsense sizing must degrade to a working limiter, not a bucket
+	// that admits nothing (or panics dividing by a zero rate).
+	b := NewTokenBucket(-1, 0, nil)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("defaulted bucket denied its first request")
+	}
+	if ok, retry := b.Allow(); ok || retry <= 0 {
+		t.Fatalf("defaulted bucket: ok=%v retry=%v, want denial with a positive hint", ok, retry)
+	}
+}
+
+func TestTenantLimiterIsolation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := NewTenantLimiter(1, 1, clk.now)
+
+	// Tenant "hot" spends its bucket; tenant "calm" is unaffected — the
+	// whole point of per-tenant admission.
+	if ok, _ := l.Allow("hot"); !ok {
+		t.Fatal("hot tenant denied its first request")
+	}
+	if ok, _ := l.Allow("hot"); ok {
+		t.Fatal("hot tenant admitted past its bucket")
+	}
+	if ok, _ := l.Allow("calm"); !ok {
+		t.Fatal("calm tenant starved by the hot one")
+	}
+	// The anonymous tenant ("" key) is just another bucket.
+	if ok, _ := l.Allow(""); !ok {
+		t.Fatal("anonymous tenant denied its first request")
+	}
+}
+
+func TestTenantLimiterEvictsStalest(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := NewTenantLimiter(1, 1, clk.now)
+	l.SetMaxTenants(2)
+
+	l.Allow("a")
+	clk.advance(time.Second)
+	l.Allow("b")
+	clk.advance(time.Second)
+	// Map is at cap; "c" evicts the tenant idle longest ("a").
+	l.Allow("c")
+	if got := l.Tenants(); got != 2 {
+		t.Fatalf("tenants after eviction = %d, want 2", got)
+	}
+	// "a" returns with a fresh (full) bucket: eviction errs toward
+	// admission, never toward locking a tenant out.
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("evicted tenant not re-admitted with a fresh bucket")
+	}
+}

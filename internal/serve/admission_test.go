@@ -1,0 +1,154 @@
+package serve
+
+// Admission tests: the per-tenant token-bucket layer and the contract
+// that every 429 — tenant limit, watermark shed, open breaker — is
+// answered consistently with a Retry-After header and a JSON body
+// naming the reason.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/alem/alem/internal/feature"
+)
+
+// shed429 asserts one admission layer's rejection shape: status 429, a
+// positive integer Retry-After, and a body naming reason.
+func shed429(t *testing.T, resp *http.Response, raw []byte, reason string) {
+	t.Helper()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	var eresp errorResponse
+	if err := json.Unmarshal(raw, &eresp); err != nil {
+		t.Fatalf("429 body is not JSON: %s", raw)
+	}
+	if eresp.Reason != reason {
+		t.Errorf("reason = %q, want %q (body %s)", eresp.Reason, reason, raw)
+	}
+	if eresp.Error == "" {
+		t.Error("429 body has an empty error message")
+	}
+}
+
+// TestShedResponsesConsistent is the regression test for the
+// inconsistent-429 fix: all three admission layers must answer the same
+// way, distinguished only by the reason field.
+func TestShedResponsesConsistent(t *testing.T) {
+	t.Run("tenant", func(t *testing.T) {
+		_, X := beerArtifact(t)
+		s, ts := newTestServer(t, Config{
+			TenantRate: 0.001, TenantBurst: 1, Linger: -1,
+		})
+		resp, raw := postJSON(t, ts.URL+"/v1/score", scoreRequest{Vectors: [][]float64{X[0]}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("first request within burst: %d: %s", resp.StatusCode, raw)
+		}
+		resp, raw = postJSON(t, ts.URL+"/v1/score", scoreRequest{Vectors: [][]float64{X[0]}})
+		shed429(t, resp, raw, ShedReasonTenant)
+		if got := s.met.tenant.Value(); got != 1 {
+			t.Errorf("tenant-limited counter = %d, want 1", got)
+		}
+		if got := s.met.shed.Value(); got != 1 {
+			t.Errorf("shed counter = %d, want 1 (tenant 429s count as sheds)", got)
+		}
+	})
+
+	t.Run("shed", func(t *testing.T) {
+		gl := newGatedLearner(3)
+		s := New(artifactFor(gl), Config{
+			Workers: 1, MaxBatch: 1, QueueDepth: 8, ShedWatermark: 1, Linger: -1,
+		})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			s.Close()
+		})
+		t.Cleanup(func() {
+			select {
+			case <-gl.release:
+			default:
+				close(gl.release)
+			}
+		})
+		// Build queue depth directly on the active version's pool: the
+		// gate holds the single worker, MaxBatch 1 defeats coalescing, so
+		// the fourth job must sit in the intake queue.
+		pool := s.models.current.Load().pool
+		for i := 0; i < 4; i++ {
+			j := &scoreJob{ctx: context.Background(), vecs: []feature.Vector{{1, 2, 3}}, out: make(chan scoreResult, 1)}
+			if err := pool.submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitUntil(t, 5*time.Second, func() bool { return pool.depth() >= 1 }, "score queue backlog")
+		resp, raw := postJSON(t, ts.URL+"/v1/score", scoreRequest{Vectors: [][]float64{{1, 2, 3}}})
+		shed429(t, resp, raw, ShedReasonShed)
+	})
+
+	t.Run("breaker", func(t *testing.T) {
+		_, X := beerArtifact(t)
+		s, ts := newTestServer(t, Config{BreakerThreshold: 1, BreakerCooldown: time.Hour, Linger: -1})
+		s.models.activeBreaker().Record(errors.New("model failure"))
+		resp, raw := postJSON(t, ts.URL+"/v1/score", scoreRequest{Vectors: [][]float64{X[0]}})
+		shed429(t, resp, raw, ShedReasonBreaker)
+	})
+}
+
+// TestChaosTenantAdmissionIsolation: one tenant burning through its
+// bucket degrades alone — other tenants and the anonymous pool keep
+// being served at full rate.
+func TestChaosTenantAdmissionIsolation(t *testing.T) {
+	_, X := beerArtifact(t)
+	s, ts := newTestServer(t, Config{
+		TenantRate: 0.001, TenantBurst: 2, Linger: -1,
+	})
+	score := func(tenant string) (*http.Response, []byte) {
+		headers := map[string]string{}
+		if tenant != "" {
+			headers["X-Alem-Tenant"] = tenant
+		}
+		raw, _ := json.Marshal(scoreRequest{Vectors: [][]float64{X[0]}})
+		return doJSON(t, http.MethodPost, ts.URL+"/v1/score", raw, headers)
+	}
+
+	// The hot tenant exhausts its burst of 2 and degrades to 429s.
+	for i := 0; i < 2; i++ {
+		if resp, raw := score("hot"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("hot tenant request %d: %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	resp, raw := score("hot")
+	shed429(t, resp, raw, ShedReasonTenant)
+
+	// Everyone else is unaffected — including the anonymous bucket and
+	// the ?tenant= query spelling.
+	if resp, raw := score("calm"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("calm tenant starved by hot one: %d: %s", resp.StatusCode, raw)
+	}
+	if resp, raw := score(""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous traffic starved by hot tenant: %d: %s", resp.StatusCode, raw)
+	}
+	qraw, _ := json.Marshal(scoreRequest{Vectors: [][]float64{X[0]}})
+	if resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/score?tenant=query-spelled", qraw, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query-spelled tenant: %d: %s", resp.StatusCode, raw)
+	}
+
+	// Tenant admission is layered above the model routes only: /healthz
+	// and /metrics never consult the buckets.
+	if body := healthzBody(t, ts.URL); body["status"] != "ok" {
+		t.Errorf("healthz = %v, want ok (admission must not gate health)", body)
+	}
+	if got := s.met.tenant.Value(); got != 1 {
+		t.Errorf("tenant-limited counter = %d, want 1", got)
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"github.com/alem/alem/internal/core"
 	"github.com/alem/alem/internal/feature"
 	"github.com/alem/alem/internal/match"
-	"github.com/alem/alem/internal/obs"
 )
 
 // ErrDraining is returned by submit once the pool has begun shutting
@@ -222,23 +221,9 @@ func totalVecs(jobs []*scoreJob) int {
 	return n
 }
 
-// registerMetrics publishes the pool's batching statistics on the shared
-// registry as scrape-time callbacks over the pool's own atomics, keeping
-// the dispatch path free of registry traffic.
-func (p *scorePool) registerMetrics(reg *obs.Registry) {
-	reg.CounterFunc("alem_score_requests_total",
-		"Score jobs accepted by the batching pool.", p.jobsTotal.Load)
-	reg.CounterFunc("alem_score_batches_total",
-		"Merged batches executed by the worker pool.", p.batchesTotal.Load)
-	reg.CounterFunc("alem_score_vectors_total",
-		"Feature vectors scored.", p.vectorsTotal.Load)
-	reg.GaugeFunc("alem_score_batch_reuse_rate",
-		"Fraction of score jobs that coalesced into an already-open batch.",
-		func() float64 {
-			jobs, batches := p.jobsTotal.Load(), p.batchesTotal.Load()
-			if jobs == 0 {
-				return 0
-			}
-			return 1 - float64(batches)/float64(jobs)
-		})
+// totals reports the pool's batching statistics. The server sums these
+// across every registry version (plus retired accumulators) at scrape
+// time, keeping the dispatch path free of registry traffic.
+func (p *scorePool) totals() (jobs, batches, vectors int64) {
+	return p.jobsTotal.Load(), p.batchesTotal.Load(), p.vectorsTotal.Load()
 }

@@ -67,3 +67,49 @@ type ServerStop struct {
 func (e ServerStop) EventLine() string {
 	return fmt.Sprintf("serve stop       requests=%d uptime=%s", e.Requests, e.Uptime.Round(time.Millisecond))
 }
+
+// ModelPublished is emitted when a new model version enters the
+// registry (validated, pool spun up, not yet serving the default
+// alias).
+type ModelPublished struct {
+	core.ExternalEvent
+	ID   string
+	Kind string
+	Dim  int
+}
+
+// EventLine renders the publish line for diag.EventLog.
+func (e ModelPublished) EventLine() string {
+	return fmt.Sprintf("model publish    id=%s kind=%s dim=%d", e.ID, e.Kind, e.Dim)
+}
+
+// ModelActivated is emitted when the default alias flips to a new
+// version; Prev is the version it flipped away from ("" at boot).
+type ModelActivated struct {
+	core.ExternalEvent
+	ID   string
+	Prev string
+}
+
+// EventLine renders the activation line for diag.EventLog.
+func (e ModelActivated) EventLine() string {
+	prev := e.Prev
+	if prev == "" {
+		prev = "(none)"
+	}
+	return fmt.Sprintf("model activate   id=%s prev=%s", e.ID, prev)
+}
+
+// ModelSwapFailed is emitted when a publish is rejected — the offered
+// artifact failed validation. The serving version is untouched; the
+// server reports degraded until a subsequent successful activation.
+type ModelSwapFailed struct {
+	core.ExternalEvent
+	ID     string
+	Reason string
+}
+
+// EventLine renders the rejected-swap line for diag.EventLog.
+func (e ModelSwapFailed) EventLine() string {
+	return fmt.Sprintf("model swap-fail  id=%s reason=%s", e.ID, e.Reason)
+}

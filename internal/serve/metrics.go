@@ -29,7 +29,8 @@ type metrics struct {
 	inFlight atomic.Int64      // gauge source; also read by healthz and drain
 	rejected *obs.Counter      // requests refused while draining
 	timeouts *obs.Counter      // requests that hit their deadline
-	shed     *obs.Counter      // requests shed with 429 (breaker open or queue over watermark)
+	shed     *obs.Counter      // requests shed with 429 (any reason)
+	tenant   *obs.Counter      // 429s issued by per-tenant admission
 	panics   *obs.Counter      // handler panics contained by the recover middleware
 }
 
@@ -46,7 +47,9 @@ func newMetrics() *metrics {
 		timeouts: reg.Counter("alem_http_request_timeouts_total",
 			"Requests that exceeded their deadline."),
 		shed: reg.Counter("alem_http_requests_shed_total",
-			"Requests shed with 429 (breaker open or queue over watermark)."),
+			"Requests shed with 429 (tenant limit, queue over watermark, or breaker open)."),
+		tenant: reg.Counter("alem_http_requests_tenant_limited_total",
+			"Requests shed with 429 by per-tenant token-bucket admission."),
 		panics: reg.Counter("alem_http_panics_total",
 			"Handler panics contained by the recover middleware."),
 	}

@@ -191,7 +191,7 @@ func TestChaosBreakerOpensShedsAndRecovers(t *testing.T) {
 	// Trip the breaker the way production would: consecutive model
 	// failures. Feeding Record directly keeps the test deterministic.
 	for i := 0; i < 3; i++ {
-		s.breaker.Record(errors.New("model failure"))
+		s.models.activeBreaker().Record(errors.New("model failure"))
 	}
 
 	// Both model routes shed with 429 and a positive Retry-After, and do
@@ -230,7 +230,7 @@ func TestChaosBreakerOpensShedsAndRecovers(t *testing.T) {
 	// Cooldown expires; the healthy model answers the probe and the
 	// circuit closes. Polling the breaker's own clock instead of sleeping
 	// a fixed margin keeps this robust on slow 1-CPU containers.
-	waitUntil(t, 5*time.Second, func() bool { return s.breaker.RetryAfter() == 0 }, "breaker cooldown")
+	waitUntil(t, 5*time.Second, func() bool { return s.models.activeBreaker().RetryAfter() == 0 }, "breaker cooldown")
 	_, X := beerArtifact(t)
 	resp, raw := postJSON(t, ts.URL+"/v1/score", scoreRequest{Vectors: [][]float64{X[0]}})
 	if resp.StatusCode != http.StatusOK {
@@ -251,8 +251,8 @@ func TestChaosClientErrorProbeDoesNotWedgeBreaker(t *testing.T) {
 	s, ts := newTestServer(t, Config{
 		BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond, Linger: -1,
 	})
-	s.breaker.Record(errors.New("model failure"))
-	waitUntil(t, 5*time.Second, func() bool { return s.breaker.RetryAfter() == 0 }, "breaker cooldown")
+	s.models.activeBreaker().Record(errors.New("model failure"))
+	waitUntil(t, 5*time.Second, func() bool { return s.models.activeBreaker().RetryAfter() == 0 }, "breaker cooldown")
 
 	// The probe slot goes to a malformed request.
 	resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader("{not json"))
@@ -296,14 +296,14 @@ func TestPanicOnNonModelRouteLeavesBreakerAlone(t *testing.T) {
 	if s.met.panics.Value() != 1 {
 		t.Errorf("panic counter = %d, want 1", s.met.panics.Value())
 	}
-	if state := s.breaker.State(); state != resilience.BreakerClosed {
+	if state := s.models.activeBreaker().State(); state != resilience.BreakerClosed {
 		t.Fatalf("breaker %v after non-model panic, want closed", state)
 	}
 
 	// The same panic on a model route still feeds the breaker.
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/score", strings.NewReader("{}")))
-	if state := s.breaker.State(); state != resilience.BreakerOpen {
+	if state := s.models.activeBreaker().State(); state != resilience.BreakerOpen {
 		t.Fatalf("breaker %v after model-route panic at threshold 1, want open", state)
 	}
 }
@@ -316,7 +316,7 @@ func TestChaosBreakerOpenUnderLoadNeverHangs(t *testing.T) {
 	s, ts := newTestServer(t, Config{
 		BreakerThreshold: 1, BreakerCooldown: time.Hour, Workers: 2, Linger: -1,
 	})
-	s.breaker.Record(errors.New("model failure"))
+	s.models.activeBreaker().Record(errors.New("model failure"))
 
 	const clients = 32
 	var wg sync.WaitGroup
@@ -353,59 +353,109 @@ func TestChaosBreakerOpenUnderLoadNeverHangs(t *testing.T) {
 	}
 }
 
-// TestChaosShedWatermark pins queue-depth load shedding: with a slow
-// model, one worker and a watermark of 1, a burst must produce both
-// served requests and fast 429s — and nothing else.
+// TestChaosShedWatermark pins queue-depth load shedding without racing
+// the scheduler: the single worker is held at the learner by a gate and
+// batches never coalesce (MaxBatch 1), so the stages downstream of the
+// intake queue hold at most three jobs and the queue itself at most
+// QueueDepth — posting more than that total MUST shed by pigeonhole,
+// no matter how the posts interleave. Sheds answer immediately (the
+// gate never holds them), so the test waits for one, then opens the
+// gate and verifies every admitted request completes.
 func TestChaosShedWatermark(t *testing.T) {
-	s := New(slowArtifact(100*time.Millisecond), Config{
-		Workers: 1, QueueDepth: 8, ShedWatermark: 1, Linger: -1,
-		RequestTimeout: 10 * time.Second,
+	gl := newGatedLearner(3)
+	s := New(artifactFor(gl), Config{
+		Workers: 1, MaxBatch: 1, QueueDepth: 8, ShedWatermark: 1, Linger: -1,
+		RequestTimeout: 20 * time.Second,
 	})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		s.Close()
 	})
-
-	const clients = 8
-	var wg sync.WaitGroup
-	codes := make(chan int, clients)
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			raw, _ := json.Marshal(scoreRequest{Vectors: [][]float64{{1, 2, 3}}})
-			resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(raw))
-			if err != nil {
-				codes <- -1
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			codes <- resp.StatusCode
-		}()
-	}
-	wg.Wait()
-	close(codes)
-	served, shed := 0, 0
-	for code := range codes {
-		switch code {
-		case http.StatusOK:
-			served++
-		case http.StatusTooManyRequests:
-			shed++
+	// Registered after ts/s cleanup so it runs first: the drain in
+	// s.Close needs the gate open.
+	t.Cleanup(func() {
+		select {
+		case <-gl.release:
 		default:
-			t.Errorf("unexpected status %d under overload", code)
+			close(gl.release)
+		}
+	})
+
+	type outcome struct {
+		code       int
+		retryAfter int
+		reason     string
+		body       string
+	}
+	// 13 posts > 3 in-flight stages + 8 queue slots: at least one sheds.
+	const total = 13
+	results := make(chan outcome, total)
+	post := func() {
+		raw, _ := json.Marshal(scoreRequest{Vectors: [][]float64{{1, 2, 3}}})
+		resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			results <- outcome{code: -1, body: err.Error()}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		var eresp errorResponse
+		json.Unmarshal(body, &eresp)
+		results <- outcome{code: resp.StatusCode, retryAfter: ra, reason: eresp.Reason, body: string(body)}
+	}
+
+	go post()
+	<-gl.started // the worker is now provably inside the learner
+	for i := 1; i < total; i++ {
+		go post()
+		time.Sleep(2 * time.Millisecond) // let each submit land before the next checks
+	}
+
+	var sheds, served []outcome
+	record := func(r outcome) {
+		if r.code == http.StatusTooManyRequests {
+			sheds = append(sheds, r)
+		} else {
+			served = append(served, r)
 		}
 	}
-	if served == 0 {
-		t.Error("watermark shed every request; some must still be served")
+	deadline := time.After(15 * time.Second)
+	for len(sheds) == 0 {
+		select {
+		case r := <-results:
+			record(r)
+		case <-deadline:
+			t.Fatal("no request shed despite queue over watermark")
+		}
 	}
-	if shed == 0 {
-		t.Error("no requests shed despite queue over watermark")
+
+	// Open the gate: every admitted request completes normally.
+	close(gl.release)
+	for len(sheds)+len(served) < total {
+		select {
+		case r := <-results:
+			record(r)
+		case <-time.After(15 * time.Second):
+			t.Fatal("requests unanswered after gate release")
+		}
 	}
-	if got := s.met.shed.Value(); got != int64(shed) {
-		t.Errorf("shed counter = %d, want %d", got, shed)
+	for _, r := range served {
+		if r.code != http.StatusOK {
+			t.Errorf("admitted request finished %d, want 200: %s", r.code, r.body)
+		}
+	}
+	for _, r := range sheds {
+		if r.retryAfter < 1 {
+			t.Errorf("shed Retry-After = %d, want a positive integer", r.retryAfter)
+		}
+		if r.reason != ShedReasonShed {
+			t.Errorf("shed reason = %q, want %q (body %s)", r.reason, ShedReasonShed, r.body)
+		}
+	}
+	if got := s.met.shed.Value(); got != int64(len(sheds)) {
+		t.Errorf("shed counter = %d, want %d", got, len(sheds))
 	}
 }
 
@@ -423,7 +473,7 @@ func TestChaosDrainWithBreakerOpen(t *testing.T) {
 	<-s.Ready()
 	base := "http://" + s.Addr()
 
-	s.breaker.Record(errors.New("model failure"))
+	s.models.activeBreaker().Record(errors.New("model failure"))
 	resp, raw := postJSON(t, base+"/v1/score", scoreRequest{Vectors: [][]float64{{1, 2, 3}}})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("pre-drain shed: status %d, want 429: %s", resp.StatusCode, raw)

@@ -346,7 +346,7 @@ func newGatedLearner(dim int) gatedLearner {
 	}
 }
 
-func (g gatedLearner) Name() string                     { return "gated" }
+func (g gatedLearner) Name() string                       { return "gated" }
 func (g gatedLearner) Train(X []feature.Vector, y []bool) {}
 func (g gatedLearner) Predict(x feature.Vector) bool {
 	g.once.Do(func() { close(g.started) })
@@ -486,9 +486,13 @@ func TestMetricsNamesStable(t *testing.T) {
 		"# TYPE alem_http_requests_rejected_total counter",
 		"# TYPE alem_http_request_timeouts_total counter",
 		"# TYPE alem_http_requests_shed_total counter",
+		"# TYPE alem_http_requests_tenant_limited_total counter",
 		"# TYPE alem_http_panics_total counter",
 		"# TYPE alem_breaker_state gauge",
 		"# TYPE alem_breaker_opens_total counter",
+		"# TYPE alem_models_loaded gauge",
+		"# TYPE alem_model_swaps_total counter",
+		"# TYPE alem_model_swap_failures_total counter",
 		"# TYPE alem_score_requests_total counter",
 		"# TYPE alem_score_batches_total counter",
 		"# TYPE alem_score_vectors_total counter",
