@@ -9,9 +9,9 @@ GO ?= go
 # lifts internal/core coverage; never lower it to absorb a regression.
 COVER_FLOOR_CORE ?= 88.0
 
-.PHONY: check vet build test race cover fuzz bench bench-json chaos serve-smoke equiv
+.PHONY: check vet build test race cover fuzz bench bench-json bench-ratchet chaos serve-smoke equiv
 
-check: vet build race equiv cover fuzz chaos serve-smoke
+check: vet build race equiv bench-ratchet cover fuzz chaos serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -48,11 +48,26 @@ equiv:
 bench:
 	$(GO) test -bench . -benchtime 1x .
 
-# Selector serial/parallel pairs plus blocking naive/indexed pairs →
-# BENCH_7.json (ns/op, allocs/op, per-path speedups at this machine's
-# GOMAXPROCS, and the algorithmic indexed-vs-naive speedup).
+# Zero-alloc hot-path ratchets, run under plain `go test` (they skip
+# under -race, so the `race` target alone never exercises them): the
+# per-metric Compare and extractor/scoring allocs/op budgets, the
+# string-vs-interned 30% reduction floor, the warmed Candidates budget
+# and the constant-allocs training fit — plus the bit-identity pins the
+# ratchets rely on, and a -benchtime=1x smoke over the paired scoring
+# benchmarks so a broken benchmark fails `make check` rather than the
+# next BENCH run.
+bench-ratchet:
+	$(GO) test -count=1 -run 'AllocRatchet|AllocReduction|AllocSteadyState|AllocsConstantPerFit|QGramLowerOnce|TokenSetMetricEquivalence|TFIDFTokenSetEquivalence|TFIDFCosineDeterministic|InternQGramsMatchesTokens|SoundexCodeEquivalence|ExtractPairsMatchesExtract|ScoreAllInternedMatchesString|TrainMatchesLegacy|KnownCacheAcrossAdds|LowerJoinKeyEquivalence|SortedNeighborhoodDeterministic' \
+		./internal/textsim/ ./internal/feature/ ./internal/match/ ./internal/blocking/ ./internal/neural/
+	$(GO) test -count=1 -run '^$$' -bench 'MatcherScoreAll' -benchtime=1x -benchmem ./internal/match/
+
+# Selector serial/parallel pairs, blocking naive/indexed pairs and the
+# matcher string/interned pairs → BENCH_9.json (ns/op, allocs/op,
+# per-path speedups at this machine's GOMAXPROCS, the algorithmic
+# indexed-vs-naive speedup, and the interned-path alloc reductions with
+# their 30% ratchet). Requires an effective GOMAXPROCS of at least 2.
 bench-json:
-	GO="$(GO)" sh scripts/bench_json.sh BENCH_7.json
+	GO="$(GO)" sh scripts/bench_json.sh BENCH_9.json
 
 # Seeded fault-injection suite: kill/resume bit-identity, oracle stall
 # termination, panic containment, breaker lifecycle, hot model swaps

@@ -1,9 +1,11 @@
 package blocking
 
 import (
+	"cmp"
 	"context"
+	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -60,10 +62,22 @@ type CandidateIndex struct {
 	postings  int       // posting entries across all shards
 
 	// Left-side tokenization is fixed at construction, so Build caches the
-	// distinct token strings and their shard hashes once; Candidates maps
-	// them to ids per call because Add can grow the dictionary.
+	// distinct token strings and their shard hashes once.
 	leftDistinct [][]string
 	leftHash     [][]uint32
+
+	// Candidates also caches each left record's sorted known-token-id
+	// list. Token ids are append-only — an interned token never changes
+	// id — so the mapping of a left token can only change when a
+	// previously unknown token enters the dictionary, which always grows
+	// it. The cache therefore stays exact as long as the dictionary holds
+	// exactly cacheTokens tokens and is rebuilt (lazily, on the next
+	// Candidates call) when an Add interns something new. Guarded by
+	// cacheMu, not mu: Candidates holds only the read lock, and the
+	// dictionary cannot move underneath it there.
+	cacheMu     sync.Mutex
+	leftKnown   [][]int32
+	cacheTokens int
 
 	c funnelCounters
 }
@@ -167,6 +181,84 @@ func (x *CandidateIndex) dfOfLocked(shards []indexShard, g int32) int32 {
 	return shards[s].df[int(g)/x.nShards]
 }
 
+// stampSet is a reusable stamp-dedup array: slot ri is "seen" iff it
+// holds the current marker. Markers only ever grow, so a recycled array
+// needs no clearing — every historic write is below the next marker —
+// and growth within capacity is equally safe for the same reason. Only
+// marker wraparound (once per 2^31 probes) pays for a clear.
+type stampSet struct {
+	v   []int32
+	cur int32
+}
+
+var stampPool = sync.Pool{New: func() any { return new(stampSet) }}
+
+func getStampSet(n int) *stampSet {
+	st := stampPool.Get().(*stampSet)
+	if cap(st.v) < n {
+		st.v = make([]int32, n)
+		st.cur = 0
+	}
+	st.v = st.v[:n]
+	return st
+}
+
+// mark returns a fresh marker no slot currently holds.
+func (st *stampSet) mark() int32 {
+	if st.cur == math.MaxInt32 {
+		clear(st.v)
+		st.cur = 0
+	}
+	st.cur++
+	return st.cur
+}
+
+// leftKnownLocked returns the per-left sorted known-token-id lists,
+// rebuilding the cache when the dictionary has grown since it was
+// computed. Callers must hold the read lock (so the dictionary is
+// stable); cacheMu serialises rebuilds between concurrent Candidates
+// calls. A cancelled rebuild commits nothing.
+func (x *CandidateIndex) leftKnownLocked(ctx context.Context) ([][]int32, error) {
+	S := x.nShards
+	dictTokens := 0
+	for i := range x.shards {
+		dictTokens += len(x.shards[i].df)
+	}
+	x.cacheMu.Lock()
+	defer x.cacheMu.Unlock()
+	if x.leftKnown != nil && x.cacheTokens == dictTokens {
+		return x.leftKnown, nil
+	}
+	nL := len(x.leftDistinct)
+	known := make([][]int32, nL)
+	err := parChunks(ctx, nL, x.workers, func(lo, hi int) {
+		for li := lo; li < hi; li++ {
+			if (li-lo)%cancelCheckStride == 0 && ctx.Err() != nil {
+				return
+			}
+			toks := x.leftDistinct[li]
+			if len(toks) == 0 {
+				continue
+			}
+			ids := make([]int32, 0, len(toks))
+			for j, t := range toks {
+				s := int(x.leftHash[li][j]) % S
+				if local, ok := x.shards[s].ids[t]; ok {
+					ids = append(ids, globalID(local, s, S))
+				}
+			}
+			slices.Sort(ids)
+			known[li] = ids
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	x.leftKnown = known
+	x.cacheTokens = dictTokens
+	return known, nil
+}
+
 // Build constructs the index over the dataset's current right table and
 // caches the left-side tokenization. It runs in parallel over the
 // configured worker count, polls ctx on cancelCheckStride throughout,
@@ -244,7 +336,7 @@ func (x *CandidateIndex) Build(ctx context.Context) error {
 				s := int(rightHash[ri][j]) % S
 				set[j] = globalID(shards[s].ids[t], s, S)
 			}
-			sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+			slices.Sort(set)
 			rightSets[ri] = set
 		}
 	})
@@ -301,6 +393,10 @@ func (x *CandidateIndex) Build(ctx context.Context) error {
 	x.postings = postings
 	x.leftDistinct = leftDistinct
 	x.leftHash = leftHash
+	x.cacheMu.Lock()
+	x.leftKnown = nil // rebuilt lazily against the new dictionary
+	x.cacheTokens = 0
+	x.cacheMu.Unlock()
 	x.built = true
 	x.c.builds.Add(1)
 	totalBuilds.Add(1)
@@ -317,12 +413,11 @@ func (x *CandidateIndex) prefixOf(shards []indexShard, set []int32) []int32 {
 	}
 	ordered := make([]int32, len(set))
 	copy(ordered, set)
-	sort.Slice(ordered, func(a, b int) bool {
-		da, db := x.dfOfLocked(shards, ordered[a]), x.dfOfLocked(shards, ordered[b])
-		if da != db {
-			return da < db
+	slices.SortFunc(ordered, func(a, b int32) int {
+		if c := cmp.Compare(x.dfOfLocked(shards, a), x.dfOfLocked(shards, b)); c != 0 {
+			return c
 		}
-		return ordered[a] < ordered[b]
+		return cmp.Compare(a, b)
 	})
 	return ordered[:p]
 }
@@ -366,7 +461,7 @@ func (x *CandidateIndex) Add(ctx context.Context, rec dataset.Record) (int, erro
 		sh.df[local]++
 		set = append(set, globalID(local, s, S))
 	}
-	sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+	slices.Sort(set)
 	ri := len(x.rightSets)
 	x.rightSets = append(x.rightSets, set)
 	pre := x.prefixOf(x.shards, set)
@@ -400,15 +495,20 @@ func (x *CandidateIndex) Candidates(ctx context.Context) (*Result, error) {
 	nR := len(x.rightSets)
 	threshold := x.threshold
 	perLeft := make([][]dataset.PairKey, nL)
+	// The left record → known-id mapping is cached across calls; unknown
+	// tokens have no postings but still count toward the union via the
+	// distinct-token count.
+	leftKnown, err := x.leftKnownLocked(ctx)
+	if err != nil {
+		return nil, err
+	}
 
-	err := parChunks(ctx, nL, x.workers, func(lo, hi int) {
-		// Worker-local probe state: a stamp array dedups posting hits
-		// without clearing between left records.
-		stamps := make([]int32, nR)
-		for i := range stamps {
-			stamps[i] = -1
-		}
-		var cand, known []int32
+	err = parChunks(ctx, nL, x.workers, func(lo, hi int) {
+		// Worker-local probe state: a pooled stamp array dedups posting
+		// hits without clearing between left records or between calls.
+		st := getStampSet(nR)
+		defer stampPool.Put(st)
+		var cand []int32
 		var probed, sizeSkipped, verified, kept int64
 		defer func() {
 			x.c.probed.Add(probed)
@@ -424,34 +524,29 @@ func (x *CandidateIndex) Candidates(ctx context.Context) (*Result, error) {
 			if (li-lo)%cancelCheckStride == 0 && ctx.Err() != nil {
 				return
 			}
-			toks := x.leftDistinct[li]
-			nx := len(toks)
+			nx := len(x.leftDistinct[li])
 			if nx == 0 {
 				continue
 			}
-			// Map the left record's tokens onto the current dictionary;
-			// unknown tokens have no postings but still count toward the
-			// union via nx.
-			known = known[:0]
-			for j, t := range toks {
-				s := int(x.leftHash[li][j]) % S
-				if local, ok := x.shards[s].ids[t]; ok {
-					known = append(known, globalID(local, s, S))
-				}
-			}
-			sort.Slice(known, func(a, b int) bool { return known[a] < known[b] })
+			known := leftKnown[li]
 			// Probe every known token's postings, deduping right ids.
 			cand = cand[:0]
+			mark := st.mark()
 			for _, g := range known {
 				for _, ri := range x.shards[int(g)%S].post[g] {
-					if stamps[ri] != int32(li) {
-						stamps[ri] = int32(li)
+					if st.v[ri] != mark {
+						st.v[ri] = mark
 						cand = append(cand, ri)
 					}
 				}
 			}
 			probed += int64(len(cand))
 			var pairs []dataset.PairKey
+			if len(cand) > 0 {
+				// One right-sized allocation instead of append growth;
+				// len(cand) bounds the kept pairs exactly.
+				pairs = make([]dataset.PairKey, 0, len(cand))
+			}
 			for _, ri := range cand {
 				ny := len(x.rightSets[ri])
 				minv, maxv := nx, ny
@@ -472,7 +567,7 @@ func (x *CandidateIndex) Candidates(ctx context.Context) (*Result, error) {
 					pairs = append(pairs, dataset.PairKey{L: li, R: int(ri)})
 				}
 			}
-			sort.Slice(pairs, func(a, b int) bool { return pairs[a].R < pairs[b].R })
+			slices.SortFunc(pairs, func(a, b dataset.PairKey) int { return cmp.Compare(a.R, b.R) })
 			kept += int64(len(pairs))
 			perLeft[li] = pairs
 		}
@@ -482,6 +577,13 @@ func (x *CandidateIndex) Candidates(ctx context.Context) (*Result, error) {
 	}
 
 	res := &Result{MatchesTotal: x.d.NumMatches()}
+	total := 0
+	for _, ps := range perLeft {
+		total += len(ps)
+	}
+	if total > 0 {
+		res.Pairs = make([]dataset.PairKey, 0, total)
+	}
 	for _, ps := range perLeft {
 		res.Pairs = append(res.Pairs, ps...)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package blocking
+
+// raceEnabled reports whether the race detector is active; the
+// allocation ratchets skip under it because instrumentation changes
+// allocation behaviour.
+const raceEnabled = true

@@ -1,8 +1,11 @@
 package blocking
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"github.com/alem/alem/internal/dataset"
 )
@@ -33,7 +36,7 @@ func SortedNeighborhood(d *dataset.Dataset, keyAttr string, window int) *Result 
 		if keyAttr != "" {
 			return strings.ToLower(t.Value(row, keyAttr))
 		}
-		return strings.ToLower(strings.Join(t.Rows[row].Values, " "))
+		return lowerJoinKey(t.Rows[row].Values)
 	}
 	for i := range d.Left.Rows {
 		entries = append(entries, entry{keyOf(d.Left, i), 0, i})
@@ -41,14 +44,14 @@ func SortedNeighborhood(d *dataset.Dataset, keyAttr string, window int) *Result 
 	for i := range d.Right.Rows {
 		entries = append(entries, entry{keyOf(d.Right, i), 1, i})
 	}
-	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].key != entries[b].key {
-			return entries[a].key < entries[b].key
+	slices.SortFunc(entries, func(a, b entry) int {
+		if c := cmp.Compare(a.key, b.key); c != 0 {
+			return c
 		}
-		if entries[a].side != entries[b].side {
-			return entries[a].side < entries[b].side
+		if c := cmp.Compare(a.side, b.side); c != 0 {
+			return c
 		}
-		return entries[a].row < entries[b].row
+		return cmp.Compare(a.row, b.row)
 	})
 
 	seen := make(map[dataset.PairKey]struct{})
@@ -70,11 +73,11 @@ func SortedNeighborhood(d *dataset.Dataset, keyAttr string, window int) *Result 
 			pairs = append(pairs, p)
 		}
 	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].L != pairs[b].L {
-			return pairs[a].L < pairs[b].L
+	slices.SortFunc(pairs, func(a, b dataset.PairKey) int {
+		if c := cmp.Compare(a.L, b.L); c != 0 {
+			return c
 		}
-		return pairs[a].R < pairs[b].R
+		return cmp.Compare(a.R, b.R)
 	})
 
 	res := &Result{Pairs: pairs, MatchesTotal: d.NumMatches()}
@@ -84,4 +87,34 @@ func SortedNeighborhood(d *dataset.Dataset, keyAttr string, window int) *Result 
 		}
 	}
 	return res
+}
+
+// lowerJoinKey builds strings.ToLower(strings.Join(vals, " ")) in a
+// single pass with one allocation, skipping the intermediate joined
+// string. Rune-for-rune it applies the same unicode.ToLower mapping
+// strings.ToLower does (invalid UTF-8 bytes decode to U+FFFD either
+// way), so the produced keys — and therefore the sort order and window
+// contents — are byte-identical to the two-pass original.
+func lowerJoinKey(vals []string) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	n := len(vals) - 1
+	for _, v := range vals {
+		n += len(v)
+	}
+	var b strings.Builder
+	// Lowering can widen a rune's encoding (e.g. Ⱥ U+023A, two bytes,
+	// lowers to ⱥ U+2C65, three); Grow covers the common all-same-width
+	// case and Builder handles the rest.
+	b.Grow(n + utf8.UTFMax)
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		for _, r := range v {
+			b.WriteRune(unicode.ToLower(r))
+		}
+	}
+	return b.String()
 }

@@ -18,6 +18,7 @@ package feature
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -28,20 +29,66 @@ import (
 // Vector is a dense float feature vector.
 type Vector []float64
 
+// compiledMetric caches the interface assertions of one metric so the
+// per-pair loop never type-switches: tsm is non-nil for metrics with the
+// interned TokenSet fast path (tokIdx then indexes the extractor's
+// tokenizer list), tm for the token-slice fast path.
+type compiledMetric struct {
+	m      textsim.Metric
+	tm     textsim.TokenMetric
+	tsm    textsim.TokenSetMetric
+	tokIdx int
+}
+
 // Extractor computes float feature vectors for record pairs.
 type Extractor struct {
-	schema  []string
-	metrics []textsim.Metric
+	schema   []string
+	metrics  []textsim.Metric
+	compiled []compiledMetric
+	// tokenizers holds the distinct InternTokenizer()s of the interned
+	// metrics; ExtractPairs builds one TokenSet per (touched attribute
+	// value, tokenizer), shared by every metric declaring that tokenizer.
+	tokenizers []textsim.Tokenizer
+	// dict interns tokens across the extractor's lifetime, so repeated
+	// ExtractPairs calls (the serving path) only pay dictionary inserts
+	// for genuinely new vocabulary. Ids never influence scores, so growth
+	// across calls is harmless; memory is bounded by vocabulary size.
+	dict *textsim.Dict
+}
+
+func newExtractor(schema []string, metrics []textsim.Metric) *Extractor {
+	e := &Extractor{schema: schema, metrics: metrics, dict: textsim.NewDict()}
+	e.compiled = make([]compiledMetric, len(metrics))
+	tokIdx := map[textsim.Tokenizer]int{}
+	for i, m := range metrics {
+		cm := compiledMetric{m: m}
+		if tm, ok := m.(textsim.TokenMetric); ok {
+			cm.tm = tm
+		}
+		if tsm, ok := m.(textsim.TokenSetMetric); ok {
+			cm.tsm = tsm
+			tk := tsm.InternTokenizer()
+			idx, seen := tokIdx[tk]
+			if !seen {
+				idx = len(e.tokenizers)
+				tokIdx[tk] = idx
+				e.tokenizers = append(e.tokenizers, tk)
+			}
+			cm.tokIdx = idx
+		}
+		e.compiled[i] = cm
+	}
+	return e
 }
 
 // NewExtractor builds the standard extractor: all 21 metrics per attribute.
 func NewExtractor(schema []string) *Extractor {
-	return &Extractor{schema: schema, metrics: textsim.All()}
+	return newExtractor(schema, textsim.All())
 }
 
 // NewExtractorWithMetrics builds an extractor over a custom metric set.
 func NewExtractorWithMetrics(schema []string, metrics []textsim.Metric) *Extractor {
-	return &Extractor{schema: schema, metrics: metrics}
+	return newExtractor(schema, metrics)
 }
 
 // NewExtendedExtractor builds the extended extractor: the standard 21
@@ -50,7 +97,7 @@ func NewExtractorWithMetrics(schema []string, metrics []textsim.Metric) *Extract
 // An extension beyond the paper's feature set; the ablation-features
 // experiment measures its effect.
 func NewExtendedExtractor(schema []string, c *textsim.Corpus) *Extractor {
-	return &Extractor{schema: schema, metrics: append(textsim.All(), textsim.Extended(c)...)}
+	return newExtractor(schema, append(textsim.All(), textsim.Extended(c)...))
 }
 
 // CorpusOf builds the document-frequency corpus over every record of
@@ -123,28 +170,165 @@ func (e *Extractor) ExtractDim(left, right dataset.Record, i int) float64 {
 
 // ExtractPairs featurizes a set of candidate pairs in parallel, preserving
 // order. This is the one-time featurization pass that precedes active
-// learning.
+// learning and the per-request featurization the serving layer pays.
+//
+// It is the interned hot path: every record attribute value touched by
+// the pair set is tokenized and interned into a textsim.TokenSet exactly
+// once (a record appearing in k candidate pairs historically paid k
+// tokenizations per token metric), all result vectors share one flat
+// float64 backing array (one allocation instead of one per pair), and
+// the TokenSets are pooled. Output is bit-identical to calling Extract
+// per pair — TestExtractPairsMatchesExtract pins it at worker counts
+// {1, 2, 8}.
 func (e *Extractor) ExtractPairs(d *dataset.Dataset, pairs []dataset.PairKey) []Vector {
-	out := make([]Vector, len(pairs))
-	nWorkers := runtime.GOMAXPROCS(0)
+	return e.ExtractPairsWorkers(d, pairs, runtime.GOMAXPROCS(0))
+}
+
+// ExtractPairsWorkers is ExtractPairs with an explicit worker bound
+// (zero or negative means GOMAXPROCS, one forces the serial path).
+func (e *Extractor) ExtractPairsWorkers(d *dataset.Dataset, pairs []dataset.PairKey, workers int) []Vector {
+	n := len(pairs)
+	out := make([]Vector, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dim := e.Dim()
+	flat := make([]float64, n*dim)
+
+	var leftSets, rightSets [][]*textsim.TokenSet
+	nt := len(e.tokenizers)
+	if nt > 0 {
+		leftSets = e.internRows(d.Left, leftRowsOf(pairs, len(d.Left.Rows)), workers)
+		rightSets = e.internRows(d.Right, rightRowsOf(pairs, len(d.Right.Rows)), workers)
+		defer releaseRowSets(leftSets)
+		defer releaseRowSets(rightSets)
+	}
+
+	parDo(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pairs[i]
+			row := flat[i*dim : (i+1)*dim : (i+1)*dim]
+			out[i] = row
+			left, right := d.Left.Rows[p.L], d.Right.Rows[p.R]
+			var lsets, rsets []*textsim.TokenSet
+			if nt > 0 {
+				lsets, rsets = leftSets[p.L], rightSets[p.R]
+			}
+			k := 0
+			for a := range e.schema {
+				lv, rv := left.Values[a], right.Values[a]
+				if lv == "" || rv == "" {
+					// Null semantics (§3): the flat backing is zeroed, so
+					// the whole attribute block is already 0.
+					k += len(e.compiled)
+					continue
+				}
+				for ci := range e.compiled {
+					cm := &e.compiled[ci]
+					if cm.tsm != nil {
+						row[k] = cm.tsm.CompareTokenSets(lsets[a*nt+cm.tokIdx], rsets[a*nt+cm.tokIdx])
+					} else {
+						row[k] = cm.m.Compare(lv, rv)
+					}
+					k++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// leftRowsOf / rightRowsOf collect the distinct row indices a pair set
+// touches on each side, in ascending order.
+func leftRowsOf(pairs []dataset.PairKey, n int) []int {
+	return distinctRows(pairs, n, func(p dataset.PairKey) int { return p.L })
+}
+
+func rightRowsOf(pairs []dataset.PairKey, n int) []int {
+	return distinctRows(pairs, n, func(p dataset.PairKey) int { return p.R })
+}
+
+func distinctRows(pairs []dataset.PairKey, n int, side func(dataset.PairKey) int) []int {
+	seen := make([]bool, n)
+	rows := make([]int, 0, min(n, len(pairs)))
+	for _, p := range pairs {
+		if r := side(p); !seen[r] {
+			seen[r] = true
+			rows = append(rows, r)
+		}
+	}
+	sort.Ints(rows)
+	return rows
+}
+
+// internRows tokenizes and interns each needed row's attribute values
+// once per tokenizer, in parallel over the row list; sets[r] is indexed
+// [attr*len(tokenizers)+tokIdx]. Empty values get nil sets; the
+// extraction loop never consults them (null attributes short-circuit).
+func (e *Extractor) internRows(t *dataset.Table, rows []int, workers int) [][]*textsim.TokenSet {
+	sets := make([][]*textsim.TokenSet, len(t.Rows))
+	nt := len(e.tokenizers)
+	parDo(len(rows), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := rows[i]
+			rs := make([]*textsim.TokenSet, len(e.schema)*nt)
+			for a := range e.schema {
+				v := t.Rows[r].Values[a]
+				if v == "" {
+					continue
+				}
+				for ti, tok := range e.tokenizers {
+					ts := textsim.GetTokenSet()
+					e.dict.InternValue(tok, v, ts)
+					rs[a*nt+ti] = ts
+				}
+			}
+			sets[r] = rs
+		}
+	})
+	return sets
+}
+
+func releaseRowSets(sets [][]*textsim.TokenSet) {
+	for _, rs := range sets {
+		for _, ts := range rs {
+			if ts != nil {
+				ts.Release()
+			}
+		}
+	}
+}
+
+// parDo runs body over [0, n) in at most workers contiguous chunks,
+// mirroring the chunking the blocking and core packages use.
+func parDo(n, workers int, body func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
 	var wg sync.WaitGroup
-	chunk := (len(pairs) + nWorkers - 1) / nWorkers
-	for w := 0; w < nWorkers; w++ {
-		lo, hi := w*chunk, min((w+1)*chunk, len(pairs))
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, n)
 		if lo >= hi {
 			continue
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				p := pairs[i]
-				out[i] = e.Extract(d.Left.Rows[p.L], d.Right.Rows[p.R])
-			}
+			body(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 // Atom is one Boolean rule predicate: Metric(Attr) ≥ Threshold (§3, §6.3).
@@ -215,23 +399,11 @@ func (e *BoolExtractor) Extract(left, right dataset.Record) []bool {
 // parallel, preserving order.
 func (e *BoolExtractor) ExtractPairs(d *dataset.Dataset, pairs []dataset.PairKey) [][]bool {
 	out := make([][]bool, len(pairs))
-	nWorkers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + nWorkers - 1) / nWorkers
-	for w := 0; w < nWorkers; w++ {
-		lo, hi := w*chunk, min((w+1)*chunk, len(pairs))
-		if lo >= hi {
-			continue
+	parDo(len(pairs), runtime.GOMAXPROCS(0), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pairs[i]
+			out[i] = e.Extract(d.Left.Rows[p.L], d.Right.Rows[p.R])
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				p := pairs[i]
-				out[i] = e.Extract(d.Left.Rows[p.L], d.Right.Rows[p.R])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }

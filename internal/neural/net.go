@@ -95,6 +95,64 @@ func (n *Net) init(dim int) {
 
 const bnEps = 1e-5
 
+// trainScratch holds every per-batch work buffer Train needs, allocated
+// once per fit and reused across all mini-batches of all epochs. The
+// original implementation re-made each of these inside the batch loop —
+// roughly eighty allocations per batch, tens of thousands per fit.
+// Reuse is exact because every slot is either written unconditionally
+// on the forward/backward pass (z1, xhat, bn, dBN, dRelu), written on
+// both branches of its conditional (relu, drop, dXhat), or zeroed below
+// before its += accumulation (mean, variance and the grad buffers) —
+// matching the zero state a fresh make provided.
+type trainScratch struct {
+	z1    [][]float64 // pre-BN ReLU input
+	relu  [][]float64 // post-ReLU (pre-BN)
+	xhat  [][]float64 // normalized activations
+	bn    [][]float64 // post-BN, post-dropout activations
+	dBN   [][]float64 // gradient wrt bn activations
+	dXhat [][]float64
+	dRelu [][]float64
+	drop  [][]bool
+
+	mean, variance      []float64
+	gradW2              []float64
+	gradGamma, gradBeta []float64
+	gradB1              []float64
+	gradW1              [][]float64
+}
+
+func newTrainScratch(batch, hidden, dim int) *trainScratch {
+	mat := func(rows, cols int) [][]float64 {
+		m := make([][]float64, rows)
+		for i := range m {
+			m[i] = make([]float64, cols)
+		}
+		return m
+	}
+	s := &trainScratch{
+		z1:    mat(batch, hidden),
+		relu:  mat(batch, hidden),
+		xhat:  mat(batch, hidden),
+		bn:    mat(batch, hidden),
+		dBN:   mat(batch, hidden),
+		dXhat: mat(batch, hidden),
+		dRelu: mat(batch, hidden),
+		drop:  make([][]bool, batch),
+
+		mean:      make([]float64, hidden),
+		variance:  make([]float64, hidden),
+		gradW2:    make([]float64, hidden),
+		gradGamma: make([]float64, hidden),
+		gradBeta:  make([]float64, hidden),
+		gradB1:    make([]float64, hidden),
+		gradW1:    mat(hidden, dim),
+	}
+	for i := range s.drop {
+		s.drop[i] = make([]bool, hidden)
+	}
+	return s
+}
+
 // Train fits the network from scratch on the labeled vectors.
 func (n *Net) Train(X []feature.Vector, y []bool) {
 	if len(X) == 0 {
@@ -109,6 +167,8 @@ func (n *Net) Train(X []feature.Vector, y []bool) {
 	}
 	lr := n.LR
 	const bnMomentum = 0.9
+	maxBatch := min(n.BatchSize, len(X))
+	sc := newTrainScratch(maxBatch, n.Hidden, n.dim)
 	for epoch := 0; epoch < n.Epochs; epoch++ {
 		n.rand.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < len(idx); start += n.BatchSize {
@@ -116,12 +176,10 @@ func (n *Net) Train(X []feature.Vector, y []bool) {
 			batch := idx[start:end]
 			m := len(batch)
 
-			// Forward.
-			z1 := make([][]float64, m)   // pre-BN ReLU input
-			relu := make([][]float64, m) // post-ReLU (pre-BN)
+			// Forward. Only rows [0, m) of the scratch matrices are
+			// touched; a short final batch simply leaves the rest idle.
+			z1, relu := sc.z1, sc.relu
 			for bi, i := range batch {
-				z1[bi] = make([]float64, n.Hidden)
-				relu[bi] = make([]float64, n.Hidden)
 				for h := 0; h < n.Hidden; h++ {
 					s := n.b1[h]
 					for j, xj := range X[i] {
@@ -130,13 +188,15 @@ func (n *Net) Train(X []feature.Vector, y []bool) {
 					z1[bi][h] = s
 					if s > 0 {
 						relu[bi][h] = s
+					} else {
+						relu[bi][h] = 0
 					}
 				}
 			}
 			// Batch norm over the mini-batch.
-			mean := make([]float64, n.Hidden)
-			variance := make([]float64, n.Hidden)
+			mean, variance := sc.mean, sc.variance
 			for h := 0; h < n.Hidden; h++ {
+				mean[h], variance[h] = 0, 0
 				for bi := 0; bi < m; bi++ {
 					mean[h] += relu[bi][h]
 				}
@@ -149,13 +209,8 @@ func (n *Net) Train(X []feature.Vector, y []bool) {
 				n.runMean[h] = bnMomentum*n.runMean[h] + (1-bnMomentum)*mean[h]
 				n.runVar[h] = bnMomentum*n.runVar[h] + (1-bnMomentum)*variance[h]
 			}
-			xhat := make([][]float64, m)
-			bn := make([][]float64, m)
-			drop := make([][]bool, m)
+			xhat, bn, drop := sc.xhat, sc.bn, sc.drop
 			for bi := 0; bi < m; bi++ {
-				xhat[bi] = make([]float64, n.Hidden)
-				bn[bi] = make([]float64, n.Hidden)
-				drop[bi] = make([]bool, n.Hidden)
 				for h := 0; h < n.Hidden; h++ {
 					xhat[bi][h] = (relu[bi][h] - mean[h]) / math.Sqrt(variance[h]+bnEps)
 					v := n.gamma[h]*xhat[bi][h] + n.beta[h]
@@ -164,14 +219,17 @@ func (n *Net) Train(X []feature.Vector, y []bool) {
 						drop[bi][h] = true
 						v = 0
 					} else {
+						drop[bi][h] = false
 						v /= 1 - n.Dropout
 					}
 					bn[bi][h] = v
 				}
 			}
 			// Output margin and sigmoid probability.
-			dBN := make([][]float64, m) // gradient wrt bn activations
-			var gradW2 []float64 = make([]float64, n.Hidden)
+			dBN, gradW2 := sc.dBN, sc.gradW2
+			for h := range gradW2 {
+				gradW2[h] = 0
+			}
 			gradB2 := 0.0
 			for bi, i := range batch {
 				margin := n.b2
@@ -185,7 +243,6 @@ func (n *Net) Train(X []feature.Vector, y []bool) {
 				}
 				// L2 loss: dL/dmargin = 2(p-t) p (1-p).
 				dMargin := 2 * (p - target) * p * (1 - p)
-				dBN[bi] = make([]float64, n.Hidden)
 				for h := 0; h < n.Hidden; h++ {
 					gradW2[h] += dMargin * bn[bi][h]
 					dBN[bi][h] = dMargin * n.w2[h]
@@ -193,13 +250,15 @@ func (n *Net) Train(X []feature.Vector, y []bool) {
 				gradB2 += dMargin
 			}
 			// Backprop through dropout and batch norm.
-			gradGamma := make([]float64, n.Hidden)
-			gradBeta := make([]float64, n.Hidden)
-			dXhat := make([][]float64, m)
+			gradGamma, gradBeta := sc.gradGamma, sc.gradBeta
+			for h := range gradGamma {
+				gradGamma[h], gradBeta[h] = 0, 0
+			}
+			dXhat := sc.dXhat
 			for bi := 0; bi < m; bi++ {
-				dXhat[bi] = make([]float64, n.Hidden)
 				for h := 0; h < n.Hidden; h++ {
 					if drop[bi][h] {
+						dXhat[bi][h] = 0
 						continue
 					}
 					g := dBN[bi][h] / (1 - n.Dropout)
@@ -209,10 +268,7 @@ func (n *Net) Train(X []feature.Vector, y []bool) {
 				}
 			}
 			// Standard batch-norm backward pass to pre-BN activations.
-			dRelu := make([][]float64, m)
-			for bi := 0; bi < m; bi++ {
-				dRelu[bi] = make([]float64, n.Hidden)
-			}
+			dRelu := sc.dRelu
 			for h := 0; h < n.Hidden; h++ {
 				invStd := 1 / math.Sqrt(variance[h]+bnEps)
 				var sumDXhat, sumDXhatXhat float64
@@ -226,11 +282,13 @@ func (n *Net) Train(X []feature.Vector, y []bool) {
 				}
 			}
 			// Through ReLU into first-layer parameters.
-			gradW1 := make([][]float64, n.Hidden)
+			gradW1, gradB1 := sc.gradW1, sc.gradB1
 			for h := range gradW1 {
-				gradW1[h] = make([]float64, n.dim)
+				for j := range gradW1[h] {
+					gradW1[h][j] = 0
+				}
+				gradB1[h] = 0
 			}
-			gradB1 := make([]float64, n.Hidden)
 			for bi, i := range batch {
 				for h := 0; h < n.Hidden; h++ {
 					if z1[bi][h] <= 0 {

@@ -36,5 +36,8 @@ func (c *Corpus) UnmarshalJSON(data []byte) error {
 		c.df = map[string]int{}
 	}
 	c.tok = Whitespace{}
+	// A decoded corpus must be as ready as a built one: the precomputed
+	// IDF table is derived state, rebuilt here rather than persisted.
+	c.finalize()
 	return nil
 }

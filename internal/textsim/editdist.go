@@ -1,6 +1,11 @@
 package textsim
 
 // Character-level (edit-distance style) similarity metrics.
+//
+// Every metric here runs on pooled scratch buffers (pool.go): the rune
+// conversions and DP rows are borrowed for the duration of one Compare
+// call and fully (re)initialized before use, so the pooled path is
+// bit-identical to the historical make-per-call implementation.
 
 // Levenshtein is edit-distance similarity: 1 - dist/max(len(a), len(b)).
 type Levenshtein struct{}
@@ -10,24 +15,30 @@ func (Levenshtein) Name() string { return "levenshtein" }
 
 // Compare implements Metric.
 func (Levenshtein) Compare(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = runesInto(sc.ra, a)
+	sc.rb = runesInto(sc.rb, b)
+	ra, rb := sc.ra, sc.rb
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
-	d := levenshteinDist(ra, rb)
+	d := levenshteinDist(sc, ra, rb)
 	return 1 - float64(d)/float64(max(len(ra), len(rb)))
 }
 
-// levenshteinDist computes the classic edit distance with two rolling rows.
-func levenshteinDist(a, b []rune) int {
+// levenshteinDist computes the classic edit distance with two rolling rows
+// borrowed from sc.
+func levenshteinDist(sc *scratch, a, b []rune) int {
 	if len(a) == 0 {
 		return len(b)
 	}
 	if len(b) == 0 {
 		return len(a)
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	sc.ia = growInts(sc.ia, len(b)+1)
+	sc.ib = growInts(sc.ib, len(b)+1)
+	prev, cur := sc.ia, sc.ib
 	for j := range prev {
 		prev[j] = j
 	}
@@ -55,7 +66,11 @@ func (DamerauLevenshtein) Name() string { return "damerau_levenshtein" }
 
 // Compare implements Metric.
 func (DamerauLevenshtein) Compare(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = runesInto(sc.ra, a)
+	sc.rb = runesInto(sc.rb, b)
+	ra, rb := sc.ra, sc.rb
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
@@ -64,7 +79,10 @@ func (DamerauLevenshtein) Compare(a, b string) float64 {
 	}
 	// Three rolling rows: i-2, i-1, i.
 	n := len(rb) + 1
-	r2, r1, r0 := make([]int, n), make([]int, n), make([]int, n)
+	sc.ia = growInts(sc.ia, n)
+	sc.ib = growInts(sc.ib, n)
+	sc.ic = growInts(sc.ic, n)
+	r2, r1, r0 := sc.ia, sc.ib, sc.ic
 	for j := 0; j < n; j++ {
 		r1[j] = j
 	}
@@ -94,9 +112,18 @@ type Jaro struct{}
 func (Jaro) Name() string { return "jaro" }
 
 // Compare implements Metric.
-func (Jaro) Compare(a, b string) float64 { return jaroSim([]rune(a), []rune(b)) }
+func (Jaro) Compare(a, b string) float64 {
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = runesInto(sc.ra, a)
+	sc.rb = runesInto(sc.rb, b)
+	return jaroSim(sc, sc.ra, sc.rb)
+}
 
-func jaroSim(a, b []rune) float64 {
+// jaroSim computes Jaro similarity using sc's match-flag buffers; the
+// flags are cleared here because the algorithm reads them before first
+// write, unlike the DP rows above which are fully written first.
+func jaroSim(sc *scratch, a, b []rune) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
@@ -107,8 +134,11 @@ func jaroSim(a, b []rune) float64 {
 	if window < 0 {
 		window = 0
 	}
-	aMatch := make([]bool, len(a))
-	bMatch := make([]bool, len(b))
+	sc.ba = growBools(sc.ba, len(a))
+	sc.bb = growBools(sc.bb, len(b))
+	aMatch, bMatch := sc.ba, sc.bb
+	clear(aMatch)
+	clear(bMatch)
 	matches := 0
 	for i := range a {
 		lo := max(0, i-window)
@@ -153,8 +183,12 @@ func (JaroWinkler) Name() string { return "jaro_winkler" }
 
 // Compare implements Metric.
 func (JaroWinkler) Compare(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	j := jaroSim(ra, rb)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = runesInto(sc.ra, a)
+	sc.rb = runesInto(sc.rb, b)
+	ra, rb := sc.ra, sc.rb
+	j := jaroSim(sc, ra, rb)
 	prefix := 0
 	for prefix < min(4, len(ra), len(rb)) && ra[prefix] == rb[prefix] {
 		prefix++
@@ -172,15 +206,20 @@ func (NeedlemanWunsch) Name() string { return "needleman_wunsch" }
 
 // Compare implements Metric.
 func (NeedlemanWunsch) Compare(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = runesInto(sc.ra, a)
+	sc.rb = runesInto(sc.rb, b)
+	ra, rb := sc.ra, sc.rb
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
 	if len(ra) == 0 || len(rb) == 0 {
 		return 0
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	sc.ia = growInts(sc.ia, len(rb)+1)
+	sc.ib = growInts(sc.ib, len(rb)+1)
+	prev, cur := sc.ia, sc.ib
 	for j := range prev {
 		prev[j] = -j
 	}
@@ -213,7 +252,7 @@ func (SmithWaterman) Name() string { return "smith_waterman" }
 
 // Compare implements Metric.
 func (SmithWaterman) Compare(a, b string) float64 {
-	return smithWaterman([]rune(a), []rune(b), -1, -1)
+	return smithWatermanStrings(a, b, -1, -1)
 }
 
 // SmithWatermanGotoh is Smith-Waterman with cheaper gap extension
@@ -226,20 +265,32 @@ func (SmithWatermanGotoh) Name() string { return "smith_waterman_gotoh" }
 
 // Compare implements Metric.
 func (SmithWatermanGotoh) Compare(a, b string) float64 {
-	return smithWaterman([]rune(a), []rune(b), -0.5, -1)
+	return smithWatermanStrings(a, b, -0.5, -1)
+}
+
+func smithWatermanStrings(a, b string, gap, mismatch float64) float64 {
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = runesInto(sc.ra, a)
+	sc.rb = runesInto(sc.rb, b)
+	return smithWaterman(sc, sc.ra, sc.rb, gap, mismatch)
 }
 
 // smithWaterman computes normalized local alignment with the given gap and
 // mismatch penalties (match is +1).
-func smithWaterman(a, b []rune, gap, mismatch float64) float64 {
+func smithWaterman(sc *scratch, a, b []rune, gap, mismatch float64) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	prev := make([]float64, len(b)+1)
-	cur := make([]float64, len(b)+1)
+	sc.fa = growFloats(sc.fa, len(b)+1)
+	sc.fb = growFloats(sc.fb, len(b)+1)
+	prev, cur := sc.fa, sc.fb
+	for j := range prev {
+		prev[j] = 0
+	}
 	best := 0.0
 	for i := 1; i <= len(a); i++ {
 		cur[0] = 0

@@ -1,6 +1,6 @@
 package textsim
 
-import "strings"
+import "unicode"
 
 // Soundex compares American Soundex codes of the two strings' first words
 // with Jaro-Winkler, mirroring the Simmetrics SoundexSimilarity wrapper.
@@ -13,42 +13,80 @@ func (Soundex) Name() string { return "soundex" }
 
 // Compare implements Metric.
 func (Soundex) Compare(a, b string) float64 {
-	ca, cb := soundexCode(a), soundexCode(b)
-	if ca == "" && cb == "" {
+	ca, oka := soundexCode4(a)
+	cb, okb := soundexCode4(b)
+	if !oka && !okb {
 		return 1
 	}
-	if ca == "" || cb == "" {
+	if !oka || !okb {
 		return 0
 	}
-	return JaroWinkler{}.Compare(ca, cb)
+	return JaroWinkler{}.Compare(string(ca[:]), string(cb[:]))
+}
+
+// InternTokenizer implements TokenSetMetric: the "token multiset" of a
+// value under Soundex is its single phonetic code (or nothing when the
+// value has no alphabetic content), so the batch extractor computes each
+// record's code once instead of once per candidate pair.
+func (Soundex) InternTokenizer() Tokenizer { return soundexTokenizer{} }
+
+// CompareTokenSets implements TokenSetMetric.
+func (Soundex) CompareTokenSets(a, b *TokenSet) float64 {
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	return JaroWinkler{}.Compare(a.Toks[0], b.Toks[0])
+}
+
+// soundexTokenizer emits the Soundex code of a value as its only token.
+type soundexTokenizer struct{}
+
+// Tokens implements Tokenizer.
+func (soundexTokenizer) Tokens(s string) []string {
+	c, ok := soundexCode4(s)
+	if !ok {
+		return nil
+	}
+	return []string{string(c[:])}
 }
 
 // soundexCode computes the 4-character American Soundex code of the first
-// alphabetic word in s; non-ASCII letters are skipped.
+// alphabetic word in s, or "" when there is none.
 func soundexCode(s string) string {
-	s = strings.ToUpper(s)
-	var first byte
-	var rest []byte
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if c < 'A' || c > 'Z' {
-			if first != 0 {
+	c, ok := soundexCode4(s)
+	if !ok {
+		return ""
+	}
+	return string(c[:])
+}
+
+// soundexCode4 is the allocation-free form of soundexCode. It upper-cases
+// per rune while decoding — equivalent to walking the bytes of
+// strings.ToUpper(s), because ToUpper applies unicode.ToUpper per rune
+// and every non-ASCII result falls outside A-Z either way — and encodes
+// into a fixed 4-byte buffer. Non-ASCII-alphabetic runes are skipped
+// before the first letter and terminate the word after it.
+func soundexCode4(s string) (code [4]byte, ok bool) {
+	n := 0
+	var prev byte
+	for _, r := range s {
+		r = unicode.ToUpper(r)
+		if r < 'A' || r > 'Z' {
+			if n > 0 {
 				break // stop at end of first word
 			}
 			continue
 		}
-		if first == 0 {
-			first = c
-		} else {
-			rest = append(rest, c)
+		c := byte(r)
+		if n == 0 {
+			code[0] = c
+			n = 1
+			prev = soundexDigit(c)
+			continue
 		}
-	}
-	if first == 0 {
-		return ""
-	}
-	code := []byte{first}
-	prev := soundexDigit(first)
-	for _, c := range rest {
 		d := soundexDigit(c)
 		switch {
 		case d == 0:
@@ -57,17 +95,21 @@ func soundexCode(s string) string {
 				prev = 0
 			}
 		case d != prev:
-			code = append(code, '0'+d)
+			code[n] = '0' + d
+			n++
 			prev = d
 		}
-		if len(code) == 4 {
+		if n == 4 {
 			break
 		}
 	}
-	for len(code) < 4 {
-		code = append(code, '0')
+	if n == 0 {
+		return code, false
 	}
-	return string(code)
+	for ; n < 4; n++ {
+		code[n] = '0'
+	}
+	return code, true
 }
 
 func soundexDigit(c byte) byte {

@@ -10,15 +10,22 @@ func (LongestCommonSubsequence) Name() string { return "lcs_subsequence" }
 
 // Compare implements Metric.
 func (LongestCommonSubsequence) Compare(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = runesInto(sc.ra, a)
+	sc.rb = runesInto(sc.rb, b)
+	ra, rb := sc.ra, sc.rb
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
 	if len(ra) == 0 || len(rb) == 0 {
 		return 0
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	sc.ia = growInts(sc.ia, len(rb)+1)
+	sc.ib = growInts(sc.ib, len(rb)+1)
+	prev, cur := sc.ia, sc.ib
+	clear(prev)
+	cur[0] = 0
 	for i := 1; i <= len(ra); i++ {
 		for j := 1; j <= len(rb); j++ {
 			if ra[i-1] == rb[j-1] {
@@ -41,15 +48,22 @@ func (LongestCommonSubstring) Name() string { return "lcs_substring" }
 
 // Compare implements Metric.
 func (LongestCommonSubstring) Compare(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = runesInto(sc.ra, a)
+	sc.rb = runesInto(sc.rb, b)
+	ra, rb := sc.ra, sc.rb
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
 	if len(ra) == 0 || len(rb) == 0 {
 		return 0
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	sc.ia = growInts(sc.ia, len(rb)+1)
+	sc.ib = growInts(sc.ib, len(rb)+1)
+	prev, cur := sc.ia, sc.ib
+	clear(prev)
+	cur[0] = 0
 	best := 0
 	for i := 1; i <= len(ra); i++ {
 		for j := 1; j <= len(rb); j++ {

@@ -42,22 +42,40 @@ type QGramTokenizer struct {
 }
 
 // Tokens implements Tokenizer.
+//
+// The string is lowered exactly once, rune by rune, while it is decoded
+// — the historical implementation allocated an intermediate lowered
+// string ([]rune(strings.ToLower(s))) and re-lowered input that callers
+// had already lowered; the single decode-and-lower pass produces the
+// identical rune sequence (strings.ToLower applies unicode.ToLower per
+// rune, and both forms decode invalid UTF-8 to U+FFFD), pinned by
+// TestQGramLowerOnceEquivalence. When padding is requested the sentinel
+// capacity is reserved up front so padding never reallocates.
 func (t QGramTokenizer) Tokens(s string) []string {
 	q := t.Q
 	if q <= 0 {
 		q = 3
 	}
-	r := []rune(strings.ToLower(s))
-	if t.Pad && len(r) > 0 {
-		padded := make([]rune, 0, len(r)+2*(q-1))
-		for i := 0; i < q-1; i++ {
-			padded = append(padded, '#')
+	pad := 0
+	if t.Pad {
+		pad = q - 1
+	}
+	r := make([]rune, 0, len(s)+2*pad)
+	for i := 0; i < pad; i++ {
+		r = append(r, '#')
+	}
+	n := len(r)
+	for _, c := range s {
+		r = append(r, unicode.ToLower(c))
+	}
+	if len(r) == n {
+		// Empty input: no padding either, matching the historical
+		// behaviour of padding only non-empty strings.
+		r = r[:0]
+	} else {
+		for i := 0; i < pad; i++ {
+			r = append(r, '$')
 		}
-		padded = append(padded, r...)
-		for i := 0; i < q-1; i++ {
-			padded = append(padded, '$')
-		}
-		r = padded
 	}
 	if len(r) < q {
 		if len(r) == 0 {

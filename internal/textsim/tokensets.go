@@ -263,7 +263,11 @@ func (g GeneralizedJaccard) Compare(a, b string) float64 {
 
 func softJaccardDirected(sa, sb []string) float64 {
 	jw := JaroWinkler{}
-	used := make([]bool, len(sb))
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ba = growBools(sc.ba, len(sb))
+	used := sc.ba
+	clear(used)
 	var matched float64
 	for _, x := range sa {
 		bestJ, bestSim := -1, 0.0

@@ -1,31 +1,46 @@
 #!/bin/sh
-# bench_json.sh — run the serial/parallel selector benchmarks and the
-# blocking index benchmarks, and emit a machine-readable summary.
+# bench_json.sh — run the serial/parallel selector benchmarks, the
+# blocking index benchmarks and the matcher scoring benchmarks, and
+# emit a machine-readable summary.
 #
 # Usage: sh scripts/bench_json.sh [OUT.json]
 #
-# Runs the paired benchmarks in internal/core and internal/blocking with
-# -benchmem, parses the standard `go test -bench` output with awk, and
-# writes one JSON document containing every benchmark's ns/op, B/op and
-# allocs/op plus two speedup sections: "speedups" pairing each
-# <name>/serial with its <name>/parallel counterpart (speedup = serial
-# ns / parallel ns), and "indexed_speedups" pairing each <name>/naive
-# with its <name>/indexed counterpart (speedup = naive ns / indexed ns —
-# the algorithmic win of the inverted candidate index over the Cartesian
-# scan, independent of CPU count). GOMAXPROCS is recorded alongside: the
+# Runs the paired benchmarks in internal/core, internal/blocking and
+# internal/match with -benchmem, parses the standard `go test -bench`
+# output with awk, and writes one JSON document containing every
+# benchmark's ns/op, B/op and allocs/op plus three derived sections:
+# "speedups" pairing each <name>/serial with its <name>/parallel
+# counterpart (speedup = serial ns / parallel ns), "indexed_speedups"
+# pairing each <name>/naive with its <name>/indexed counterpart
+# (speedup = naive ns / indexed ns — the algorithmic win of the
+# inverted candidate index over the Cartesian scan, independent of CPU
+# count), and "alloc_reductions" pairing each <name>/string with its
+# <name>/interned counterpart (reduction = 1 − interned allocs / string
+# allocs — the zero-alloc campaign's ratchet; the run FAILS if any
+# reduction falls under 0.30). GOMAXPROCS is recorded alongside: the
 # parallel variants use every CPU the machine offers, so the
-# serial/parallel ratio is only meaningful relative to that count (on a
-# single-CPU machine it is ~1.0 by construction).
+# serial/parallel ratio is only meaningful relative to that count — and
+# the script refuses to run with fewer than two CPUs, because a
+# single-CPU "speedup" of ~1.0 silently misrepresents every parallel
+# path (set GOMAXPROCS=2 explicitly to bench on a constrained host).
 #
 # Environment:
-#   GO         go binary (default: go)
-#   BENCHTIME  passed to -benchtime (default: 10x)
+#   GO          go binary (default: go)
+#   BENCHTIME   passed to -benchtime (default: 10x)
+#   GOMAXPROCS  forwarded to go test; effective value must be >= 2
 
 set -eu
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_9.json}"
 GO="${GO:-go}"
 BENCHTIME="${BENCHTIME:-10x}"
+
+EFFECTIVE_PROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+if [ "$EFFECTIVE_PROCS" -lt 2 ]; then
+    echo "bench_json: effective GOMAXPROCS is $EFFECTIVE_PROCS; parallel-vs-serial numbers" >&2
+    echo "bench_json: are meaningless below 2. Set GOMAXPROCS=2 (or run on a multi-core host)." >&2
+    exit 1
+fi
 
 cd "$(dirname "$0")/.."
 
@@ -36,6 +51,8 @@ trap 'rm -f "$RAW"' EXIT
     -benchtime "$BENCHTIME" ./internal/core/ | tee -a "$RAW" >&2
 "$GO" test -run '^$' -bench 'IndexBuild|Candidates|BlockPairs' -benchmem \
     -benchtime "$BENCHTIME" ./internal/blocking/ | tee -a "$RAW" >&2
+"$GO" test -run '^$' -bench 'MatcherScoreAll' -benchmem \
+    -benchtime "$BENCHTIME" ./internal/match/ | tee -a "$RAW" >&2
 
 # The -<n> suffix go attaches to each benchmark name is GOMAXPROCS.
 awk '
@@ -56,6 +73,7 @@ BEGIN { gomaxprocs = "" }
     n++
     names[n] = name; it[n] = iters; nsop[n] = ns; bop[n] = bytes; aop[n] = allocs
     nsByName[name] = ns
+    if (allocs != "") aopByName[name] = allocs
     # Infer gomaxprocs from the benchmark name suffix if not supplied.
     if (gomaxprocs == "" && match($1, /-[0-9]+$/))
         gomaxprocs = substr($1, RSTART + 1)
@@ -88,6 +106,36 @@ END {
         base = name
         if (sub(/\/indexed$/, "", base) && !((base "/naive") in nsByName)) {
             printf "bench_json: %s has no /naive counterpart\n", name > "/dev/stderr"
+            bad = 1
+        }
+        base = name
+        if (sub(/\/string$/, "", base) && !((base "/interned") in aopByName)) {
+            printf "bench_json: %s has no /interned counterpart with allocs/op\n", name > "/dev/stderr"
+            bad = 1
+        }
+        base = name
+        if (sub(/\/interned$/, "", base) && !((base "/string") in aopByName)) {
+            printf "bench_json: %s has no /string counterpart with allocs/op\n", name > "/dev/stderr"
+            bad = 1
+        }
+    }
+    # Allocation ratchet: every string/interned pair must show at least
+    # a 30% allocs/op reduction, or the whole run fails loudly.
+    for (name in aopByName) {
+        if (name !~ /\/string$/) continue
+        base = name
+        sub(/\/string$/, "", base)
+        intern = base "/interned"
+        if (!(intern in aopByName)) continue
+        if (aopByName[name] == 0) {
+            printf "bench_json: %s reports 0 allocs/op, reduction undefined\n", name > "/dev/stderr"
+            bad = 1
+            continue
+        }
+        red = 1 - aopByName[intern] / aopByName[name]
+        if (red < 0.30) {
+            printf "bench_json: %s allocs/op reduction %.3f below the 0.30 ratchet (string=%s interned=%s)\n", \
+                   base, red, aopByName[name], aopByName[intern] > "/dev/stderr"
             bad = 1
         }
     }
@@ -126,6 +174,22 @@ END {
                               base, nsByName[name], nsByName[idx], nsByName[name] / nsByName[idx])
     }
     for (i = 1; i <= m; i++) printf "%s%s\n", ipairs[i], (i < m ? "," : "")
+    printf "  ],\n  \"alloc_reductions\": [\n"
+    m = 0
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        if (name !~ /\/string$/) continue
+        base = name
+        sub(/\/string$/, "", base)
+        intern = base "/interned"
+        if (!(name in aopByName) || !(intern in aopByName)) continue
+        apairs[++m] = sprintf("    {\"name\": \"%s\", \"string_allocs\": %s, \"interned_allocs\": %s, \"reduction\": %.3f, \"string_ns\": %s, \"interned_ns\": %s, \"speedup\": %.3f}",
+                              base, aopByName[name], aopByName[intern],
+                              1 - aopByName[intern] / aopByName[name],
+                              nsByName[name], nsByName[intern],
+                              nsByName[name] / nsByName[intern])
+    }
+    for (i = 1; i <= m; i++) printf "%s%s\n", apairs[i], (i < m ? "," : "")
     printf "  ]\n}\n"
 }' "$RAW" > "$OUT"
 
