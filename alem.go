@@ -402,6 +402,9 @@ const (
 	// StopOracleFailed: labeling stalled — every query in a round failed
 	// even after retries, so the run kept its partial model and stopped.
 	StopOracleFailed = core.StopOracleFailed
+	// StopBudgetExhausted: the Config.MaxDollars budget can no longer
+	// afford the next answer at the labeler's worst-case price.
+	StopBudgetExhausted = core.StopBudgetExhausted
 )
 
 // NewSession validates cfg and prepares a run without starting it.
@@ -809,6 +812,90 @@ func RestoreSessionWithWAL(pool *Pool, l Learner, s Selector, fo FallibleOracle,
 	sn *SessionSnapshot, wal []LabelRecord) (*Session, error) {
 	return core.RestoreWithWAL(pool, l, s, fo, sn, wal)
 }
+
+// Costly oracles: batched labelers that charge per answer, abstain, and
+// take wall-clock time — the LLM/crowd labeling regime — plus the dollar
+// budgets, cost ledger and transfer warm-start that go with them.
+type (
+	// BatchOracle labels whole batches in one call; answers are priced
+	// and may abstain or fail per pair.
+	BatchOracle = oracle.BatchOracle
+	// OracleAnswer is one pair's outcome in a batch: a verdict, its
+	// billed cost, or a per-pair error.
+	OracleAnswer = oracle.Answer
+	// OracleVerdict is a batch labeler's three-way answer.
+	OracleVerdict = oracle.Verdict
+	// PriceTable is a batch labeler's per-answer price list.
+	PriceTable = oracle.PriceTable
+	// LLMSimConfig parameterizes the simulated LLM labeler.
+	LLMSimConfig = oracle.LLMSimConfig
+	// SimulatedLLMOracle is a deterministic, seeded stand-in for an LLM
+	// labeling API: priced answers, abstentions, failures, latency.
+	SimulatedLLMOracle = oracle.SimulatedLLMOracle
+	// CostLedger is a Session's running bill: answers bought, the
+	// label/abstain split, and dollars spent.
+	CostLedger = core.CostLedger
+	// OracleBatchDone reports one completed batch-labeling call with its
+	// answer mix, cost and latency.
+	OracleBatchDone = core.OracleBatchDone
+)
+
+// Batch labeler verdicts.
+const (
+	// VerdictNonMatch answers "different entities".
+	VerdictNonMatch = oracle.VerdictNonMatch
+	// VerdictMatch answers "same entity".
+	VerdictMatch = oracle.VerdictMatch
+	// VerdictAbstain declines to answer; billed, requeued until the
+	// abstain cutoff retires the pair.
+	VerdictAbstain = oracle.VerdictAbstain
+)
+
+// DefaultAbstainCutoff is the per-pair abstention limit when
+// Config.AbstainCutoff is zero.
+const DefaultAbstainCutoff = core.DefaultAbstainCutoff
+
+// ErrSimulated marks failures injected by a SimulatedLLMOracle.
+var ErrSimulated = oracle.ErrSimulated
+
+// NewSimulatedLLMOracle builds the seeded simulated LLM labeler over a
+// dataset's ground truth. Identical (dataset, cfg, seed) yields an
+// identical answer stream regardless of batch interleaving.
+func NewSimulatedLLMOracle(d *Dataset, cfg LLMSimConfig, seed int64) *SimulatedLLMOracle {
+	return oracle.NewSimulatedLLM(d, cfg, seed)
+}
+
+// BatchedOracle adapts a per-pair Oracle to the BatchOracle interface:
+// free, never abstains, never fails — and bit-identical to the per-pair
+// path (the equivalence suite pins this).
+func BatchedOracle(inner Oracle) BatchOracle { return oracle.Batched(inner) }
+
+// BatchOfOracle adapts a FallibleOracle to the BatchOracle interface,
+// mapping per-pair errors to per-answer errors.
+func BatchOfOracle(fo FallibleOracle) BatchOracle { return resilience.BatchOf(fo) }
+
+// NewBatchSession is NewSession over a BatchOracle: labels are bought in
+// one priced call per iteration, abstentions are billed and requeued up
+// to Config.AbstainCutoff, and Config.MaxDollars bounds total spend
+// (the run stops with StopBudgetExhausted when the next answer could
+// overdraw it).
+func NewBatchSession(pool *Pool, l Learner, s Selector, bo BatchOracle, cfg Config) (*Session, error) {
+	return core.NewBatchSession(pool, l, s, bo, cfg)
+}
+
+// RestoreBatchSessionWithWAL resumes a batch-oracle run from a snapshot
+// plus label WAL: answers the dead process paid for — labels and billed
+// abstentions alike — are replayed from the WAL, never re-bought, and
+// the restored ledger matches the uninterrupted run to the cent.
+func RestoreBatchSessionWithWAL(pool *Pool, l Learner, s Selector, bo BatchOracle,
+	sn *SessionSnapshot, wal []LabelRecord) (*Session, error) {
+	return core.RestoreBatchWithWAL(pool, l, s, bo, sn, wal)
+}
+
+// RegisterOracleMetrics exposes the process-wide labeling-cost counters
+// (batches, answer mix, microdollars billed) on a metrics registry; the
+// match server's /metrics includes them automatically.
+func RegisterOracleMetrics(r *MetricsRegistry) { oracle.RegisterMetrics(r) }
 
 // Evaluation.
 type (

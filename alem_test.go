@@ -174,8 +174,8 @@ func TestFacadePersistenceAndMatcher(t *testing.T) {
 }
 
 func TestFacadeAblationIDs(t *testing.T) {
-	if n := len(alem.AblationIDs()); n != 16 {
-		t.Errorf("ablations = %d, want 16", n)
+	if n := len(alem.AblationIDs()); n != 18 {
+		t.Errorf("ablations = %d, want 18", n)
 	}
 	for _, id := range alem.AblationIDs() {
 		if !strings.HasPrefix(id, "ablation-") && id != "summary" {

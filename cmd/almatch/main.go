@@ -69,6 +69,14 @@ func main() {
 		selector  = flag.String("selector", "forest-qbc", "selection strategy; see -list-selectors (train mode)")
 		learnerN  = flag.String("learner", "forest", "learner family: forest or svm (train mode)")
 		listSel   = flag.Bool("list-selectors", false, "list registered selection strategies and exit")
+
+		warmstart   = flag.String("warmstart", "", "model file whose learner seeds the run (transfer warm-start; skips the seed bootstrap, train mode)")
+		llmOracle   = flag.Bool("llm-oracle", false, "label via the priced, abstaining simulated LLM labeler instead of the free perfect oracle (train mode)")
+		abstainRate = flag.Float64("abstain", 0.1, "simulated labeler abstention rate (with -llm-oracle)")
+		llmNoise    = flag.Float64("llm-noise", 0, "simulated labeler wrong-verdict rate (with -llm-oracle)")
+		priceLabel  = flag.Float64("price-label", 0.002, "dollars billed per delivered verdict (with -llm-oracle)")
+		priceAbst   = flag.Float64("price-abstain", 0.0005, "dollars billed per abstention (with -llm-oracle)")
+		maxDollars  = flag.Float64("max-dollars", 0, "dollar budget; 0 = unlimited — the run stops before overdrawing it (with -llm-oracle)")
 	)
 	flag.Parse()
 
@@ -86,6 +94,9 @@ func main() {
 			progress: *progress, checkpoint: *ckpt, resume: *resume, flaky: *flaky,
 			workers: *workers, trace: *tracePath,
 			selector: *selector, learner: *learnerN,
+			warmstart: *warmstart, llmOracle: *llmOracle,
+			abstainRate: *abstainRate, llmNoise: *llmNoise,
+			priceLabel: *priceLabel, priceAbstain: *priceAbst, maxDollars: *maxDollars,
 		})
 	case "apply":
 		err = apply(*modelPath, *leftPath, *rightPath, *threshold, *outPath)
@@ -115,6 +126,14 @@ type trainOpts struct {
 	trace      string
 	selector   string
 	learner    string
+
+	warmstart    string
+	llmOracle    bool
+	abstainRate  float64
+	llmNoise     float64
+	priceLabel   float64
+	priceAbstain float64
+	maxDollars   float64
 }
 
 func train(o trainOpts) error {
@@ -143,13 +162,40 @@ func train(o trainOpts) error {
 	}
 	cfg := alem.Config{Seed: o.seed, MaxLabels: o.maxLabels, TargetF1: 0.99, Workers: o.workers}
 
-	// The oracle is fallible end to end; -flaky layers deterministic fault
-	// injection plus retries on top, a drill for real labeling back ends.
-	labeler := alem.WrapOracle(alem.NewPerfectOracle(d))
-	if o.flaky > 0 {
-		labeler = alem.NewRetryOracle(
-			alem.NewFaultyOracle(labeler, alem.FaultConfig{TransientRate: o.flaky}, o.seed),
-			alem.RetryPolicy{}, o.seed)
+	// Two labeling back ends share the construction below: the free
+	// fallible oracle (with optional -flaky fault injection plus retries)
+	// and the priced, abstaining simulated LLM labeler, where -flaky maps
+	// to the simulator's per-answer failure rate and -max-dollars arms the
+	// dollar budget.
+	var newSession func() (*alem.Session, error)
+	var restoreSession func(*alem.SessionSnapshot, []alem.LabelRecord) (*alem.Session, error)
+	if o.llmOracle {
+		cfg.MaxDollars = o.maxDollars
+		bo := alem.NewSimulatedLLMOracle(d, alem.LLMSimConfig{
+			AbstainRate: o.abstainRate,
+			NoiseRate:   o.llmNoise,
+			FailRate:    o.flaky,
+			Price:       alem.PriceTable{PerLabel: o.priceLabel, PerAbstain: o.priceAbstain},
+		}, o.seed)
+		newSession = func() (*alem.Session, error) {
+			return alem.NewBatchSession(pool, learner, sel, bo, cfg)
+		}
+		restoreSession = func(sn *alem.SessionSnapshot, records []alem.LabelRecord) (*alem.Session, error) {
+			return alem.RestoreBatchSessionWithWAL(pool, learner, sel, bo, sn, records)
+		}
+	} else {
+		labeler := alem.WrapOracle(alem.NewPerfectOracle(d))
+		if o.flaky > 0 {
+			labeler = alem.NewRetryOracle(
+				alem.NewFaultyOracle(labeler, alem.FaultConfig{TransientRate: o.flaky}, o.seed),
+				alem.RetryPolicy{}, o.seed)
+		}
+		newSession = func() (*alem.Session, error) {
+			return alem.NewFallibleSession(pool, learner, sel, labeler, cfg)
+		}
+		restoreSession = func(sn *alem.SessionSnapshot, records []alem.LabelRecord) (*alem.Session, error) {
+			return alem.RestoreSessionWithWAL(pool, learner, sel, labeler, sn, records)
+		}
 	}
 
 	var session *alem.Session
@@ -171,7 +217,7 @@ func train(o trainOpts) error {
 			return err
 		}
 		wal = w
-		session, err = alem.RestoreSessionWithWAL(pool, learner, sel, labeler, sn, records)
+		session, err = restoreSession(sn, records)
 		if err != nil {
 			wal.Close()
 			return err
@@ -183,7 +229,7 @@ func train(o trainOpts) error {
 		// would poison the WAL replay, so they are removed up front.
 		os.Remove(o.checkpoint)
 		os.Remove(walPath)
-		session, err = alem.NewFallibleSession(pool, learner, sel, labeler, cfg)
+		session, err = newSession()
 		if err != nil {
 			return err
 		}
@@ -193,10 +239,26 @@ func train(o trainOpts) error {
 		}
 		wal = w
 	default:
-		session, err = alem.NewFallibleSession(pool, learner, sel, labeler, cfg)
+		session, err = newSession()
 		if err != nil {
 			return err
 		}
+	}
+	if o.warmstart != "" {
+		f, err := os.Open(o.warmstart)
+		if err != nil {
+			return fmt.Errorf("warmstart: %w", err)
+		}
+		art, err := alem.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("warmstart %s: %w", o.warmstart, err)
+		}
+		if err := session.SetWarmStart(art.Learner); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "warm-start from %s: %s trained on %s drives selection until handover\n",
+			o.warmstart, art.Learner.Name(), art.Meta.Dataset)
 	}
 	if wal != nil {
 		session.SetLabelSink(wal)
@@ -218,6 +280,9 @@ func train(o trainOpts) error {
 			case alem.OracleFault:
 				fmt.Fprintf(os.Stderr, "iter %3d: pair (%d,%d) failed, requeued: %v\n",
 					ev.Iteration, ev.Pair.L, ev.Pair.R, ev.Err)
+			case alem.OracleBatchDone:
+				fmt.Fprintf(os.Stderr, "iter %3d: batch of %d -> %d labels, %d abstain; spent $%.4f\n",
+					ev.Iteration, ev.Pairs, ev.Labels, ev.Abstains, ev.Spent)
 			}
 		}))
 	}
@@ -261,6 +326,11 @@ func train(o trainOpts) error {
 	}
 	fmt.Printf("trained %s/%s on %s: best F1 %.3f with %d labels (%s)\n",
 		learner.Name(), sel.Name(), o.dataset, res.Curve.BestF1(), res.LabelsUsed, res.Reason)
+	if o.llmOracle {
+		led := session.Ledger()
+		fmt.Printf("labeling bill: %d answers (%d labels, %d abstentions), $%.4f spent\n",
+			led.Answers, led.Labels, led.Abstains, led.Spent)
+	}
 	// The unified artifact records the schema, blocking threshold and
 	// featurization alongside the learner, so apply mode and almserve can
 	// rebuild the exact pipeline with no extra flags. Written atomically:

@@ -1,0 +1,177 @@
+package core
+
+// Equivalence pins for the batched engine path: a BatchOracle wrapper
+// around a per-pair oracle must be indistinguishable from the classic
+// per-pair path — same selected batches, same RNG draw positions, same
+// snapshot bytes at every step, same WAL bytes — at every worker count.
+// Run with `make equiv`.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/alem/alem/internal/linear"
+	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/resilience"
+)
+
+// encodeTimeless serializes a snapshot with its wall-clock latency
+// fields zeroed: timings are measurements, not protocol state, and they
+// are the only snapshot bytes a bit-identical pair of runs may differ in.
+func encodeTimeless(t *testing.T, sn *Snapshot, buf *bytes.Buffer) {
+	t.Helper()
+	for i := range sn.Curve {
+		sn.Curve[i].TrainTime = 0
+		sn.Curve[i].CommitteeCreateTime = 0
+		sn.Curve[i].ScoreTime = 0
+	}
+	if err := sn.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stepLockstep drives two sessions step-for-step, asserting identical
+// done flags and byte-identical snapshots at every boundary.
+func stepLockstep(t *testing.T, a, b *Session) {
+	t.Helper()
+	ctx := context.Background()
+	for step := 0; ; step++ {
+		aDone, aErr := a.Step(ctx)
+		bDone, bErr := b.Step(ctx)
+		if aErr != nil || bErr != nil {
+			t.Fatalf("step %d: errs %v vs %v", step, aErr, bErr)
+		}
+		if aDone != bDone {
+			t.Fatalf("step %d: done flags differ: %v vs %v", step, aDone, bDone)
+		}
+		var aSnap, bSnap bytes.Buffer
+		encodeTimeless(t, a.Snapshot(), &aSnap)
+		encodeTimeless(t, b.Snapshot(), &bSnap)
+		if !bytes.Equal(aSnap.Bytes(), bSnap.Bytes()) {
+			t.Fatalf("step %d: snapshots diverge\nlegacy:\n%s\nbatched:\n%s",
+				step, aSnap.String(), bSnap.String())
+		}
+		if aDone {
+			return
+		}
+	}
+}
+
+// TestBatchOracleEquivalenceBitIdentical pins the batched path against
+// the classic per-pair path over a free, perfect oracle: batches of one
+// LabelBatch call each, zero cost, zero abstentions — and bit-identical
+// everything, under serial and parallel scoring alike.
+func TestBatchOracleEquivalenceBitIdentical(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pool := syntheticPool(500, 21)
+			cfg := Config{Seed: 21, MaxLabels: 100, Workers: workers}
+			dir := t.TempDir()
+
+			legacyOra := poolOracle(pool)
+			legacy, err := NewSession(pool, linear.NewSVM(21), Margin{}, legacyOra, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchOra := oracle.Batched(poolOracle(pool))
+			batched, err := NewBatchSession(pool, linear.NewSVM(21), Margin{}, batchOra, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var legacyWAL, batchedWAL *resilience.LabelWAL
+			for _, w := range []struct {
+				s    *Session
+				wal  **resilience.LabelWAL
+				name string
+			}{{legacy, &legacyWAL, "legacy.wal"}, {batched, &batchedWAL, "batched.wal"}} {
+				wal, _, err := resilience.OpenLabelWAL(filepath.Join(dir, w.name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer wal.Close()
+				w.s.SetLabelSink(wal)
+				*w.wal = wal
+			}
+
+			var legacyBatches, batchedBatches [][]int
+			legacy.AddObserver(ObserverFunc(func(e Event) {
+				if bs, ok := e.(BatchSelected); ok {
+					legacyBatches = append(legacyBatches, append([]int(nil), bs.Batch...))
+				}
+			}))
+			batched.AddObserver(ObserverFunc(func(e Event) {
+				if bs, ok := e.(BatchSelected); ok {
+					batchedBatches = append(batchedBatches, append([]int(nil), bs.Batch...))
+				}
+			}))
+
+			stepLockstep(t, legacy, batched)
+
+			if legacy.src.n63 != batched.src.n63 || legacy.src.n64 != batched.src.n64 {
+				t.Errorf("RNG draw positions diverge: (%d,%d) vs (%d,%d)",
+					legacy.src.n63, legacy.src.n64, batched.src.n63, batched.src.n64)
+			}
+			if !reflect.DeepEqual(legacyBatches, batchedBatches) {
+				t.Error("selected batches diverge between the per-pair and batched paths")
+			}
+			curvesEqual(t, legacy.Result().Curve, batched.Result().Curve)
+			if legacy.Reason() != batched.Reason() {
+				t.Errorf("reasons differ: %v vs %v", legacy.Reason(), batched.Reason())
+			}
+			if legacyOra.Queries() != batchOra.Queries() {
+				t.Errorf("oracle queries differ: %d vs %d", legacyOra.Queries(), batchOra.Queries())
+			}
+
+			// The free adapter's ledger is trivial: all answers are labels,
+			// nothing spent, nothing abstained.
+			led := batched.Ledger()
+			want := CostLedger{Labels: batched.Result().LabelsUsed, Answers: batched.Result().LabelsUsed}
+			if led != want {
+				t.Errorf("ledger = %+v, want %+v", led, want)
+			}
+
+			// Both WALs journaled the identical byte stream.
+			lBytes, err := os.ReadFile(filepath.Join(dir, "legacy.wal"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bBytes, err := os.ReadFile(filepath.Join(dir, "batched.wal"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(lBytes, bBytes) {
+				t.Error("WAL bytes diverge between the per-pair and batched paths")
+			}
+		})
+	}
+}
+
+// TestBatchOracleEquivalenceNoisy repeats the pin over a Noisy oracle:
+// the Batched adapter must consume the noise RNG at exactly the per-pair
+// path's draw positions, so both runs flip the same labels.
+func TestBatchOracleEquivalenceNoisy(t *testing.T) {
+	pool := syntheticPool(500, 22)
+	cfg := Config{Seed: 22, MaxLabels: 100}
+	const noise, noiseSeed = 0.2, 13
+
+	legacy, err := NewSession(pool, linear.NewSVM(22), Margin{}, noisyPoolOracle(pool, noise, noiseSeed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewBatchSession(pool, linear.NewSVM(22), Margin{},
+		oracle.Batched(noisyPoolOracle(pool, noise, noiseSeed)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.stateful == nil {
+		t.Fatal("NewBatchSession did not discover the Noisy oracle's Stateful hook through the adapter")
+	}
+	stepLockstep(t, legacy, batched)
+	curvesEqual(t, legacy.Result().Curve, batched.Result().Curve)
+}

@@ -1,0 +1,132 @@
+package core
+
+// Property tests for the costly-oracle engine over a sweep of seeded
+// abstain/fault/price mixes: whatever the mix, (1) no pair is ever asked
+// to abstain past its cutoff, (2) the ledger never exceeds the dollar
+// budget at any event boundary, and (3) the run terminates with a typed
+// reason from the budget/fault vocabulary within a bounded step count.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/linear"
+	"github.com/alem/alem/internal/oracle"
+)
+
+// abstainAudit wraps a BatchOracle and tallies the abstentions delivered
+// per pair — the oracle-side view the cutoff property is checked
+// against: once the engine retires a pair it must never submit it again,
+// so no pair's tally can pass the cutoff.
+type abstainAudit struct {
+	inner   oracle.BatchOracle
+	perPair map[dataset.PairKey]int
+}
+
+func (a *abstainAudit) LabelBatch(ctx context.Context, pairs []dataset.PairKey) ([]oracle.Answer, error) {
+	out, err := a.inner.LabelBatch(ctx, pairs)
+	for i, ans := range out {
+		if ans.Err == nil && ans.Verdict == oracle.VerdictAbstain {
+			a.perPair[pairs[i]]++
+		}
+	}
+	return out, err
+}
+
+func (a *abstainAudit) Queries() int      { return a.inner.Queries() }
+func (a *abstainAudit) UnwrapOracle() any { return a.inner }
+
+func TestBatchOracleBudgetAndAbstainProperties(t *testing.T) {
+	type mix struct {
+		abstain, fail float64
+		maxDollars    float64
+		cutoff        int
+	}
+	mixes := []mix{
+		{abstain: 0, fail: 0, maxDollars: 0},
+		{abstain: 0.3, fail: 0, maxDollars: 0},
+		{abstain: 0.3, fail: 0, maxDollars: 0.05},
+		{abstain: 0.6, fail: 0, maxDollars: 0.08, cutoff: 1},
+		{abstain: 0.2, fail: 0.2, maxDollars: 0},
+		{abstain: 0.4, fail: 0.1, maxDollars: 0.04, cutoff: 2},
+		{abstain: 0, fail: 0.3, maxDollars: 0.1},
+	}
+	allowed := map[StopReason]bool{
+		StopBudget:          true,
+		StopBudgetExhausted: true,
+		StopOracleFailed:    true,
+	}
+	for mi, m := range mixes {
+		for _, seed := range []int64{1, 2, 3} {
+			t.Run(fmt.Sprintf("mix=%d/seed=%d", mi, seed), func(t *testing.T) {
+				pool := syntheticPool(300, seed)
+				sim := simPoolOracle(pool, oracle.LLMSimConfig{
+					AbstainRate: m.abstain,
+					NoiseRate:   0.1,
+					FailRate:    m.fail,
+					Price:       oracle.PriceTable{PerLabel: 0.002, PerAbstain: 0.0005},
+				}, seed*100+int64(mi))
+				audit := &abstainAudit{inner: sim, perPair: map[dataset.PairKey]int{}}
+				cfg := Config{
+					Seed: seed, MaxLabels: 60,
+					MaxDollars: m.maxDollars, AbstainCutoff: m.cutoff,
+				}
+				s, err := NewBatchSession(pool, linear.NewSVM(seed), Margin{}, audit, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Property 2: spent never exceeds the budget, checked at
+				// every event the engine emits.
+				s.AddObserver(ObserverFunc(func(Event) {
+					if m.maxDollars > 0 && s.Ledger().Spent > m.maxDollars+budgetEps {
+						t.Errorf("ledger overspent mid-run: %.9f > %.9f", s.Ledger().Spent, m.maxDollars)
+					}
+				}))
+
+				// Property 3: bounded termination with a typed reason.
+				const maxSteps = 500
+				done := false
+				for i := 0; i < maxSteps && !done; i++ {
+					var err error
+					done, err = s.Step(context.Background())
+					if err != nil && s.Reason() != StopOracleFailed {
+						t.Fatalf("step error outside the fault vocabulary: %v (reason %v)", err, s.Reason())
+					}
+				}
+				if !done {
+					t.Fatalf("run did not terminate within %d steps", maxSteps)
+				}
+				if !allowed[s.Reason()] {
+					t.Errorf("terminated with reason %v, want one of StopBudget/StopBudgetExhausted/StopOracleFailed",
+						s.Reason())
+				}
+
+				// Property 1: no pair was asked past its abstain cutoff.
+				cutoff := m.cutoff
+				if cutoff == 0 {
+					cutoff = DefaultAbstainCutoff
+				}
+				for p, n := range audit.perPair {
+					if n > cutoff {
+						t.Errorf("pair (%d,%d) abstained %d times, cutoff is %d", p.L, p.R, n, cutoff)
+					}
+				}
+
+				// Ledger internal consistency at the end of every run.
+				led := s.Ledger()
+				if led.Answers != led.Labels+led.Abstains {
+					t.Errorf("ledger answers %d != labels %d + abstains %d", led.Answers, led.Labels, led.Abstains)
+				}
+				if led.Labels != s.Result().LabelsUsed {
+					t.Errorf("ledger labels %d != LabelsUsed %d", led.Labels, s.Result().LabelsUsed)
+				}
+				if m.maxDollars > 0 && led.Spent > m.maxDollars+budgetEps {
+					t.Errorf("final ledger overspent: %.9f > %.9f", led.Spent, m.maxDollars)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/alem/alem/internal/dataset"
+	"github.com/alem/alem/internal/oracle"
+	"github.com/alem/alem/internal/resilience"
+)
+
+// budgetEps absorbs float accumulation error in dollar-budget checks so a
+// run that can afford exactly its last answer is not stopped one short.
+const budgetEps = 1e-9
+
+// walAnswer is one label recovered from a WAL: the value the crashed run
+// paid for and, for priced oracles, what it paid.
+type walAnswer struct {
+	label bool
+	cost  float64
+}
+
+// CostLedger is a batch session's money and answer accounting. Spent is
+// the cumulative dollars billed across the run; Answers counts every
+// acknowledged response (labels plus abstentions — it is also the WAL
+// sequence cursor for record-capable sinks); Labels and Abstains split
+// it by verdict. Per-pair failures are never billed and never counted.
+type CostLedger struct {
+	Spent    float64 `json:"spent"`
+	Answers  int     `json:"answers"`
+	Labels   int     `json:"labels"`
+	Abstains int     `json:"abstains"`
+}
+
+// trivial reports whether the ledger carries no information beyond the
+// labeled set itself (no money spent, no abstentions), in which case a
+// Snapshot omits it and Restore derives it — which keeps a free batch
+// session's snapshot bytes identical to a classic session's.
+func (l CostLedger) trivial() bool { return l.Spent == 0 && l.Abstains == 0 }
+
+// Ledger returns the session's cost accounting (zero for sessions
+// without a batch oracle).
+func (s *Session) Ledger() CostLedger { return s.ledger }
+
+// recordSink is the optional LabelSink extension batch sessions use to
+// journal abstentions and per-answer costs. resilience.LabelWAL
+// implements it.
+type recordSink interface {
+	AppendRecord(rec resilience.LabelRecord) error
+}
+
+// NewBatchSession is NewSession for costly batch labelers: labeling
+// rounds go through one BatchOracle.LabelBatch call each, answers may
+// abstain (requeued up to Config.AbstainCutoff, then retired from the
+// pool), every answer's cost is accumulated into the session's
+// CostLedger, and Config.MaxDollars bounds the total spend
+// (StopBudgetExhausted). When the oracle chain exposes
+// oracle.PairAdvancer or oracle.Stateful, the hooks are discovered here
+// so Snapshot+WAL resume realigns the oracle's randomness.
+func NewBatchSession(pool *Pool, learner Learner, sel Selector, bo oracle.BatchOracle, cfg Config) (*Session, error) {
+	if bo == nil {
+		return nil, fmt.Errorf("core: NewBatchSession requires a batch oracle")
+	}
+	s, err := NewFallibleSession(pool, learner, sel, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.batcher = bo
+	s.abstains = map[int]int{}
+	if st, ok := resilience.StatefulOf(bo); ok {
+		s.stateful = st
+	}
+	for o := any(bo); o != nil; {
+		if pa, ok := o.(oracle.PairAdvancer); ok && s.pairAdv == nil {
+			s.pairAdv = pa
+		}
+		if pr, ok := o.(oracle.Priced); ok && s.maxCost == 0 {
+			s.maxCost = pr.MaxAnswerCost()
+		}
+		u, ok := o.(interface{ UnwrapOracle() any })
+		if !ok {
+			break
+		}
+		o = u.UnwrapOracle()
+	}
+	return s, nil
+}
+
+// SetWarmStart attaches a pre-trained learner for transfer warm-start:
+// the session skips the random seed bootstrap and lets the warm learner
+// drive evaluation and selection until the labeled set contains both
+// classes, at which point the session's own learner takes over under the
+// usual retrain-from-scratch protocol. The warm learner is never
+// trained. Call before the first Step (and again after Restore — learner
+// wiring is not serialized; Step refuses to run a warm-start session
+// whose learner is missing).
+func (s *Session) SetWarmStart(l Learner) error {
+	if l == nil {
+		return fmt.Errorf("core: SetWarmStart requires a non-nil learner")
+	}
+	s.warm = l
+	if s.cfg.WarmStartModel == "" {
+		s.cfg.WarmStartModel = "inline"
+	}
+	return nil
+}
+
+// useWarm reports whether the warm-start learner is still the active
+// model: it hands over permanently once the labeled set can train the
+// session's own learner (non-empty, both classes present).
+func (s *Session) useWarm() bool {
+	return s.warm != nil && !trainablePrefix(s.labels, len(s.labels))
+}
+
+// trainablePrefix reports whether the first n labels can train a
+// learner: a non-empty set containing both classes.
+func trainablePrefix(labels []bool, n int) bool {
+	return n > 0 && bothClasses(labels[:n])
+}
+
+// activeLearner is the model driving evaluation and selection: the warm
+// learner while warm-start is in effect, the session's own otherwise.
+func (s *Session) activeLearner() Learner {
+	if s.useWarm() {
+		return s.warm
+	}
+	return s.learner
+}
+
+// abstainCutoff resolves Config.AbstainCutoff's default at use (not in
+// withDefaults, so legacy snapshot bytes are unchanged).
+func (s *Session) abstainCutoff() int {
+	if s.cfg.AbstainCutoff > 0 {
+		return s.cfg.AbstainCutoff
+	}
+	return DefaultAbstainCutoff
+}
+
+// budgetExhausted reports whether the dollar budget can no longer afford
+// another answer at the oracle's worst-case price. Free oracles
+// (MaxAnswerCost 0) never exhaust a budget.
+func (s *Session) budgetExhausted() bool {
+	return s.batcher != nil && s.cfg.MaxDollars > 0 && s.maxCost > 0 &&
+		s.ledger.Spent+s.maxCost > s.cfg.MaxDollars+budgetEps
+}
+
+// journal durably records one acknowledged answer. A record-capable sink
+// (resilience.LabelWAL) gets the full record with the answer-sequence
+// cursor; a label-only sink gets the classic Append with the label
+// ordinal (and cannot represent abstentions, which are skipped). An
+// error is fatal to the run: an answer that cannot be made durable must
+// not be paid for twice.
+func (s *Session) journal(rec resilience.LabelRecord) error {
+	if s.sink == nil {
+		return nil
+	}
+	if rs, ok := s.sink.(recordSink); ok {
+		if err := rs.AppendRecord(rec); err != nil {
+			return fmt.Errorf("core: recording label in sink: %w", err)
+		}
+		return nil
+	}
+	if rec.Abstained() {
+		return nil
+	}
+	if err := s.sink.Append(s.ledger.Labels, rec.Index, rec.Label); err != nil {
+		return fmt.Errorf("core: recording label in sink: %w", err)
+	}
+	return nil
+}
+
+// applyGrant moves one answered pair into the labeled set, bills its
+// cost and journals it.
+func (s *Session) applyGrant(i int, lab bool, cost float64) error {
+	s.labeled = append(s.labeled, i)
+	s.labels = append(s.labels, lab)
+	s.ledger.Answers++
+	s.ledger.Labels++
+	s.ledger.Spent += cost
+	delete(s.abstains, i)
+	return s.journal(resilience.LabelRecord{Seq: s.ledger.Answers, Index: i, Label: lab, Cost: cost})
+}
+
+// applyAbstain bills and journals one abstention and advances the pair's
+// abstain count, reporting whether the pair just hit the cutoff and must
+// be retired from the pool.
+func (s *Session) applyAbstain(i int, cost float64) (retired bool, err error) {
+	s.ledger.Answers++
+	s.ledger.Abstains++
+	s.ledger.Spent += cost
+	s.abstains[i]++
+	if err := s.journal(resilience.LabelRecord{
+		Seq: s.ledger.Answers, Index: i, Verdict: "abstain", Cost: cost,
+	}); err != nil {
+		return false, err
+	}
+	if s.abstains[i] >= s.abstainCutoff() {
+		delete(s.abstains, i)
+		return true, nil
+	}
+	return false, nil
+}
+
+// advanceCached realigns the oracle's randomness past one answer a
+// crashed run already received and this run consumed from the WAL cache:
+// sequential-stream oracles (oracle.Stateful) skip one draw, per-pair
+// keyed oracles (oracle.PairAdvancer) skip one attempt ordinal.
+func (s *Session) advanceCached(i int) {
+	if s.stateful != nil {
+		s.stateful.Advance(1)
+	}
+	if s.pairAdv != nil {
+		s.pairAdv.AdvancePair(s.pool.Pairs[i], 1)
+	}
+}
+
+// labelBatchOracle is labelBatch for batch sessions: one LabelBatch call
+// answers the whole round, answers may abstain or fail per pair, and
+// every acknowledged answer is billed against the dollar budget.
+//
+// The walk is reservation-based: batch indices are admitted in order
+// while the budget can still cover one worst-case answer each
+// (unaffordable suffixes stay in the pool untouched — the next
+// selectPhase stops the run with StopBudgetExhausted). WAL-cached
+// answers from a crashed run are consumed instead of re-queried but
+// still count against the reservation and re-charge their recorded
+// costs, which keeps a resumed run's ledger identical to an
+// uninterrupted one's.
+func (s *Session) labelBatchOracle(ctx context.Context, batch []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := time.Now()
+
+	type pending struct {
+		idx    int
+		cached bool
+	}
+	limited := s.cfg.MaxDollars > 0 && s.maxCost > 0
+	spentAtStart := s.ledger.Spent
+	process := make([]pending, 0, len(batch))
+	var live []dataset.PairKey
+	for _, i := range batch {
+		cached := len(s.walAbstains[i]) > 0
+		if !cached {
+			_, cached = s.walLabels[i]
+		}
+		if limited && spentAtStart+s.maxCost*float64(len(process)+1) > s.cfg.MaxDollars+budgetEps {
+			continue
+		}
+		process = append(process, pending{idx: i, cached: cached})
+		if !cached {
+			live = append(live, s.pool.Pairs[i])
+		}
+	}
+
+	var answers []oracle.Answer
+	var batchErr error
+	if len(live) > 0 {
+		answers, batchErr = s.batcher.LabelBatch(ctx, live)
+	}
+
+	var (
+		drop, requeue []int
+		granted       int
+		abstained     int
+		retiredCount  int
+		failures      int
+		cachedUsed    int
+		roundCost     float64
+		cursor        int
+		fatal         error
+	)
+apply:
+	for _, p := range process {
+		i := p.idx
+		if p.cached {
+			cachedUsed++
+			s.advanceCached(i)
+			if costs := s.walAbstains[i]; len(costs) > 0 {
+				c := costs[0]
+				if len(costs) == 1 {
+					delete(s.walAbstains, i)
+				} else {
+					s.walAbstains[i] = costs[1:]
+				}
+				retired, err := s.applyAbstain(i, c)
+				if err != nil {
+					fatal = err
+					break apply
+				}
+				roundCost += c
+				abstained++
+				if retired {
+					drop = append(drop, i)
+					retiredCount++
+				} else {
+					requeue = append(requeue, i)
+				}
+				continue
+			}
+			a := s.walLabels[i]
+			delete(s.walLabels, i)
+			if err := s.applyGrant(i, a.label, a.cost); err != nil {
+				fatal = err
+				break apply
+			}
+			roundCost += a.cost
+			granted++
+			drop = append(drop, i)
+			continue
+		}
+		if cursor >= len(answers) {
+			// The batch call died before answering this pair: abort on
+			// cancellation (the acknowledged prefix stays applied),
+			// otherwise requeue the unanswered remainder as faults.
+			if batchErr != nil && ctx.Err() != nil {
+				fatal = ctx.Err()
+				break apply
+			}
+			err := batchErr
+			if err == nil {
+				err = fmt.Errorf("core: batch oracle answered %d of %d pairs", len(answers), len(live))
+			}
+			s.emit(OracleFault{Iteration: s.iter, Index: i, Pair: s.pool.Pairs[i], Err: err})
+			failures++
+			requeue = append(requeue, i)
+			continue
+		}
+		a := answers[cursor]
+		cursor++
+		switch {
+		case a.Err != nil:
+			s.emit(OracleFault{Iteration: s.iter, Index: i, Pair: s.pool.Pairs[i], Err: a.Err})
+			failures++
+			requeue = append(requeue, i)
+		case a.Verdict == oracle.VerdictAbstain:
+			retired, err := s.applyAbstain(i, a.Cost)
+			if err != nil {
+				fatal = err
+				break apply
+			}
+			roundCost += a.Cost
+			abstained++
+			if retired {
+				drop = append(drop, i)
+				retiredCount++
+			} else {
+				requeue = append(requeue, i)
+			}
+		default:
+			if err := s.applyGrant(i, a.Verdict == oracle.VerdictMatch, a.Cost); err != nil {
+				fatal = err
+				break apply
+			}
+			roundCost += a.Cost
+			granted++
+			drop = append(drop, i)
+		}
+	}
+
+	removeFromPool(&s.unlabeled, drop)
+	if len(requeue) > 0 {
+		removeFromPool(&s.unlabeled, requeue)
+		s.unlabeled = append(s.unlabeled, requeue...)
+	}
+	if fatal != nil {
+		return fatal
+	}
+	s.emit(OracleBatchDone{
+		Iteration: s.iter,
+		Pairs:     len(live),
+		Answers:   granted + abstained,
+		Labels:    granted,
+		Abstains:  abstained,
+		Failures:  failures,
+		Retired:   retiredCount,
+		Cost:      roundCost,
+		Spent:     s.ledger.Spent,
+		Elapsed:   time.Since(start),
+	})
+	if granted == 0 && abstained == 0 && cachedUsed == 0 && failures > 0 {
+		return fmt.Errorf("%w: %d of %d queries failed", ErrLabelingStalled, failures, len(batch))
+	}
+	return nil
+}

@@ -113,6 +113,36 @@ type PhaseDone struct {
 	PoolRemaining int
 }
 
+// OracleBatchDone marks the end of one batched labeling round against a
+// BatchOracle: how many pairs were submitted, the answer mix that came
+// back, and the money it cost. Rounds driven by the classic per-pair
+// labeler path do not emit it.
+type OracleBatchDone struct {
+	// Iteration is the iteration the round ran in (the current value
+	// during the seed phase).
+	Iteration int
+	// Pairs is how many pairs were submitted to the labeler this round
+	// (cached WAL answers excluded — they cost nothing to re-consume).
+	Pairs int
+	// Answers is how many acknowledged answers (labels plus abstentions)
+	// were applied this round, WAL-cached answers included.
+	Answers int
+	// Labels and Abstains split Answers by verdict; Failures counts
+	// per-pair errors (requeued, unbilled).
+	Labels   int
+	Abstains int
+	Failures int
+	// Retired is how many pairs hit the abstain cutoff this round and
+	// were removed from the pool for good.
+	Retired int
+	// Cost is the dollars billed this round; Spent is the session's
+	// cumulative ledger total after the round.
+	Cost  float64
+	Spent float64
+	// Elapsed is the round's wall-clock time.
+	Elapsed time.Duration
+}
+
 // CandidateAccepted is emitted by ensemble runs (§5.2) when a candidate
 // classifier passes the precision acceptance test.
 type CandidateAccepted struct {
@@ -147,6 +177,7 @@ func (TrainDone) isEvent()         {}
 func (EvalDone) isEvent()          {}
 func (BatchSelected) isEvent()     {}
 func (OracleFault) isEvent()       {}
+func (OracleBatchDone) isEvent()   {}
 func (CandidateAccepted) isEvent() {}
 func (RunEnd) isEvent()            {}
 
@@ -174,6 +205,13 @@ const (
 	// down or exhausted every retry budget — so continuing could only
 	// spin. The run's error wraps ErrLabelingStalled.
 	StopOracleFailed
+	// StopBudgetExhausted: the Config.MaxDollars budget can no longer
+	// afford another answer from the priced batch oracle. Distinct from
+	// StopBudget (the label-count budget): a run can end with labels to
+	// spare but no money, and vice versa.
+	//
+	// New reasons are appended here so serialized values stay stable.
+	StopBudgetExhausted
 )
 
 // String implements fmt.Stringer.
@@ -195,6 +233,8 @@ func (r StopReason) String() string {
 		return "cancelled"
 	case StopOracleFailed:
 		return "oracle failed"
+	case StopBudgetExhausted:
+		return "dollar budget exhausted"
 	}
 	return "unknown"
 }

@@ -11,10 +11,12 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/alem/alem/internal/eval"
 	"github.com/alem/alem/internal/feature"
 	"github.com/alem/alem/internal/linear"
 	"github.com/alem/alem/internal/neural"
 	"github.com/alem/alem/internal/obs"
+	"github.com/alem/alem/internal/oracle"
 	"github.com/alem/alem/internal/tree"
 )
 
@@ -26,7 +28,9 @@ var update = flag.Bool("update", false, "rewrite golden files with current resul
 
 // gridCell is one learner×selector combination's pinned outcome. F1 is
 // a %.6f string so the golden file is insensitive to JSON float
-// round-tripping and diffs read naturally.
+// round-tripping and diffs read naturally. The Oracle/Spent/Abstains
+// triple is set only by the priced-oracle cells (omitted elsewhere, so
+// the classic cells' bytes are unchanged).
 type gridCell struct {
 	Learner    string `json:"learner"`
 	Selector   string `json:"selector"`
@@ -34,6 +38,9 @@ type gridCell struct {
 	Labels     int    `json:"labels"`
 	Iterations int    `json:"iterations"`
 	Reason     string `json:"reason"`
+	Oracle     string `json:"oracle,omitempty"`
+	Spent      string `json:"spent,omitempty"`
+	Abstains   int    `json:"abstains,omitempty"`
 }
 
 // TestGoldenRegressionGrid runs the tiny learner×selector matrix on a
@@ -87,6 +94,53 @@ func TestGoldenRegressionGrid(t *testing.T) {
 			Labels:     res.LabelsUsed,
 			Iterations: len(res.Curve),
 			Reason:     res.Reason.String(),
+		})
+	}
+
+	// Priced-oracle cells: a fixed-seed simulated LLM labeler with a fixed
+	// price table, one cell dollar-capped (pinning StopBudgetExhausted and
+	// the exact spend at the stop) and one uncapped (pinning the abstain
+	// and spend accounting across a full label budget).
+	pricedCells := []struct {
+		oracle     string
+		maxDollars float64
+	}{
+		{"llm-sim-capped", 0.10},
+		{"llm-sim-uncapped", 0},
+	}
+	for _, pc := range pricedCells {
+		pool := ambiguousPool(poolSize, seed)
+		// NoiseRate stays low: this SVM is fragile to label noise on the
+		// ambiguous pool (the legacy Noisy oracle collapses it to F1≈0 from
+		// ~10% noise), and a saturated-zero cell would pin nothing.
+		sim := oracle.NewSimulatedLLM(poolDataset(pool), oracle.LLMSimConfig{
+			AbstainRate: 0.1,
+			NoiseRate:   0.02,
+			Price:       oracle.PriceTable{PerLabel: 0.002, PerAbstain: 0.0005},
+		}, seed)
+		s, err := NewBatchSession(pool, linear.NewSVM(seed), Margin{}, sim,
+			Config{Seed: seed, MaxLabels: budget, MaxDollars: pc.maxDollars})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Curve) == 0 {
+			t.Fatalf("%s: no iterations ran", pc.oracle)
+		}
+		final := res.Curve[len(res.Curve)-1]
+		got = append(got, gridCell{
+			Learner:    "svm",
+			Selector:   "margin",
+			F1:         fmt.Sprintf("%.6f", final.F1),
+			Labels:     res.LabelsUsed,
+			Iterations: len(res.Curve),
+			Reason:     res.Reason.String(),
+			Oracle:     pc.oracle,
+			Spent:      fmt.Sprintf("%.4f", s.Ledger().Spent),
+			Abstains:   s.Ledger().Abstains,
 		})
 	}
 
@@ -171,6 +225,79 @@ func TestGoldenTraceManifest(t *testing.T) {
 		g, _ := json.MarshalIndent(got, "", "  ")
 		w, _ := json.MarshalIndent(want, "", "  ")
 		t.Errorf("trace manifest drifted from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", g, w)
+	}
+}
+
+// warmStartGolden pins the transfer warm-start protocol against a cold
+// start on the same pool, seed and budget: the labels-to-convergence of
+// each and the saving between them — the paper-style "how many labels
+// does a pre-trained model buy you" number.
+type warmStartGolden struct {
+	ColdF1 string `json:"cold_f1"`
+	WarmF1 string `json:"warm_f1"`
+	// WarmInitialF1 is the transferred model's F1 before a single target
+	// label was bought — what the transfer alone is worth.
+	WarmInitialF1 string `json:"warm_initial_f1"`
+	// ColdLabelsToTarget/WarmLabelsToTarget are the labels each run paid
+	// before first reaching the target F1 (-1: never) — the direct
+	// labels-to-quality comparison; LabelsSaved is their difference.
+	ColdLabelsToTarget int `json:"cold_labels_to_target"`
+	WarmLabelsToTarget int `json:"warm_labels_to_target"`
+	LabelsSaved        int `json:"labels_saved"`
+}
+
+// TestGoldenWarmStartTransfer runs a cold and a warm-started session on
+// the same fixed-seed pool (the warm learner pre-trained on a different
+// synthetic pool, the transfer scenario) and pins both trajectories'
+// convergence label counts and the saving.
+func TestGoldenWarmStartTransfer(t *testing.T) {
+	const seed, budget = 88, 80
+	const targetF1 = 0.7
+
+	cold := ambiguousPool(400, seed)
+	coldRes := Run(cold, linear.NewSVM(seed), Margin{}, poolOracle(cold),
+		Config{Seed: seed, MaxLabels: budget})
+
+	warmPool := ambiguousPool(400, seed)
+	ws := mustSession(t, warmPool, linear.NewSVM(seed), Margin{}, Config{Seed: seed, MaxLabels: budget})
+	if err := ws.SetWarmStart(warmLearner(seed)); err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := ws.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	labelsToTarget := func(c eval.Curve) int {
+		for _, p := range c {
+			if p.F1 >= targetF1 {
+				return p.Labels
+			}
+		}
+		return -1
+	}
+	coldTo := labelsToTarget(coldRes.Curve)
+	warmTo := labelsToTarget(warmRes.Curve)
+	got := warmStartGolden{
+		ColdF1:             fmt.Sprintf("%.6f", coldRes.Curve.FinalF1()),
+		WarmF1:             fmt.Sprintf("%.6f", warmRes.Curve.FinalF1()),
+		WarmInitialF1:      fmt.Sprintf("%.6f", warmRes.Curve[0].F1),
+		ColdLabelsToTarget: coldTo,
+		WarmLabelsToTarget: warmTo,
+		LabelsSaved:        coldTo - warmTo,
+	}
+
+	goldenPath := filepath.Join("testdata", "golden_warmstart.json")
+	if *update {
+		writeGolden(t, goldenPath, got)
+		return
+	}
+	var want warmStartGolden
+	readGolden(t, goldenPath, &want)
+	if !reflect.DeepEqual(got, want) {
+		g, _ := json.MarshalIndent(got, "", "  ")
+		w, _ := json.MarshalIndent(want, "", "  ")
+		t.Errorf("warm-start transfer drifted from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", g, w)
 	}
 }
 

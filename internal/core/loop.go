@@ -36,6 +36,11 @@ const (
 	// DefaultStabilityEpsilon is the churn threshold when a
 	// StabilityWindow is set.
 	DefaultStabilityEpsilon = 0.002
+	// DefaultAbstainCutoff is how many abstentions a batch oracle may
+	// issue for one pair before the engine retires it from the pool
+	// (resolved at use, not in withDefaults, so legacy snapshots keep
+	// their exact bytes).
+	DefaultAbstainCutoff = 3
 )
 
 // Config is the protocol of one active-learning run. Zero values pick the
@@ -76,6 +81,27 @@ type Config struct {
 	// StabilityEpsilon is the churn threshold, in (0, 1]. 0 means
 	// DefaultStabilityEpsilon (0.002).
 	StabilityEpsilon float64
+	// MaxDollars terminates the run once the priced batch oracle's cost
+	// ledger can no longer afford another answer (StopBudgetExhausted);
+	// 0 disables dollar budgeting. It only applies to sessions built
+	// with NewBatchSession over an oracle that reports a positive
+	// MaxAnswerCost — per-pair and free oracles never spend.
+	MaxDollars float64 `json:",omitempty"`
+	// AbstainCutoff is how many times a batch oracle may abstain on one
+	// pair before the engine retires the pair (removes it from the pool
+	// without a label) instead of requeueing it — the starvation guard
+	// that keeps a stubbornly-unsure labeler from pinning the same pair
+	// forever. 0 means DefaultAbstainCutoff (3).
+	AbstainCutoff int `json:",omitempty"`
+	// WarmStartModel records the transfer warm-start protocol: when
+	// non-empty, the session skips the seed bootstrap and drives
+	// selection with a pre-trained learner (attached via SetWarmStart)
+	// until the labeled set contains both classes, at which point the
+	// usual retrain-from-scratch protocol takes over. CLIs store the
+	// artifact path here; in-process callers get "inline". A snapshot of
+	// a warm-started run carries the value, and Step refuses to run a
+	// restored session whose warm learner was not re-attached.
+	WarmStartModel string `json:",omitempty"`
 	// Workers caps the goroutines used by the run's parallel hot paths:
 	// evaluation prediction, selector scoring and QBC committee training.
 	// 0 means one worker per CPU (runtime.GOMAXPROCS), resolved on the
@@ -111,6 +137,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Config.StabilityEpsilon %g outside [0, 1]", c.StabilityEpsilon)
 	case c.Workers < 0:
 		return fmt.Errorf("core: Config.Workers %d is negative", c.Workers)
+	case c.MaxDollars < 0:
+		return fmt.Errorf("core: Config.MaxDollars %g is negative", c.MaxDollars)
+	case c.AbstainCutoff < 0:
+		return fmt.Errorf("core: Config.AbstainCutoff %d is negative", c.AbstainCutoff)
 	}
 	return nil
 }

@@ -67,10 +67,36 @@ type Session struct {
 	// sink, when set, durably records every granted label (see LabelSink).
 	sink LabelSink
 	// walLabels caches labels recovered from a WAL during RestoreWithWAL:
-	// pool index → granted label. labelOne consumes from here before
-	// querying the labeler, so a resumed run never re-pays for a label the
-	// crashed run already bought.
-	walLabels map[int]bool
+	// pool index → granted label (and, for priced oracles, the cost the
+	// crashed run paid). labelOne and the batch path consume from here
+	// before querying the labeler, so a resumed run never re-pays for a
+	// label the crashed run already bought.
+	walLabels map[int]walAnswer
+	// walAbstains caches billed abstentions recovered from a WAL, pool
+	// index → recorded costs in answer order. The batch path consumes
+	// them FIFO on re-selection, re-charging the ledger exactly what the
+	// crashed run paid without re-querying the labeler.
+	walAbstains map[int][]float64
+
+	// batcher, when non-nil, replaces the per-pair labeler: labeling
+	// rounds go through one LabelBatch call and the costly-oracle
+	// machinery in costly.go (ledger, abstain requeue, dollar budget).
+	batcher oracle.BatchOracle
+	// maxCost is the batcher's per-answer cost ceiling (0 for free
+	// oracles), the unit the dollar budget is checked against.
+	maxCost float64
+	// pairAdv is the batcher's per-pair ordinal realignment hook, when it
+	// implements oracle.PairAdvancer (the simulated LLM oracle does).
+	pairAdv oracle.PairAdvancer
+	// ledger is the session's cost accounting; see CostLedger.
+	ledger CostLedger
+	// abstains counts billed abstentions per still-pending pool index;
+	// a pair reaching the abstain cutoff is retired from the pool.
+	abstains map[int]int
+	// warm is the transfer warm-start learner (see SetWarmStart): it
+	// drives evaluation and selection until the labeled set can train
+	// the session's own learner, and is itself never trained.
+	warm Learner
 
 	src *countingSource
 	rng *rand.Rand
@@ -192,6 +218,11 @@ func (s *Session) Step(ctx context.Context) (bool, error) {
 	if s.done {
 		return true, s.err
 	}
+	if s.cfg.WarmStartModel != "" && s.warm == nil {
+		return true, s.cancel(fmt.Errorf(
+			"core: config records warm-start %q but no learner is attached (call SetWarmStart before Step)",
+			s.cfg.WarmStartModel))
+	}
 	if !s.seeded {
 		start := time.Now()
 		if err := s.seedPhase(ctx); err != nil {
@@ -226,6 +257,9 @@ func (s *Session) Step(ctx context.Context) (bool, error) {
 	pt, pred, err := s.evalPhase(ctx, trainTime)
 	if err != nil {
 		return true, s.cancel(err)
+	}
+	if s.batcher != nil {
+		pt.Spent = s.ledger.Spent
 	}
 
 	// Ground-truth-free stability stop: track prediction churn.
@@ -326,10 +360,17 @@ func (s *Session) seedPhase(ctx context.Context) error {
 	s.res.TestSize = len(s.testIdx)
 	s.seeded = true
 
+	if s.warm != nil {
+		// Transfer warm-start: the pre-trained learner drives the first
+		// selections, so no random bootstrap sample is bought. The
+		// universe split and RNG position above are unchanged.
+		return nil
+	}
 	if err := s.labelFront(ctx, min(s.cfg.SeedLabels, s.maxLabels)); err != nil {
 		return s.failLabeling(err)
 	}
-	for !bothClasses(s.labels) && len(s.unlabeled) > 0 && len(s.labeled) < s.maxLabels {
+	for !bothClasses(s.labels) && len(s.unlabeled) > 0 && len(s.labeled) < s.maxLabels &&
+		!s.budgetExhausted() {
 		if err := s.labelFront(ctx, min(s.cfg.BatchSize, s.maxLabels-len(s.labeled))); err != nil {
 			return s.failLabeling(err)
 		}
@@ -350,12 +391,12 @@ func (s *Session) labelFront(ctx context.Context, k int) error {
 // resumed run already paid for it (advancing a stateful oracle's RNG past
 // the draw the crashed run consumed), otherwise by querying the labeler.
 func (s *Session) labelOne(ctx context.Context, i int) (bool, error) {
-	if lab, ok := s.walLabels[i]; ok {
+	if a, ok := s.walLabels[i]; ok {
 		delete(s.walLabels, i)
 		if s.stateful != nil {
 			s.stateful.Advance(1)
 		}
-		return lab, nil
+		return a.label, nil
 	}
 	return s.labeler.Label(ctx, s.pool.Pairs[i])
 }
@@ -369,6 +410,9 @@ func (s *Session) labelOne(ctx context.Context, i int) (bool, error) {
 // returns ErrLabelingStalled — training on nothing new would loop
 // forever against a dead labeler.
 func (s *Session) labelBatch(ctx context.Context, batch []int) error {
+	if s.batcher != nil {
+		return s.labelBatchOracle(ctx, batch)
+	}
 	granted := make([]int, 0, len(batch))
 	var failed []int
 	var fatal error
@@ -412,7 +456,14 @@ func (s *Session) labelBatch(ctx context.Context, batch []int) error {
 
 // trainPhase retrains the learner from scratch on the cumulative labeled
 // set (the benchmark's retrain protocol) and returns the wall time.
+// While a warm-start session's labeled set cannot train (empty or
+// single-class), the phase is skipped — the warm learner serves as the
+// model and is never trained, which keeps snapshot replay trivially
+// deterministic.
 func (s *Session) trainPhase() time.Duration {
+	if s.useWarm() {
+		return 0
+	}
 	trainX, trainY := gatherTraining(s.pool, s.labeled, s.labels, len(s.labeled))
 	start := time.Now()
 	s.learner.Train(trainX, trainY)
@@ -423,7 +474,7 @@ func (s *Session) trainPhase() time.Duration {
 // confusion matrix.
 func (s *Session) evalPhase(ctx context.Context, trainTime time.Duration) (eval.Point, []bool, error) {
 	start := time.Now()
-	pred, err := parallelPredict(ctx, s.learner.Predict, s.pool, s.testIdx, s.cfg.Workers)
+	pred, err := parallelPredict(ctx, s.activeLearner().Predict, s.pool, s.testIdx, s.cfg.Workers)
 	if err != nil {
 		return eval.Point{}, nil, err
 	}
@@ -444,7 +495,7 @@ func (s *Session) evalPhase(ctx context.Context, trainTime time.Duration) (eval.
 func (s *Session) selectPhase(ctx context.Context, pt *eval.Point) ([]int, StopReason) {
 	sctx := &SelectContext{
 		Ctx:     ctx,
-		Learner: s.learner, Pool: s.pool,
+		Learner: s.activeLearner(), Pool: s.pool,
 		LabeledIdx: s.labeled, Labels: s.labels,
 		Unlabeled: s.unlabeled, Rand: s.rng,
 		Workers: s.cfg.Workers,
@@ -454,6 +505,8 @@ func (s *Session) selectPhase(ctx context.Context, pt *eval.Point) ([]int, StopR
 	switch {
 	case len(s.labeled) >= s.maxLabels:
 		reason = StopBudget
+	case s.budgetExhausted():
+		reason = StopBudgetExhausted
 	case len(s.unlabeled) == 0:
 		reason = StopPoolExhausted
 	case s.cfg.TargetF1 > 0 && pt.F1 >= s.cfg.TargetF1:

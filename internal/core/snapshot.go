@@ -66,6 +66,14 @@ type Snapshot struct {
 	StableIters int    `json:"stable_iters"`
 	// Curve is the partial learning curve.
 	Curve eval.Curve `json:"curve"`
+	// Ledger is a batch session's cost accounting, omitted when trivial
+	// (nothing spent, nothing abstained) so free batch sessions snapshot
+	// byte-identically to classic ones; Restore derives the trivial
+	// ledger from the labeled set.
+	Ledger *CostLedger `json:"ledger,omitempty"`
+	// AbstainCounts is the per-pending-pair billed-abstention tally the
+	// starvation cutoff is checked against.
+	AbstainCounts map[int]int `json:"abstain_counts,omitempty"`
 }
 
 // Snapshot captures the session's current state. Call between Step
@@ -75,6 +83,18 @@ func (s *Session) Snapshot() *Snapshot {
 	var oracleDraws uint64
 	if s.stateful != nil {
 		oracleDraws = s.stateful.Draws()
+	}
+	var ledger *CostLedger
+	if s.batcher != nil && !s.ledger.trivial() {
+		l := s.ledger
+		ledger = &l
+	}
+	var abstains map[int]int
+	if len(s.abstains) > 0 {
+		abstains = make(map[int]int, len(s.abstains))
+		for i, n := range s.abstains {
+			abstains[i] = n
+		}
 	}
 	return &Snapshot{
 		Config:      s.cfg,
@@ -89,8 +109,10 @@ func (s *Session) Snapshot() *Snapshot {
 		Labels:      append([]bool(nil), s.labels...),
 		Unlabeled:   append([]int(nil), s.unlabeled...),
 		PrevPred:    append([]bool(nil), s.prevPred...),
-		StableIters: s.stableIters,
-		Curve:       append(eval.Curve(nil), s.res.Curve...),
+		StableIters:   s.stableIters,
+		Curve:         append(eval.Curve(nil), s.res.Curve...),
+		Ledger:        ledger,
+		AbstainCounts: abstains,
 	}
 }
 
@@ -149,17 +171,89 @@ func RestoreWithWAL(pool *Pool, learner Learner, sel Selector, fo resilience.Fal
 	if err != nil {
 		return nil, err
 	}
+	if err := restoreInto(s, pool, learner, sn, wal); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RestoreBatchWithWAL is RestoreWithWAL for sessions built with
+// NewBatchSession: the cost ledger and abstain tallies are restored
+// alongside the labeled set, and WAL records past the checkpoint —
+// including billed abstentions — are cached for consumption, so the
+// resumed run re-charges exactly what the crashed one paid and never
+// pays for an answer twice. Pass the batch oracle freshly constructed
+// with its original seed; its per-pair attempt ordinals (when it
+// implements oracle.PairAdvancer) are realigned from the WAL. A
+// warm-start session additionally needs SetWarmStart re-attached before
+// Step.
+func RestoreBatchWithWAL(pool *Pool, learner Learner, sel Selector, bo oracle.BatchOracle, sn *Snapshot, wal []resilience.LabelRecord) (*Session, error) {
+	if err := sn.validate(pool); err != nil {
+		return nil, err
+	}
+	s, err := NewBatchSession(pool, learner, sel, bo, sn.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := restoreInto(s, pool, learner, sn, wal); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// restoreInto rebuilds a freshly constructed session's state from a
+// snapshot plus the crashed run's WAL — the shared tail of
+// RestoreWithWAL and RestoreBatchWithWAL.
+func restoreInto(s *Session, pool *Pool, learner Learner, sn *Snapshot, wal []resilience.LabelRecord) error {
+	if s.batcher != nil {
+		if sn.Ledger != nil {
+			s.ledger = *sn.Ledger
+		} else {
+			// A trivial ledger is omitted from snapshots; every labeled
+			// pair was one acknowledged, unbilled answer.
+			s.ledger = CostLedger{Answers: len(sn.Labeled), Labels: len(sn.Labeled)}
+		}
+		for i, n := range sn.AbstainCounts {
+			s.abstains[i] = n
+		}
+	}
 	if len(wal) > 0 {
-		s.walLabels = make(map[int]bool)
+		// Walk the WAL against the checkpoint's answer cursor: records at
+		// or below it are already reflected in the snapshot (labels are
+		// cross-checked against the labeled set, and both kinds realign a
+		// per-pair-keyed oracle's attempt ordinals); records past it are
+		// answers the dead process paid for after its last checkpoint,
+		// cached here for consumption instead of re-querying.
+		answersAt := len(sn.Labeled)
+		if sn.Ledger != nil {
+			answersAt = sn.Ledger.Answers
+		}
+		s.walLabels = make(map[int]walAnswer)
+		s.walAbstains = make(map[int][]float64)
+		labelOrd := 0
 		for _, rec := range wal {
-			if rec.Seq <= len(sn.Labeled) {
-				if sn.Labeled[rec.Seq-1] != rec.Index || sn.Labels[rec.Seq-1] != rec.Label {
-					return nil, fmt.Errorf("core: label WAL record %d (index %d) disagrees with snapshot",
+			if rec.Abstained() {
+				if rec.Seq <= answersAt {
+					if s.pairAdv != nil {
+						s.pairAdv.AdvancePair(pool.Pairs[rec.Index], 1)
+					}
+					continue
+				}
+				s.walAbstains[rec.Index] = append(s.walAbstains[rec.Index], rec.Cost)
+				continue
+			}
+			labelOrd++
+			if rec.Seq <= answersAt {
+				if sn.Labeled[labelOrd-1] != rec.Index || sn.Labels[labelOrd-1] != rec.Label {
+					return fmt.Errorf("core: label WAL record %d (index %d) disagrees with snapshot",
 						rec.Seq, rec.Index)
+				}
+				if s.pairAdv != nil {
+					s.pairAdv.AdvancePair(pool.Pairs[rec.Index], 1)
 				}
 				continue
 			}
-			s.walLabels[rec.Index] = rec.Label
+			s.walLabels[rec.Index] = walAnswer{label: rec.Label, cost: rec.Cost}
 		}
 	}
 	s.src.replay(sn.Draws63, sn.Draws64)
@@ -181,11 +275,18 @@ func RestoreWithWAL(pool *Pool, learner Learner, sel Selector, fo resilience.Fal
 	// Replay historical trainings: iteration i trained on the first
 	// Curve[i].Labels draws of the labeled set (labels are cumulative and
 	// append-only, so the prefix is the exact historical training set).
+	// Warm-start iterations whose prefix could not train (empty or
+	// single-class — the warm learner served instead) are skipped, which
+	// reproduces the live run's training history exactly.
+	warmStart := sn.Config.WarmStartModel != ""
 	for _, pt := range sn.Curve {
+		if warmStart && !trainablePrefix(s.labels, pt.Labels) {
+			continue
+		}
 		trainX, trainY := gatherTraining(pool, s.labeled, s.labels, pt.Labels)
 		learner.Train(trainX, trainY)
 	}
-	return s, nil
+	return nil
 }
 
 // validate rejects snapshots that are internally inconsistent or do not

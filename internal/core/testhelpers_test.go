@@ -50,9 +50,9 @@ func clamp01(x float64) float64 {
 	return x
 }
 
-// poolOracle adapts a Pool's truth to the oracle interface via a
-// throwaway dataset.
-func poolOracle(p *Pool) oracle.Oracle {
+// poolDataset wraps a Pool's truth in a throwaway dataset so any
+// dataset-backed oracle (perfect, noisy, simulated-LLM) can label it.
+func poolDataset(p *Pool) *dataset.Dataset {
 	l := &dataset.Table{Rows: make([]dataset.Record, p.Len())}
 	rt := &dataset.Table{Rows: make([]dataset.Record, p.Len())}
 	var matches []dataset.PairKey
@@ -61,7 +61,12 @@ func poolOracle(p *Pool) oracle.Oracle {
 			matches = append(matches, p.Pairs[i])
 		}
 	}
-	return oracle.NewPerfect(dataset.NewDataset("pool", l, rt, matches, 0))
+	return dataset.NewDataset("pool", l, rt, matches, 0)
+}
+
+// poolOracle adapts a Pool's truth to the oracle interface.
+func poolOracle(p *Pool) oracle.Oracle {
+	return oracle.NewPerfect(poolDataset(p))
 }
 
 func svmFactory(seed int64) Learner { return linear.NewSVM(seed) }

@@ -54,6 +54,10 @@ func (l *EventLog) Observe(e core.Event) {
 		fmt.Fprintf(l.w, "[%8s] iter %3d  select     batch=%d committee=%s score=%s\n",
 			elapsed, ev.Iteration, len(ev.Batch),
 			ev.CommitteeCreate.Round(time.Microsecond), ev.Score.Round(time.Microsecond))
+	case core.OracleBatchDone:
+		fmt.Fprintf(l.w, "[%8s] iter %3d  batch      pairs=%d labels=%d abstain=%d fail=%d retired=%d cost=$%.4f spent=$%.4f in %s\n",
+			elapsed, ev.Iteration, ev.Pairs, ev.Labels, ev.Abstains, ev.Failures,
+			ev.Retired, ev.Cost, ev.Spent, ev.Elapsed.Round(time.Microsecond))
 	case core.OracleFault:
 		fmt.Fprintf(l.w, "[%8s] iter %3d  fault      pair (%d,%d) requeued: %v\n",
 			elapsed, ev.Iteration, ev.Pair.L, ev.Pair.R, ev.Err)

@@ -70,6 +70,10 @@ type Point struct {
 	// (Fig. 18); zero when not applicable to the learner.
 	DNFAtoms int
 	Depth    int
+	// Spent is the cumulative dollars billed by a priced batch oracle
+	// when this point was recorded — the x-axis of F1-per-dollar curves.
+	// Zero (and omitted from serialized curves) for free oracles.
+	Spent float64 `json:",omitempty"`
 }
 
 // SelectionTime is committee creation plus example scoring — the paper's

@@ -7,11 +7,12 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	want := []string{"ablation-batch", "ablation-blockdims",
-		"ablation-classweight", "ablation-committee", "ablation-diversity",
-		"ablation-features", "ablation-iwal", "ablation-majority",
-		"ablation-nnensemble", "ablation-plugin", "ablation-seedset",
-		"ablation-stability", "ablation-tau", "ablation-treeblock",
-		"ablation-trees", "summary"}
+		"ablation-classweight", "ablation-committee", "ablation-costly",
+		"ablation-diversity", "ablation-features", "ablation-iwal",
+		"ablation-majority", "ablation-nnensemble", "ablation-plugin",
+		"ablation-seedset", "ablation-stability", "ablation-tau",
+		"ablation-treeblock", "ablation-trees", "ablation-warmstart",
+		"summary"}
 	got := AblationIDs()
 	if len(got) != len(want) {
 		t.Fatalf("ablations = %v, want %v", got, want)

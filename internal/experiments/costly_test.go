@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationCostly(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := AblationCostly(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want free/uncapped/capped", len(rep.Rows))
+	}
+	free, capped := rep.Rows[0], rep.Rows[2]
+	if free[4] != "0.0000" {
+		t.Errorf("free oracle spent %s, want 0.0000", free[4])
+	}
+	if capped[1] != "dollar budget exhausted" {
+		t.Errorf("capped run stopped with %q, want the dollar budget to bind", capped[1])
+	}
+	spent, _ := strconv.ParseFloat(capped[4], 64)
+	cap := 0.6 * float64(opts.MaxLabels) * costlyPrice.PerLabel
+	if spent <= 0 || spent > cap+1e-9 {
+		t.Errorf("capped run spent %.4f, want in (0, %.4f]", spent, cap)
+	}
+	// The capped run buys fewer labels than the free run.
+	freeLabels, _ := strconv.Atoi(free[2])
+	capLabels, _ := strconv.Atoi(capped[2])
+	if capLabels >= freeLabels {
+		t.Errorf("capped run bought %d labels, free run %d — the cap did not bind", capLabels, freeLabels)
+	}
+	metrics := map[string]bool{}
+	for _, s := range rep.Series {
+		metrics[s.Metric.String()] = true
+	}
+	if !metrics["f1_per_dollar"] || !metrics["spent_usd"] {
+		t.Errorf("series metrics %v, want f1_per_dollar and spent_usd", metrics)
+	}
+}
+
+func TestAblationWarmStart(t *testing.T) {
+	opts := tinyOpts()
+	opts.MaxLabels = 60
+	rep, err := AblationWarmStart(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 2 {
+		t.Fatalf("rows = %d, want at least cold and warm", len(rep.Rows))
+	}
+	cold, warm := rep.Rows[0], rep.Rows[1]
+	if cold[0] != "cold" || !strings.HasPrefix(warm[0], "warm") {
+		t.Fatalf("unexpected row order: %v / %v", cold, warm)
+	}
+	// The warm run starts from a trained model, so its first evaluation
+	// must beat the cold run's (which has only the seed sample).
+	coldInit, _ := strconv.ParseFloat(cold[2], 64)
+	warmInit, _ := strconv.ParseFloat(warm[2], 64)
+	if warmInit <= coldInit {
+		t.Errorf("warm initial F1 %.3f not above cold %.3f — transfer gave no head start",
+			warmInit, coldInit)
+	}
+	if len(rep.Series) != 2 {
+		t.Errorf("series = %d, want cold and warm F1 curves", len(rep.Series))
+	}
+}

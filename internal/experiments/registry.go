@@ -31,6 +31,8 @@ var paperRegistry = map[string]Driver{
 // plug-in learner demo) to their drivers.
 var ablationRegistry = map[string]Driver{
 	"ablation-committee":   AblationCommittee,
+	"ablation-costly":      AblationCostly,
+	"ablation-warmstart":   AblationWarmStart,
 	"ablation-batch":       AblationBatch,
 	"ablation-seedset":     AblationSeedSet,
 	"ablation-tau":         AblationTau,

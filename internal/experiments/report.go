@@ -90,6 +90,8 @@ const (
 	MetricTrainTime
 	MetricAtoms
 	MetricDepth
+	MetricSpent
+	MetricF1PerDollar
 )
 
 func (m Metric) String() string {
@@ -114,6 +116,10 @@ func (m Metric) String() string {
 		return "dnf_atoms"
 	case MetricDepth:
 		return "depth"
+	case MetricSpent:
+		return "spent_usd"
+	case MetricF1PerDollar:
+		return "f1_per_dollar"
 	}
 	return "?"
 }
@@ -143,6 +149,13 @@ func pointValue(p eval.Point, m Metric) string {
 		return strconv.Itoa(p.DNFAtoms)
 	case MetricDepth:
 		return strconv.Itoa(p.Depth)
+	case MetricSpent:
+		return strconv.FormatFloat(p.Spent, 'f', 4, 64)
+	case MetricF1PerDollar:
+		if p.Spent <= 0 {
+			return "0.000"
+		}
+		return strconv.FormatFloat(p.F1/p.Spent, 'f', 3, 64)
 	}
 	return "?"
 }

@@ -1,0 +1,45 @@
+package oracle
+
+import (
+	"sync/atomic"
+
+	"github.com/alem/alem/internal/obs"
+)
+
+// Process-wide labeling-cost totals, accumulated by every batch oracle
+// regardless of which registry (if any) scrapes them. They are
+// registered as scrape-time callbacks so the labeling path pays one
+// atomic add and no registry lookups. Dollars are accumulated in
+// microdollars so the counter stays an integer (Prometheus counters
+// render without rounding drift that way); divide by 1e6 when reading.
+var (
+	costBatches      atomic.Int64
+	costLabels       atomic.Int64
+	costAbstains     atomic.Int64
+	costFailures     atomic.Int64
+	costMicrodollars atomic.Int64
+)
+
+func addCostDollars(d float64) {
+	if d > 0 {
+		costMicrodollars.Add(int64(d*1e6 + 0.5))
+	}
+}
+
+// RegisterMetrics exposes the package's labeling-cost counters on r:
+// batch call volume, the label/abstain/failure answer mix, and the
+// cumulative dollars billed (in microdollars). The serving layer
+// registers them on its /metrics registry; any other registry works the
+// same way.
+func RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("alem_oracle_cost_batches_total",
+		"Batch label calls issued to batch oracles.", costBatches.Load)
+	r.CounterFunc("alem_oracle_cost_labels_total",
+		"Match/non-match verdicts acknowledged by batch oracles.", costLabels.Load)
+	r.CounterFunc("alem_oracle_cost_abstains_total",
+		"Abstentions acknowledged (and billed) by batch oracles.", costAbstains.Load)
+	r.CounterFunc("alem_oracle_cost_failures_total",
+		"Per-pair failures returned by batch oracles (unbilled).", costFailures.Load)
+	r.CounterFunc("alem_oracle_cost_microdollars_total",
+		"Cumulative dollars billed by batch oracles, in microdollars.", costMicrodollars.Load)
+}

@@ -9,16 +9,29 @@ import (
 	"sync"
 )
 
-// LabelRecord is one granted label in the write-ahead log: the pair's
-// position in the cumulative labeled sequence (1-based), its pool index,
-// and the label the Oracle returned. The WAL is the durable record of
-// labels paid for between checkpoints; Snapshot + WAL replay together
-// reconstruct a killed run's exact labeled set.
+// LabelRecord is one acknowledged Oracle answer in the write-ahead log:
+// the answer's position in the cumulative acknowledged sequence
+// (1-based), its pool index, and the label the Oracle returned. The WAL
+// is the durable record of answers paid for between checkpoints;
+// Snapshot + WAL replay together reconstruct a killed run's exact
+// labeled set — and, for priced batch oracles, its exact cost ledger.
+//
+// Verdict and Cost extend the record for batch oracles: Verdict is
+// "abstain" for a billed abstention (Label is meaningless then) and
+// empty for an ordinary label; Cost is the dollars billed for the
+// answer. Both are omitted when zero, so the records a classic per-pair
+// session writes are byte-identical to the pre-batch format.
 type LabelRecord struct {
-	Seq   int  `json:"seq"`
-	Index int  `json:"index"`
-	Label bool `json:"label"`
+	Seq     int     `json:"seq"`
+	Index   int     `json:"index"`
+	Label   bool    `json:"label"`
+	Verdict string  `json:"verdict,omitempty"`
+	Cost    float64 `json:"cost,omitempty"`
 }
+
+// Abstained reports whether the record is a billed abstention rather
+// than a granted label.
+func (r LabelRecord) Abstained() bool { return r.Verdict == "abstain" }
 
 // LabelWAL is an append-only, fsync-per-append label log in JSON-lines
 // format. Appends are idempotent by sequence number, so replaying a
@@ -111,15 +124,23 @@ func scanWAL(f *os.File) ([]LabelRecord, int64, error) {
 // extend the sequence by exactly one. Each append is fsync'd before
 // returning, so a label the Session considers granted survives a crash.
 func (w *LabelWAL) Append(seq, index int, label bool) error {
+	return w.AppendRecord(LabelRecord{Seq: seq, Index: index, Label: label})
+}
+
+// AppendRecord is Append for full records — the entry point batch
+// sessions use to journal billed abstentions and per-answer costs
+// alongside ordinary labels. The idempotence and fsync discipline are
+// identical to Append's.
+func (w *LabelWAL) AppendRecord(rec LabelRecord) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if seq <= w.lastSeq {
+	if rec.Seq <= w.lastSeq {
 		return nil
 	}
-	if seq != w.lastSeq+1 {
-		return fmt.Errorf("resilience: label WAL append out of sequence: %d after %d", seq, w.lastSeq)
+	if rec.Seq != w.lastSeq+1 {
+		return fmt.Errorf("resilience: label WAL append out of sequence: %d after %d", rec.Seq, w.lastSeq)
 	}
-	line, err := json.Marshal(LabelRecord{Seq: seq, Index: index, Label: label})
+	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
@@ -129,7 +150,7 @@ func (w *LabelWAL) Append(seq, index int, label bool) error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("resilience: syncing label WAL: %w", err)
 	}
-	w.lastSeq = seq
+	w.lastSeq = rec.Seq
 	w.appends++
 	return nil
 }

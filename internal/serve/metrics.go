@@ -6,6 +6,7 @@ import (
 
 	"github.com/alem/alem/internal/blocking"
 	"github.com/alem/alem/internal/obs"
+	"github.com/alem/alem/internal/oracle"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, chosen to
@@ -60,6 +61,9 @@ func newMetrics() *metrics {
 	// process-wide index build/ingest and filter-funnel counters on the
 	// same scrape.
 	blocking.RegisterMetrics(reg)
+	// Labeling-cost totals from batch oracles (batch calls, answer mix,
+	// microdollars billed) ride the same scrape.
+	oracle.RegisterMetrics(reg)
 	return m
 }
 
